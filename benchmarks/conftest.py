@@ -1,0 +1,50 @@
+"""Shared fixtures of the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures on the
+default experiment fleet (~4,000 drives, seed-pinned — a scaled-down
+version of the paper's 23,395-drive population) and writes the rendered
+artifact to ``benchmarks/output/`` for inspection.
+
+Run with::
+
+   pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import default_fleet, default_report
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_fleet():
+    """The default experiment fleet (memoized by the experiments layer)."""
+    return default_fleet()
+
+
+@pytest.fixture(scope="session")
+def bench_report(bench_fleet):
+    """Full pipeline report on the default fleet."""
+    return default_report()
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def save_artifact(artifact_dir):
+    """Writer that stores an experiment's rendering next to the bench."""
+
+    def writer(result) -> None:
+        path = artifact_dir / f"{result.experiment_id}.txt"
+        path.write_text(str(result) + "\n")
+
+    return writer

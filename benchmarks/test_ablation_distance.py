@@ -1,0 +1,14 @@
+"""Bench A1 — ablation: Euclidean vs Mahalanobis distance.
+
+Paper: Euclidean characterizes the low-distance (near-failure) changes
+better; the low Mahalanobis distances are "all the same".
+"""
+
+from repro.experiments import ablation_distance
+
+
+def test_ablation_distance(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(ablation_distance.run, args=(bench_report,),
+                                rounds=1, iterations=1)
+    save_artifact(result)
+    assert result.data["euclidean_wins"]

@@ -1,0 +1,15 @@
+"""Bench A2 — ablation: clustering feature sets.
+
+The paper clusters on 30 features (attribute values plus the 24-hour
+standard deviation and change rate); this ablation scores both feature
+sets against the simulator's ground truth.
+"""
+
+from repro.experiments import ablation_features
+
+
+def test_ablation_features(benchmark, bench_fleet, save_artifact):
+    result = benchmark.pedantic(ablation_features.run, args=(bench_fleet,),
+                                rounds=1, iterations=1)
+    save_artifact(result)
+    assert all(purity > 0.9 for purity in result.data["purity"].values())

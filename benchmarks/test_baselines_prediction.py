@@ -1,0 +1,15 @@
+"""Bench B1 — classical detector baselines (Section II-C context).
+
+Paper: vendor thresholds achieve only 3-10% FDR (at ~0.1% FAR);
+statistical detectors (rank-sum, Bayesian) detect far more.
+"""
+
+from repro.experiments import baselines_prediction
+
+
+def test_baselines_prediction(benchmark, bench_fleet, save_artifact):
+    result = benchmark.pedantic(baselines_prediction.run,
+                                args=(bench_fleet,), rounds=1, iterations=1)
+    save_artifact(result)
+    assert result.data["ordering_holds"]
+    assert result.data["vendor_threshold"]["far"] < 0.05

@@ -1,0 +1,15 @@
+"""Bench F1 — Figure 1: failed-drive profile durations.
+
+Paper: 78.5% of failed drives have profiles longer than 10 days; 51.3%
+carry the full 20-day profile.
+"""
+
+from repro.experiments import fig01_profile_durations
+
+
+def test_fig01_profile_durations(benchmark, bench_fleet, save_artifact):
+    result = benchmark.pedantic(fig01_profile_durations.run,
+                                args=(bench_fleet,), rounds=3, iterations=1)
+    save_artifact(result)
+    assert 0.6 < result.data["fraction_over_10_days"] <= 1.0
+    assert 0.35 < result.data["fraction_full_20_days"] < 0.7

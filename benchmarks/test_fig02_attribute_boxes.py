@@ -1,0 +1,21 @@
+"""Bench F2 — Figure 2: attribute distributions over failure records.
+
+Paper: CPSC/R-CPSC/RUE/SER/HFW/HER vary little among 90% of records;
+RRER/TC/SUT/POH/RSC/R-RSC vary medium-to-large.
+"""
+
+import numpy as np
+
+from repro.experiments import fig02_attribute_boxes
+
+
+def test_fig02_attribute_boxes(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig02_attribute_boxes.run,
+                                args=(bench_report,), rounds=3, iterations=1)
+    save_artifact(result)
+    spread = result.data["central_90_spread"]
+    small = np.mean([spread[s] for s in ("CPSC", "R-CPSC", "SER", "HFW",
+                                         "HER")])
+    large = np.mean([spread[s] for s in ("TC", "SUT", "POH", "RSC",
+                                         "R-RSC")])
+    assert small < large

@@ -1,0 +1,10 @@
+"""Bench F3 — Figure 3: within-cluster distance vs k (elbow at 3)."""
+
+from repro.experiments import fig03_elbow
+
+
+def test_fig03_elbow(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig03_elbow.run, args=(bench_report,),
+                                rounds=1, iterations=1)
+    save_artifact(result)
+    assert result.data["best_k"] == 3

@@ -1,0 +1,15 @@
+"""Bench F4 — Figure 4: PCA scatter of the failure groups.
+
+Paper: three separable groups of 258 / 33 / 142 records (population order
+group1 > group3 > group2).
+"""
+
+from repro.experiments import fig04_pca_groups
+
+
+def test_fig04_pca_groups(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig04_pca_groups.run, args=(bench_report,),
+                                rounds=3, iterations=1)
+    save_artifact(result)
+    counts = result.data["counts"]
+    assert counts["group1"] > counts["group3"] > counts["group2"]

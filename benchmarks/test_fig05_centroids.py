@@ -1,0 +1,21 @@
+"""Bench F5 — Figure 5: centroid failure records.
+
+Paper: the G2 centroid shows the most uncorrectable errors, the G3
+centroid the most reallocated sectors, the G1 centroid looks normal.
+"""
+
+from repro.core.taxonomy import FailureType
+from repro.experiments import fig05_centroids
+
+
+def test_fig05_centroids(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig05_centroids.run, args=(bench_report,),
+                                rounds=3, iterations=1)
+    save_artifact(result)
+    values = result.data["centroid_values"]
+    assert values[FailureType.BAD_SECTOR]["RUE"] == min(
+        v["RUE"] for v in values.values()
+    )
+    assert values[FailureType.HEAD]["R-RSC"] == max(
+        v["R-RSC"] for v in values.values()
+    )

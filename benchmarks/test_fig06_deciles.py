@@ -1,0 +1,20 @@
+"""Bench F6 — Figure 6: deciles of RUE / R-RSC / RRER per group.
+
+Paper: G2 lowest RUE; G3 R-RSC all above 0.94 with close-to-good
+RRER/RUE; G1 close to good states.
+"""
+
+import numpy as np
+
+from repro.experiments import fig06_deciles
+
+
+def test_fig06_deciles(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig06_deciles.run, args=(bench_report,),
+                                rounds=3, iterations=1)
+    save_artifact(result)
+    deciles = result.data["deciles"]
+    assert deciles["RUE"]["group2"][0] < deciles["RUE"]["group1"][0]
+    assert np.all(deciles["R-RSC"]["group3"] > 0.8)
+    # G1 RRER sits below good but above the most degraded group decile.
+    assert deciles["RRER"]["group1"][0] <= deciles["RRER"]["good"][0]

@@ -1,0 +1,17 @@
+"""Bench F7 — Figure 7: distance-to-failure series of the centroids.
+
+Paper: G1/G3 fluctuate until the final descent; G2 decreases
+monotonically over the whole profile.
+"""
+
+from repro.experiments import fig07_distance_series
+
+
+def test_fig07_distance_series(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig07_distance_series.run,
+                                args=(bench_report,), rounds=3, iterations=1)
+    save_artifact(result)
+    trend = result.data["descent_trend"]
+    assert trend["group2"] < -0.9
+    assert trend["group2"] < trend["group1"]
+    assert trend["group2"] < trend["group3"]

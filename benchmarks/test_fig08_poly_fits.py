@@ -1,0 +1,17 @@
+"""Bench F8 — Figure 8: degradation windows and polynomial fits.
+
+Paper: centroid windows d = 3 / 377 / 12 for Groups 1-3; the degradation
+shapes are quadratic / linear / cubic.
+"""
+
+from repro.experiments import fig08_poly_fits
+
+
+def test_fig08_poly_fits(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig08_poly_fits.run, args=(bench_report,),
+                                rounds=3, iterations=1)
+    save_artifact(result)
+    assert result.data["group1"]["window"] <= 20
+    assert result.data["group2"]["window"] >= 100
+    assert 8 <= result.data["group3"]["window"] <= 40
+    assert result.data["group2"]["best_canonical_order"] == 1

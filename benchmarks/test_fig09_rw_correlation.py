@@ -1,0 +1,17 @@
+"""Bench F9 — Figure 9: R/W attribute correlation with degradation.
+
+Paper: RRER dominates Groups 1 and 3; RUE and R-RSC are the top two for
+Group 2.
+"""
+
+from repro.experiments import fig09_rw_correlation
+
+
+def test_fig09_rw_correlation(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig09_rw_correlation.run,
+                                args=(bench_report,), rounds=3, iterations=1)
+    save_artifact(result)
+    g1 = result.data["group1"]["correlations"]
+    assert max(abs(g1["RRER"]), abs(g1["HER"])) > 0.5
+    g2_top = set(result.data["group2"]["top"])
+    assert g2_top & {"RUE", "R-RSC", "CPSC", "R-CPSC"}

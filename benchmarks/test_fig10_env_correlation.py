@@ -1,0 +1,23 @@
+"""Bench F10 — Figure 10: environmental-attribute correlations.
+
+Paper: POH correlates strongly with the dominant R/W attributes inside
+degradation windows but the influence diminishes at longer horizons; TC
+shows little correlation everywhere.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10_env_correlation
+
+
+def test_fig10_env_correlation(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig10_env_correlation.run,
+                                args=(bench_report,), rounds=3, iterations=1)
+    save_artifact(result)
+    tc_magnitudes = [
+        abs(cell.correlation)
+        for group in ("group1", "group2", "group3")
+        for cell in result.data[group]["cells"]
+        if cell.environmental == "TC"
+    ]
+    assert float(np.median(tc_magnitudes)) < 0.5

@@ -1,0 +1,15 @@
+"""Bench F11 — Figure 11: temporal z-scores of TC.
+
+Paper: all groups run hotter than good drives; Group 1 (logical failures)
+is the hottest across the 20-day horizon — the thermal-cause finding.
+"""
+
+from repro.experiments import fig11_tc_zscores
+
+
+def test_fig11_tc_zscores(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig11_tc_zscores.run, args=(bench_report,),
+                                rounds=1, iterations=1)
+    save_artifact(result)
+    assert result.data["most_negative"] == "group1"
+    assert all(v < 0 for v in result.data["means"].values())

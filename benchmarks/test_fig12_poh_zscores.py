@@ -1,0 +1,15 @@
+"""Bench F12 — Figure 12: temporal z-scores of POH.
+
+Paper: Group 3 (head failures) differs most from good drives in power-on
+hours; Group 2 sits closest to the good population.
+"""
+
+from repro.experiments import fig12_poh_zscores
+
+
+def test_fig12_poh_zscores(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig12_poh_zscores.run, args=(bench_report,),
+                                rounds=1, iterations=1)
+    save_artifact(result)
+    assert result.data["most_negative"] == "group3"
+    assert result.data["least_negative"] == "group2"

@@ -1,0 +1,15 @@
+"""Bench F13 — Figure 13: the Group 1 degradation regression tree.
+
+Paper: the Group 1 tree splits on POH/TC/SUT/RUE/SER; Group 3's
+degradation is described by R-RSC alone.
+"""
+
+from repro.experiments import fig13_regression_tree
+
+
+def test_fig13_regression_tree(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(fig13_regression_tree.run,
+                                args=(bench_report,), rounds=1, iterations=1)
+    save_artifact(result)
+    assert result.data["g3_dominant_feature"] in ("R-RSC", "RSC")
+    assert result.data["tree_text"].strip()

@@ -1,0 +1,16 @@
+"""Bench A4 — extension: transfer to a backup-storage fleet.
+
+Paper: "our proposed approach is generic and applicable to other storage
+systems"; in dedicated backup systems "bad sector failures dominate"
+(Ma et al.).  Target shape: the unchanged pipeline on a write-heavy
+backup fleet recovers the flipped mixture with high accuracy.
+"""
+
+from repro.experiments import generalization
+
+
+def test_generalization(benchmark, save_artifact):
+    result = benchmark.pedantic(generalization.run, rounds=1, iterations=1)
+    save_artifact(result)
+    assert result.data["fractions"]["BAD_SECTOR"] > 0.5
+    assert result.data["accuracy"] >= 0.9

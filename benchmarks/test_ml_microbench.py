@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the ML substrate.
+
+Not paper artifacts — these pin the performance of the hot algorithms so
+regressions (e.g. de-vectorizing tree prediction) show up next to the
+reproduction benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.hmm import GaussianHMM
+from repro.ml.kmeans import KMeans
+from repro.ml.svc import SupportVectorClustering
+from repro.ml.tree import RegressionTree
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_kmeans_500x30(benchmark, rng):
+    data = rng.normal(size=(500, 30))
+    result = benchmark.pedantic(
+        lambda: KMeans(3, seed=0).fit(data), rounds=3, iterations=1
+    )
+    assert result.inertia_ is not None
+
+
+def test_tree_fit_50k_samples(benchmark, rng):
+    features = rng.uniform(size=(50_000, 12))
+    targets = np.where(features[:, 0] < 0.5, -1.0, 1.0)
+    tree = benchmark.pedantic(
+        lambda: RegressionTree(max_depth=8).fit(features, targets),
+        rounds=3, iterations=1,
+    )
+    assert tree.n_leaves() >= 2
+
+
+def test_tree_predict_100k_rows(benchmark, rng):
+    features = rng.uniform(size=(20_000, 12))
+    targets = rng.uniform(size=20_000)
+    tree = RegressionTree(max_depth=8).fit(features, targets)
+    probe = rng.uniform(size=(100_000, 12))
+    predictions = benchmark.pedantic(
+        lambda: tree.predict(probe), rounds=3, iterations=1
+    )
+    assert predictions.shape == (100_000,)
+
+
+def test_svc_150_points(benchmark, rng):
+    data = np.vstack([
+        rng.normal((0, 0), 0.2, size=(75, 2)),
+        rng.normal((4, 4), 0.2, size=(75, 2)),
+    ])
+    model = benchmark.pedantic(
+        lambda: SupportVectorClustering(gaussian_width=2.0).fit(data),
+        rounds=1, iterations=1,
+    )
+    assert model.n_clusters_ == 2
+
+
+def test_hmm_fit_20x48x8(benchmark, rng):
+    sequences = [rng.normal(size=(48, 8)) for _ in range(20)]
+    model = benchmark.pedantic(
+        lambda: GaussianHMM(n_states=3, n_iter=15, seed=1).fit(sequences),
+        rounds=1, iterations=1,
+    )
+    assert model.is_fitted

@@ -1,0 +1,20 @@
+"""Bench A9 — extension: monitor middleware operating curve.
+
+Target shape: on an unseen fleet, a sizable fraction of failures is
+detectable with >= 24 h of lead at near-zero false alarms, with
+detection falling (never rising) as the threshold tightens.  Logical
+failures bound the ceiling — their windows are shorter than the lead.
+"""
+
+from repro.experiments import monitor_roc
+
+
+def test_monitor_roc(benchmark, save_artifact):
+    result = benchmark.pedantic(monitor_roc.run, rounds=1, iterations=1)
+    save_artifact(result)
+    curve = result.data["curve"]
+    thresholds = sorted(curve, reverse=True)  # loose -> tight
+    fdrs = [curve[t]["fdr"] for t in thresholds]
+    assert fdrs[0] >= 0.3
+    assert all(a >= b for a, b in zip(fdrs, fdrs[1:]))
+    assert all(curve[t]["far"] <= 0.02 for t in thresholds)

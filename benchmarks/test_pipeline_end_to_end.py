@@ -1,0 +1,27 @@
+"""Substrate benchmarks: fleet simulation and the end-to-end pipeline.
+
+Not a paper artifact — these time the two heavyweight stages so
+performance regressions in the simulator or the analysis pipeline are
+visible alongside the reproduction benches.
+"""
+
+from repro.core.pipeline import CharacterizationPipeline
+from repro.sim.config import FleetConfig
+from repro.sim.fleet import simulate_fleet
+
+
+def test_simulate_fleet_1000_drives(benchmark):
+    config = FleetConfig(n_drives=1000, seed=13)
+    result = benchmark.pedantic(simulate_fleet, args=(config,),
+                                rounds=3, iterations=1)
+    assert len(result.dataset) == 1000
+
+
+def test_full_pipeline_1000_drives(benchmark):
+    fleet = simulate_fleet(FleetConfig(n_drives=1000, seed=13))
+
+    def run_pipeline():
+        return CharacterizationPipeline(seed=13).run(fleet.dataset)
+
+    report = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    assert report.categorization.n_groups == 3

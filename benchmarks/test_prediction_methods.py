@@ -1,0 +1,20 @@
+"""Bench A3 — extension: alternative degradation predictors.
+
+Paper Section VI future work: "test more prediction methods".  Target
+shape: the nonlinear methods (tree, k-NN) beat the linear baseline,
+because the signature targets are polynomial in time.
+"""
+
+from repro.experiments import prediction_methods
+
+
+def test_prediction_methods(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(prediction_methods.run,
+                                args=(bench_report,), rounds=1, iterations=1)
+    save_artifact(result)
+    errors = result.data["errors"]
+    nonlinear_wins = sum(
+        min(m["regression_tree"], m["knn_5"]) <= m["ridge_linear"]
+        for m in errors.values()
+    )
+    assert nonlinear_wins >= 2

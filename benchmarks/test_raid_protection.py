@@ -1,0 +1,23 @@
+"""Bench A5 — capstone extension: RAID data-loss risk and protection.
+
+Target shape: reactive RAID-5 loses data predominantly through the
+single-failure + latent-sector channel of Section I; RAID-6 and
+signature-driven proactive migration each remove most of that risk, and
+logical failures give the least warning.
+"""
+
+from repro.experiments import raid_protection
+
+
+def test_raid_protection(benchmark, bench_fleet, bench_report, save_artifact):
+    result = benchmark.pedantic(raid_protection.run,
+                                args=(bench_fleet, bench_report),
+                                rounds=1, iterations=1)
+    save_artifact(result)
+    rates = result.data["loss_rates"]
+    assert rates["reactive_RAID5"] > 0
+    assert rates["reactive_RAID6"] <= rates["reactive_RAID5"] / 2
+    assert rates["proactive_RAID5"] < rates["reactive_RAID5"]
+    leads = result.data["median_leads"]
+    assert leads["group1"] <= leads["group2"]
+    assert leads["group1"] <= leads["group3"]

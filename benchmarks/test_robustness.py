@@ -1,0 +1,16 @@
+"""Bench A7 — extension: categorization robustness across fleets.
+
+Target shape: high mean accuracy and a tight logical-share spread over
+independently seeded fleets.
+"""
+
+from repro.experiments import robustness
+
+
+def test_robustness(benchmark, save_artifact):
+    result = benchmark.pedantic(robustness.run, rounds=1, iterations=1)
+    save_artifact(result)
+    assert result.data["mean_accuracy"] >= 0.95
+    assert result.data["min_accuracy"] >= 0.9
+    shares = result.data["logical_shares"]
+    assert max(shares) - min(shares) < 0.15

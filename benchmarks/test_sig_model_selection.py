@@ -1,0 +1,19 @@
+"""Bench S1 — Section IV-C: signature-model selection by RMSE.
+
+Paper: the revised second-order form wins for Group 1 (0.24/0.14/0.06
+comparison), first order for Group 2, simplified third order for Group 3
+(0.45/0.35/0.22/0.16).
+"""
+
+from repro.experiments import sig_model_selection
+
+
+def test_sig_model_selection(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(sig_model_selection.run,
+                                args=(bench_report,), rounds=3, iterations=1)
+    save_artifact(result)
+    assert result.data["group2"]["winner"] == "first_order"
+    group1 = result.data["group1"]["rmse"]
+    assert group1["revised_second_order"] <= group1["equation_2"]
+    group3 = result.data["group3"]["rmse"]
+    assert group3["simplified_third_order"] <= group3["equation_5"]

@@ -1,0 +1,9 @@
+"""Bench T1 — Table I: selected SMART attributes."""
+
+from repro.experiments import table1_attributes
+
+
+def test_table1_attributes(benchmark, save_artifact):
+    result = benchmark.pedantic(table1_attributes.run, rounds=3, iterations=1)
+    save_artifact(result)
+    assert result.data["n_attributes"] == 12

@@ -1,0 +1,18 @@
+"""Bench T2 — Table II: failure taxonomy and population mix.
+
+Paper: logical 59.6%, bad sector 7.6%, read/write head 32.8%.
+"""
+
+import pytest
+
+from repro.experiments import table2_taxonomy
+
+
+def test_table2_taxonomy(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(table2_taxonomy.run, args=(bench_report,),
+                                rounds=3, iterations=1)
+    save_artifact(result)
+    fractions = result.data["fractions"]
+    assert fractions["LOGICAL"] == pytest.approx(0.596, abs=0.08)
+    assert fractions["BAD_SECTOR"] == pytest.approx(0.076, abs=0.05)
+    assert fractions["HEAD"] == pytest.approx(0.328, abs=0.08)

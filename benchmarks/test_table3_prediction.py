@@ -1,0 +1,16 @@
+"""Bench T3 — Table III: degradation-prediction RMSE / error rates.
+
+Paper: RMSE 0.216 / 0.114 / 0.129 (error 10.8% / 5.7% / 6.4%) with
+Group 1 the hardest to predict.
+"""
+
+from repro.experiments import table3_prediction
+
+
+def test_table3_prediction(benchmark, bench_report, save_artifact):
+    result = benchmark.pedantic(table3_prediction.run, args=(bench_report,),
+                                rounds=1, iterations=1)
+    save_artifact(result)
+    assert result.data["hardest"] == "group1"
+    for group in ("group1", "group2", "group3"):
+        assert result.data[group]["error_rate"] < 0.15

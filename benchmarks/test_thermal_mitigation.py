@@ -1,0 +1,20 @@
+"""Bench A6 — extension: thermal mitigation of logical failures.
+
+Paper Section V-A: cooling technologies should "reduce the number of
+logical failures, which will in turn improve the storage system's
+reliability".  Target shape: logical failures fall monotonically with
+inlet temperature while wear-driven failures stay flat.
+"""
+
+from repro.experiments import thermal_mitigation
+
+
+def test_thermal_mitigation(benchmark, save_artifact):
+    result = benchmark.pedantic(thermal_mitigation.run,
+                                rounds=1, iterations=1)
+    save_artifact(result)
+    counts = result.data["counts_by_temp"]
+    temps = sorted(counts)
+    logical = [counts[t]["logical"] for t in temps]
+    assert logical == sorted(logical)
+    assert counts[temps[0]]["head"] == counts[temps[-1]]["head"]

@@ -1,0 +1,82 @@
+"""Fleet triage: estimate rescue time for degrading drives.
+
+The paper motivates degradation signatures with data rescue: "Modeling
+the degradation process of disk failures will enable us to track the
+evolvement of disk errors to failures and accurately estimate the
+available time for data rescue."
+
+This example plays that scenario end to end:
+
+1. characterize a fleet and train the per-group degradation predictors;
+2. take each failed drive's profile *truncated 24 hours before the
+   failure* — the operator's view of a drive that has not died yet;
+3. predict its current degradation stage with the group's regression
+   tree and invert the canonical signature to estimate the hours left;
+4. print a triage table sorted by urgency, with the per-type handling
+   action the taxonomy suggests.
+
+Usage::
+
+   python examples/fleet_triage.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CharacterizationPipeline, FleetConfig, simulate_fleet
+from repro.core.prediction import DegradationPredictor
+from repro.core.rescue import estimate_remaining_hours
+from repro.core.taxonomy import FailureType
+
+#: How many hours before the (unknown) failure the operator looks.
+LOOKAHEAD_HOURS = 24
+
+#: Handling guidance per failure type, following Section V-A.
+ACTIONS = {
+    FailureType.LOGICAL: "check file-system integrity; cool the drive bay",
+    FailureType.BAD_SECTOR: "schedule full backup; sector errors accumulating",
+    FailureType.HEAD: "replace immediately; spare sectors nearly exhausted",
+}
+
+
+def main() -> None:
+    print("Simulating and characterizing the fleet...")
+    fleet = simulate_fleet(FleetConfig(n_drives=2000, seed=21))
+    report = CharacterizationPipeline(run_prediction=False, seed=21).run(
+        fleet.dataset
+    )
+    predictor = DegradationPredictor(seed=21)
+    predictor.evaluate_all(report.dataset, report.categorization)
+
+    print(f"\nTriage view, {LOOKAHEAD_HOURS} h before each (future) failure:")
+    rows = []
+    for failure_type in FailureType:
+        tree = predictor.tree_for(failure_type)
+        for serial in report.categorization.serials_of_type(failure_type):
+            profile = report.dataset.get(serial)
+            if len(profile) <= LOOKAHEAD_HOURS + 1:
+                continue
+            # The operator's view: drop the final 24 hours.
+            current_record = profile.matrix[-(LOOKAHEAD_HOURS + 1)]
+            stage = float(tree.predict(current_record.reshape(1, -1))[0])
+            hours_left = estimate_remaining_hours(stage, failure_type)
+            rows.append((hours_left, serial, failure_type, stage))
+
+    rows.sort(key=lambda row: row[0])
+    print(f"{'drive':26s} {'type':10s} {'stage':>7s} {'est. h left':>12s}  action")
+    for hours_left, serial, failure_type, stage in rows[:15]:
+        hours_text = (f"{hours_left:12.0f}" if np.isfinite(hours_left)
+                      else f"{'quiet':>12s}")
+        print(f"{serial:26s} {failure_type.name:10s} {stage:7.2f} "
+              f"{hours_text}  {ACTIONS[failure_type]}")
+    urgent = sum(1 for row in rows if row[0] < 72)
+    quiet = sum(1 for row in rows if not np.isfinite(row[0]))
+    print(f"\n{len(rows)} pre-failure drives assessed; {urgent} estimated "
+          f"within 72 h of failure; {quiet} still SMART-quiet (typical for "
+          f"logical failures, whose windows are shorter than the "
+          f"{LOOKAHEAD_HOURS} h lookahead).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works on
+environments whose setuptools predates PEP 660 editable installs (pip
+falls back to the legacy ``setup.py develop`` path with
+``--no-use-pep517``).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,143 @@
+"""``repro-characterize`` — run the pipeline on a dataset from the shell.
+
+The operator-facing entry point: point it at telemetry (native CSV or
+Backblaze drive-stats files) or let it simulate a fleet, and it runs the
+full characterization pipeline, prints the taxonomy / signature /
+prediction summaries and optionally writes the machine-readable JSON
+report.
+
+Examples::
+
+   repro-characterize --simulate 4000 --seed 42
+   repro-characterize --csv fleet.csv --json report.json
+   repro-characterize --backblaze 'data_Q1_2015/*.csv' --model ST4000DM000
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import sys
+
+from repro.core.pipeline import CharacterizationPipeline, CharacterizationReport
+from repro.core.serialize import save_report_json
+from repro.core.taxonomy import FailureType
+from repro.data.backblaze import load_backblaze_csv
+from repro.data.dataset import DiskDataset
+from repro.data.loader import load_csv
+from repro.errors import ReproError
+from repro.reporting.tables import ascii_table
+from repro.sim.config import FleetConfig
+from repro.sim.fleet import simulate_fleet
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-characterize",
+        description="Categorize disk failures and derive degradation "
+                    "signatures from SMART telemetry.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--simulate", type=int, metavar="N_DRIVES",
+                        help="simulate a fleet of this size")
+    source.add_argument("--csv", metavar="PATH",
+                        help="load a native-format CSV dataset")
+    source.add_argument("--backblaze", metavar="GLOB",
+                        help="load Backblaze drive-stats daily CSVs")
+    parser.add_argument("--model", default=None,
+                        help="drive-model filter for Backblaze input")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="seed for simulation and the pipeline")
+    parser.add_argument("--clusters", type=int, default=3,
+                        help="failure-group count (0 = elbow selection)")
+    parser.add_argument("--no-prediction", action="store_true",
+                        help="skip the Table III predictors")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the machine-readable report here")
+    return parser
+
+
+def load_dataset(args: argparse.Namespace) -> DiskDataset:
+    if args.simulate is not None:
+        fleet = simulate_fleet(FleetConfig(n_drives=args.simulate,
+                                           seed=args.seed))
+        return fleet.dataset
+    if args.csv is not None:
+        return load_csv(args.csv)
+    paths = sorted(glob.glob(args.backblaze))
+    if not paths:
+        raise ReproError(f"no files match {args.backblaze!r}")
+    return load_backblaze_csv(paths, model=args.model)
+
+
+def render_report(report: CharacterizationReport) -> str:
+    sections = []
+    taxonomy_rows = []
+    for failure_type in FailureType:
+        summary = report.group_summaries.get(failure_type)
+        if summary is None:
+            continue
+        taxonomy_rows.append((
+            f"Group {failure_type.paper_group_number}",
+            failure_type.value,
+            summary.n_drives,
+            f"{summary.median_window:.0f} h",
+            f"(t/d)^{summary.consensus_order} - 1",
+            "/".join(summary.top_correlated),
+        ))
+    sections.append(ascii_table(
+        ("group", "type", "drives", "median window", "signature",
+         "dominant attrs"),
+        taxonomy_rows,
+        title="Failure taxonomy and degradation signatures",
+    ))
+
+    if report.predictions:
+        prediction_rows = [
+            (f"Group {t.paper_group_number}", p.window, f"{p.rmse:.3f}",
+             f"{p.error_rate:.1%}")
+            for t, p in report.predictions.items()
+        ]
+        sections.append(ascii_table(
+            ("group", "d", "RMSE", "error rate"), prediction_rows,
+            title="Degradation prediction quality",
+        ))
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        dataset = load_dataset(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    summary = dataset.summary()
+    print(f"loaded {summary.n_drives} drives "
+          f"({summary.n_failed} failed, {summary.n_good} good)")
+    if summary.n_failed < 3:
+        print("error: need at least 3 failed drives to categorize",
+              file=sys.stderr)
+        return 1
+
+    pipeline = CharacterizationPipeline(
+        n_clusters=args.clusters if args.clusters > 0 else None,
+        run_prediction=not args.no_prediction,
+        seed=args.seed,
+    )
+    try:
+        report = pipeline.run(dataset)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print()
+    print(render_report(report))
+    if args.json:
+        save_report_json(report, args.json)
+        print(f"\nreport written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

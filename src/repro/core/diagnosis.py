@@ -1,0 +1,120 @@
+"""Z-score diagnosis of failure causes (Section V-A).
+
+With failure groups in hand, the paper pinpoints likely causes by
+comparing each group's attribute values against the good-drive
+population over the 20-day pre-failure timeline (Figures 11 and 12):
+high drive temperature singles out the logical-failure group, and
+power-on-hours extremes single out the head-failure group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.categorize import CategorizationResult
+from repro.core.taxonomy import FailureType
+from repro.data.dataset import DiskDataset
+from repro.errors import ReproError
+from repro.stats.zscore import temporal_z_scores, two_population_z
+
+
+@dataclass(frozen=True, slots=True)
+class GroupZScores:
+    """Temporal z-scores of one attribute for one failure group."""
+
+    failure_type: FailureType
+    attribute: str
+    lags_hours: np.ndarray
+    z_scores: np.ndarray
+
+    def mean_z(self) -> float:
+        """Mean z-score over the timeline (ignoring undefined lags)."""
+        finite = self.z_scores[np.isfinite(self.z_scores)]
+        if finite.shape[0] == 0:
+            raise ReproError("no defined z-scores on the timeline")
+        return float(finite.mean())
+
+
+def temporal_group_z_scores(dataset: DiskDataset,
+                            categorization: CategorizationResult,
+                            attribute: str, *,
+                            max_lag_hours: int = 480,
+                            step_hours: int = 8) -> dict[FailureType, GroupZScores]:
+    """Figure 11/12: per-group temporal z-scores of ``attribute``.
+
+    At each lag before failure, the failure-group records observed at
+    that lag are compared against all good-drive records of the
+    attribute via Eq. (7).
+    """
+    good_values = np.concatenate(
+        [profile.column(attribute) for profile in dataset.good_profiles]
+    )
+    if good_values.shape[0] < 2:
+        raise ReproError("need good-drive records for the z-score baseline")
+
+    results: dict[FailureType, GroupZScores] = {}
+    for failure_type in FailureType:
+        serials = categorization.serials_of_type(failure_type)
+        profiles = [dataset.get(serial) for serial in serials]
+        if not profiles:
+            continue
+        lags, z_scores = temporal_z_scores(
+            profiles, good_values, attribute,
+            max_lag_hours=max_lag_hours, step_hours=step_hours,
+        )
+        results[failure_type] = GroupZScores(
+            failure_type=failure_type,
+            attribute=attribute,
+            lags_hours=lags,
+            z_scores=z_scores,
+        )
+    return results
+
+
+def group_attribute_z(dataset: DiskDataset,
+                      categorization: CategorizationResult,
+                      attribute: str) -> dict[FailureType, float]:
+    """Single Eq. (7) z-score per group, pooling all pre-failure records."""
+    good_values = np.concatenate(
+        [profile.column(attribute) for profile in dataset.good_profiles]
+    )
+    results: dict[FailureType, float] = {}
+    for failure_type in FailureType:
+        serials = categorization.serials_of_type(failure_type)
+        if not serials:
+            continue
+        failed_values = np.concatenate(
+            [dataset.get(serial).column(attribute) for serial in serials]
+        )
+        results[failure_type] = two_population_z(failed_values, good_values)
+    return results
+
+
+def distinguishing_attribute(dataset: DiskDataset,
+                             categorization: CategorizationResult,
+                             target: FailureType,
+                             candidates: tuple[str, ...]) -> str:
+    """Attribute that best separates ``target`` from the other groups.
+
+    The paper reports TC as "the only attribute that can distinguish
+    Group 1 from the other two groups"; this helper automates that
+    finding: it scores each candidate by the margin between the target
+    group's z-score and the nearest other group's.
+    """
+    if not candidates:
+        raise ReproError("need candidate attributes")
+    best_margin = -np.inf
+    best_attribute = candidates[0]
+    for attribute in candidates:
+        z_by_group = group_attribute_z(dataset, categorization, attribute)
+        if target not in z_by_group or len(z_by_group) < 2:
+            continue
+        target_z = z_by_group[target]
+        others = [abs(z) for t, z in z_by_group.items() if t is not target]
+        margin = abs(target_z) - max(others)
+        if margin > best_margin:
+            best_margin = margin
+            best_attribute = attribute
+    return best_attribute

@@ -1,0 +1,174 @@
+"""Online degradation monitoring — the paper's proposed middleware.
+
+Section VI's future work plans "a middleware software that will enhance
+storage reliability" on top of the degradation signatures.  This module
+is that middleware in library form: a :class:`DegradationMonitor` wraps
+the trained per-group regression trees and consumes hourly SMART records
+drive by drive, maintaining a rolling window per drive and emitting
+:class:`DegradationAlert` events when a drive's estimated degradation
+stage crosses the configured thresholds.
+
+The monitor classifies each alerting drive into its most likely failure
+type by scoring the current record with every group's tree and taking
+the most pessimistic (lowest stage) verdict — an operator does not know
+the failure type of a drive that has not failed yet, but the per-type
+rescue clock depends on it, so the alert carries the full per-type
+breakdown.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.prediction import DegradationPredictor
+from repro.core.rescue import RescueEstimate, rescue_estimate
+from repro.core.taxonomy import FailureType
+from repro.errors import ReproError
+from repro.smart.normalization import MinMaxNormalizer
+
+
+@functools.total_ordering
+class AlertLevel(enum.Enum):
+    """Severity ladder of the monitor (totally ordered)."""
+
+    HEALTHY = 0
+    WATCH = 1      # degradation detected: stage below the watch threshold
+    CRITICAL = 2   # deep degradation: imminent failure
+
+    def __lt__(self, other: "AlertLevel") -> bool:
+        if not isinstance(other, AlertLevel):
+            return NotImplemented
+        return self.value < other.value
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationAlert:
+    """One monitor verdict for one drive at one hour."""
+
+    serial: str
+    hour: int
+    level: AlertLevel
+    stage: float
+    likely_type: FailureType
+    estimates: dict[FailureType, RescueEstimate]
+
+    @property
+    def hours_remaining(self) -> float:
+        return self.estimates[self.likely_type].hours_remaining
+
+
+class DegradationMonitor:
+    """Streaming degradation scorer over trained group predictors.
+
+    Parameters
+    ----------
+    predictor:
+        A :class:`DegradationPredictor` whose trees have been trained
+        (``evaluate_all`` or ``evaluate_group`` per type).
+    normalizer:
+        The Eq. (1) scaler fitted on the characterization dataset;
+        incoming raw records are scaled with it so the trees see the
+        feature space they were trained on.
+    watch_threshold / critical_threshold:
+        Stage levels (in ``[-1, 1]``) triggering WATCH and CRITICAL.
+    history_hours:
+        Rolling window retained per drive (available to callers for
+        trend inspection; the trees themselves act on single records).
+    """
+
+    def __init__(self, predictor: DegradationPredictor,
+                 normalizer: MinMaxNormalizer, *,
+                 watch_threshold: float = -0.05,
+                 critical_threshold: float = -0.5,
+                 history_hours: int = 48) -> None:
+        missing = [t for t in FailureType if t not in predictor.trees_]
+        if missing:
+            raise ReproError(
+                f"predictor has no trained tree for: "
+                f"{', '.join(t.name for t in missing)}"
+            )
+        if not normalizer.is_fitted:
+            raise ReproError("normalizer must be fitted")
+        if critical_threshold >= watch_threshold:
+            raise ReproError(
+                "critical_threshold must sit below watch_threshold"
+            )
+        if history_hours < 1:
+            raise ReproError("history_hours must be positive")
+        self._predictor = predictor
+        self._normalizer = normalizer
+        self._watch = watch_threshold
+        self._critical = critical_threshold
+        self._history_hours = history_hours
+        self._history: dict[str, deque[np.ndarray]] = {}
+        self._levels: dict[str, AlertLevel] = {}
+
+    # -- streaming API ----------------------------------------------------
+
+    def observe(self, serial: str, hour: int,
+                record: np.ndarray) -> DegradationAlert:
+        """Ingest one hourly record and return the current verdict.
+
+        ``record`` is a raw (unnormalized) Table I attribute vector.
+        """
+        record = np.asarray(record, dtype=np.float64).ravel()
+        normalized = self._normalizer.transform(record.reshape(1, -1))[0]
+        history = self._history.setdefault(
+            serial, deque(maxlen=self._history_hours)
+        )
+        history.append(normalized)
+
+        estimates: dict[FailureType, RescueEstimate] = {}
+        for failure_type in FailureType:
+            tree = self._predictor.tree_for(failure_type)
+            stage = float(tree.predict(normalized.reshape(1, -1))[0])
+            estimates[failure_type] = rescue_estimate(stage, failure_type)
+        likely_type = min(estimates,
+                          key=lambda t: estimates[t].stage)
+        stage = estimates[likely_type].stage
+        level = self._level_for(stage)
+        self._levels[serial] = level
+        return DegradationAlert(
+            serial=serial,
+            hour=hour,
+            level=level,
+            stage=stage,
+            likely_type=likely_type,
+            estimates=estimates,
+        )
+
+    def observe_profile(self, profile) -> list[DegradationAlert]:
+        """Replay a :class:`HealthProfile` through the monitor."""
+        return [
+            self.observe(profile.serial, int(hour), row)
+            for hour, row in zip(profile.hours, profile.matrix)
+        ]
+
+    # -- fleet state --------------------------------------------------------
+
+    def level_of(self, serial: str) -> AlertLevel:
+        """Last verdict for a drive (HEALTHY if never observed)."""
+        return self._levels.get(serial, AlertLevel.HEALTHY)
+
+    def drives_at(self, level: AlertLevel) -> list[str]:
+        """Serials currently at exactly ``level``."""
+        return sorted(s for s, l in self._levels.items() if l is level)
+
+    def history_of(self, serial: str) -> np.ndarray:
+        """Rolling window of normalized records for one drive."""
+        history = self._history.get(serial)
+        if not history:
+            raise ReproError(f"no observations for drive {serial!r}")
+        return np.vstack(list(history))
+
+    def _level_for(self, stage: float) -> AlertLevel:
+        if stage <= self._critical:
+            return AlertLevel.CRITICAL
+        if stage <= self._watch:
+            return AlertLevel.WATCH
+        return AlertLevel.HEALTHY

@@ -1,0 +1,174 @@
+"""End-to-end characterization pipeline.
+
+:class:`CharacterizationPipeline` chains every stage of the paper on a
+raw dataset: Eq. (1) normalization, failure-record construction, elbow
+selection and clustering, Table II taxonomy, per-drive degradation
+signatures, attribute influence, z-score diagnosis, and Table III
+degradation prediction.  The returned
+:class:`CharacterizationReport` is the library's primary result object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.categorize import CategorizationResult, FailureCategorizer
+from repro.core.influence import (
+    rw_attribute_correlations,
+    top_correlated_attributes,
+)
+from repro.core.prediction import DegradationPredictor, PredictionReport
+from repro.core.records import FailureRecordSet, build_failure_records
+from repro.core.signatures import (
+    DegradationSignature,
+    WindowParams,
+    derive_signature,
+)
+from repro.core.taxonomy import FailureType
+from repro.data.dataset import DiskDataset
+from repro.errors import ReproError, SignatureError
+
+
+@dataclass(frozen=True, slots=True)
+class GroupSignatureSummary:
+    """Degradation-signature statistics of one failure group."""
+
+    failure_type: FailureType
+    n_drives: int
+    median_window: float
+    window_range: tuple[int, int]
+    canonical_order_votes: dict[int, int]
+    consensus_order: int
+    centroid_serial: str
+    top_correlated: tuple[str, ...]
+
+    @property
+    def population(self) -> int:
+        return self.n_drives
+
+
+@dataclass(frozen=True, slots=True)
+class CharacterizationReport:
+    """Everything the pipeline derives from one dataset."""
+
+    dataset: DiskDataset                       # normalized view
+    records: FailureRecordSet
+    categorization: CategorizationResult
+    signatures: dict[str, DegradationSignature]
+    group_summaries: dict[FailureType, GroupSignatureSummary]
+    predictions: dict[FailureType, PredictionReport] = field(default_factory=dict)
+
+    def signature_of(self, serial: str) -> DegradationSignature:
+        try:
+            return self.signatures[serial]
+        except KeyError:
+            raise ReproError(f"no signature derived for {serial!r}") from None
+
+    def group_of(self, serial: str) -> FailureType:
+        return self.categorization.type_of_serial(serial)
+
+
+class CharacterizationPipeline:
+    """Configure and run the full analysis.
+
+    Parameters
+    ----------
+    n_clusters:
+        Fixed group count, or ``None`` for elbow selection.
+    window_params:
+        Tunables of the degradation-window extraction.
+    run_prediction:
+        Whether to train the Table III predictors (the most expensive
+        stage; disable for categorization-only runs).
+    seed:
+        Seed shared by clustering, sampling and splitting.
+    """
+
+    def __init__(self, *, n_clusters: int | None = 3,
+                 window_params: WindowParams | None = None,
+                 run_prediction: bool = True,
+                 clustering_method: str = "kmeans",
+                 seed: int = 0) -> None:
+        self._categorizer = FailureCategorizer(
+            n_clusters=n_clusters, method=clustering_method, seed=seed
+        )
+        self._window_params = window_params or WindowParams()
+        self._run_prediction = run_prediction
+        self._seed = seed
+
+    def run(self, dataset: DiskDataset) -> CharacterizationReport:
+        """Analyze ``dataset`` (raw or already normalized)."""
+        normalized = dataset if dataset.is_normalized else dataset.normalize()
+        records = build_failure_records(normalized)
+        categorization = self._categorizer.categorize(records)
+
+        signatures: dict[str, DegradationSignature] = {}
+        for profile in normalized.failed_profiles:
+            try:
+                signatures[profile.serial] = derive_signature(
+                    profile, params=self._window_params
+                )
+            except SignatureError:
+                # Degenerate profiles (e.g. two records) carry no signature;
+                # they stay categorized but unsigned.
+                continue
+
+        summaries = self._summarize_groups(normalized, categorization, signatures)
+
+        predictions: dict[FailureType, PredictionReport] = {}
+        if self._run_prediction:
+            predictor = DegradationPredictor(seed=self._seed)
+            predictions = predictor.evaluate_all(normalized, categorization)
+
+        return CharacterizationReport(
+            dataset=normalized,
+            records=records,
+            categorization=categorization,
+            signatures=signatures,
+            group_summaries=summaries,
+            predictions=predictions,
+        )
+
+    def _summarize_groups(self, dataset: DiskDataset,
+                          categorization: CategorizationResult,
+                          signatures: dict[str, DegradationSignature],
+                          ) -> dict[FailureType, GroupSignatureSummary]:
+        summaries: dict[FailureType, GroupSignatureSummary] = {}
+        for failure_type in FailureType:
+            serials = categorization.serials_of_type(failure_type)
+            group_signatures = [
+                signatures[serial] for serial in serials if serial in signatures
+            ]
+            if not group_signatures:
+                continue
+            windows = np.array([s.window_size for s in group_signatures])
+            votes: dict[int, int] = {}
+            for signature in group_signatures:
+                order = signature.best_canonical_order
+                votes[order] = votes.get(order, 0) + 1
+            consensus = max(votes, key=lambda order: votes[order])
+
+            centroid_serial = categorization.centroid_of_type(failure_type)
+            # Rank attributes by their mean |correlation| with degradation
+            # across the whole group — more robust than the centroid alone.
+            accumulated: dict[str, float] = {}
+            for signature in group_signatures:
+                correlations = rw_attribute_correlations(
+                    dataset.get(signature.serial), signature.window
+                )
+                for symbol, value in correlations.items():
+                    accumulated[symbol] = accumulated.get(symbol, 0.0) + abs(value)
+            top = tuple(top_correlated_attributes(accumulated, count=2))
+            summaries[failure_type] = GroupSignatureSummary(
+                failure_type=failure_type,
+                n_drives=len(serials),
+                median_window=float(np.median(windows)),
+                window_range=(int(windows.min()), int(windows.max())),
+                canonical_order_votes=votes,
+                consensus_order=consensus,
+                centroid_serial=centroid_serial,
+                top_correlated=top,
+            )
+        return summaries

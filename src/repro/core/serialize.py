@@ -1,0 +1,121 @@
+"""JSON serialization of characterization results.
+
+Operators want the pipeline's verdicts — the taxonomy, per-drive
+signatures and prediction quality — in a machine-readable artifact that
+outlives the Python session.  :func:`report_to_dict` flattens a
+:class:`CharacterizationReport` into plain JSON types;
+:func:`save_report_json` / :func:`load_report_summary` round-trip it on
+disk.  The raw dataset is not embedded (use :func:`repro.data.save_csv`
+for that); the summary references drives by serial.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.pipeline import CharacterizationReport
+from repro.core.taxonomy import FailureType
+from repro.errors import ReproError
+
+#: Schema version written into every artifact; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: CharacterizationReport) -> dict[str, Any]:
+    """Flatten a report into JSON-serializable types."""
+    groups = {}
+    for cluster_id, group in report.categorization.groups.items():
+        groups[str(cluster_id)] = {
+            "failure_type": group.failure_type.name,
+            "paper_group_number": group.paper_group_number,
+            "n_records": group.n_records,
+            "population_fraction": group.population_fraction,
+            "properties": group.properties,
+        }
+
+    signatures = {}
+    for serial, signature in report.signatures.items():
+        signatures[serial] = {
+            "window_hours": signature.window_size,
+            "best_canonical_order": signature.best_canonical_order,
+            "canonical_rmse": {
+                str(order): value
+                for order, value in signature.canonical_rmse.items()
+            },
+            "best_free_fit": {
+                "order": signature.best_fit.order,
+                "r_squared": signature.best_fit.r_squared,
+                "rmse": signature.best_fit.rmse,
+            },
+        }
+
+    summaries = {}
+    for failure_type, summary in report.group_summaries.items():
+        summaries[failure_type.name] = {
+            "n_drives": summary.n_drives,
+            "median_window_hours": summary.median_window,
+            "window_range": list(summary.window_range),
+            "consensus_order": summary.consensus_order,
+            "centroid_serial": summary.centroid_serial,
+            "top_correlated": list(summary.top_correlated),
+        }
+
+    predictions = {}
+    for failure_type, prediction in report.predictions.items():
+        predictions[failure_type.name] = {
+            "window_hours": prediction.window,
+            "rmse": prediction.rmse,
+            "error_rate": prediction.error_rate,
+            "n_train": prediction.n_train,
+            "n_test": prediction.n_test,
+            "tree_depth": prediction.tree_depth,
+            "tree_leaves": prediction.tree_leaves,
+        }
+
+    drive_types = {
+        serial: report.categorization.type_of_serial(serial).name
+        for serial in report.records.serials
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "n_failed_drives": report.records.n_records,
+        "groups": groups,
+        "drive_types": drive_types,
+        "signatures": signatures,
+        "group_summaries": summaries,
+        "predictions": predictions,
+    }
+
+
+def save_report_json(report: CharacterizationReport,
+                     path: str | Path) -> None:
+    """Write the report summary to ``path`` as indented JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report_to_dict(report), indent=2,
+                               sort_keys=True) + "\n")
+
+
+def load_report_summary(path: str | Path) -> dict[str, Any]:
+    """Load and validate a report summary written by ``save_report_json``."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ReproError(f"{path}: not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ReproError(f"{path}: expected a JSON object")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ReproError(
+            f"{path}: schema version {version!r}, expected {SCHEMA_VERSION}"
+        )
+    for key in ("groups", "drive_types", "signatures", "group_summaries"):
+        if key not in payload:
+            raise ReproError(f"{path}: missing key {key!r}")
+    known_types = {failure_type.name for failure_type in FailureType}
+    unknown = set(payload["drive_types"].values()) - known_types
+    if unknown:
+        raise ReproError(f"{path}: unknown failure types {sorted(unknown)}")
+    return payload

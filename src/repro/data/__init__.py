@@ -1,0 +1,31 @@
+"""Dataset containers and loaders.
+
+The paper's pipeline consumes a labeled collection of per-drive SMART
+profiles; :class:`DiskDataset` is that collection, with the dataset-wide
+Eq. (1) normalization, constant-attribute filtering and CSV round-trips
+the analysis needs.  A loader for the public Backblaze drive-stats CSV
+format is included so the pipeline can run on real telemetry as well as
+on the simulator's output.
+"""
+
+from repro.data.backblaze import (
+    BACKBLAZE_COLUMN_MAP,
+    load_backblaze_csv,
+    save_backblaze_csv,
+)
+from repro.data.dataset import DatasetSummary, DiskDataset
+from repro.data.loader import load_csv, save_csv
+from repro.data.splits import train_test_split
+from repro.data.windows import truncate_to_policy
+
+__all__ = [
+    "BACKBLAZE_COLUMN_MAP",
+    "load_backblaze_csv",
+    "save_backblaze_csv",
+    "DatasetSummary",
+    "DiskDataset",
+    "load_csv",
+    "save_csv",
+    "train_test_split",
+    "truncate_to_policy",
+]

@@ -1,0 +1,192 @@
+"""Loader for the public Backblaze drive-stats CSV format.
+
+The paper's proprietary dataset cannot be redistributed; the closest
+public substitute is Backblaze's drive-stats release — daily CSV files
+with one row per drive per day and columns named
+``smart_<id>_normalized`` / ``smart_<id>_raw`` plus a ``failure`` flag on
+the drive's final day.  This loader maps those columns onto the Table I
+attribute symbols and assembles per-drive :class:`HealthProfile` objects.
+
+Backblaze samples are *daily*; the loader keeps one sample per day and
+records its timestamps in hours (day index x 24) so the rest of the
+pipeline — which only needs a monotone time axis — works unchanged.
+Degradation windows extracted from daily data are therefore measured in
+days rather than hours, which the experiment harness notes in its output.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from datetime import date
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.dataset import DiskDataset
+from repro.data.windows import truncate_to_policy
+from repro.errors import DatasetError
+from repro.smart.attributes import CHARACTERIZATION_ATTRIBUTES
+from repro.smart.profile import (
+    FAILED_OBSERVATION_HOURS,
+    GOOD_OBSERVATION_HOURS,
+    HealthProfile,
+)
+
+#: Mapping from Table I symbols to Backblaze drive-stats column names.
+BACKBLAZE_COLUMN_MAP: dict[str, str] = {
+    "RRER": "smart_1_normalized",
+    "RSC": "smart_5_normalized",
+    "SER": "smart_7_normalized",
+    "RUE": "smart_187_normalized",
+    "HFW": "smart_189_normalized",
+    "HER": "smart_195_normalized",
+    "CPSC": "smart_197_normalized",
+    "SUT": "smart_3_normalized",
+    "R-RSC": "smart_5_raw",
+    "R-CPSC": "smart_197_raw",
+    "POH": "smart_9_normalized",
+    "TC": "smart_194_normalized",
+}
+
+_HOURS_PER_SAMPLE = 24  # Backblaze reports one sample per day
+
+
+def load_backblaze_csv(paths: Iterable[str | Path], *,
+                       model: str | None = None,
+                       apply_policy: bool = True) -> DiskDataset:
+    """Load one or more Backblaze daily CSV files into a dataset.
+
+    Parameters
+    ----------
+    paths:
+        Daily CSV files (any order); all days of the observation period.
+    model:
+        Optional drive model filter — the paper studies a single-model
+        fleet, so analyses of mixed Backblaze data usually pass e.g.
+        ``"ST4000DM000"`` here.
+    apply_policy:
+        Truncate profiles to the paper's observation policy (20 days
+        failed / 7 days good).  Backblaze publishes much longer histories;
+        truncation makes results comparable.
+    """
+    samples: dict[str, list[tuple[int, bool, list[float]]]] = defaultdict(list)
+    day_zero: date | None = None
+    for path in sorted(Path(p) for p in paths):
+        day_zero = _ingest_file(path, model, samples, day_zero)
+    if not samples:
+        raise DatasetError("no Backblaze rows matched the requested model")
+
+    profiles = []
+    for serial, rows in samples.items():
+        rows.sort(key=lambda item: item[0])
+        hours = np.array([hour for hour, _, _ in rows], dtype=np.int64)
+        if np.any(np.diff(hours) <= 0):
+            raise DatasetError(
+                f"duplicate Backblaze rows for serial {serial!r}"
+            )
+        failed = rows[-1][1]  # the failure flag is set on the final day
+        matrix = np.array([values for _, _, values in rows], dtype=np.float64)
+        profile = HealthProfile(
+            serial=serial,
+            hours=hours,
+            matrix=matrix,
+            failed=failed,
+            attributes=CHARACTERIZATION_ATTRIBUTES,
+        )
+        if apply_policy:
+            # The policy limits are wall-clock (480 h failed / 168 h good);
+            # with daily samples that is 20 and 7 samples respectively.
+            profile = truncate_to_policy(
+                profile,
+                failed_hours=FAILED_OBSERVATION_HOURS // _HOURS_PER_SAMPLE,
+                good_hours=GOOD_OBSERVATION_HOURS // _HOURS_PER_SAMPLE,
+            )
+        profiles.append(profile)
+    return DiskDataset(profiles)
+
+
+def save_backblaze_csv(dataset: DiskDataset, directory: str | Path, *,
+                       model: str = "RP-2015E",
+                       hours_per_sample: int = _HOURS_PER_SAMPLE,
+                       epoch: date = date(2015, 1, 1)) -> list[Path]:
+    """Export a dataset as daily Backblaze drive-stats CSV files.
+
+    The inverse of :func:`load_backblaze_csv`: profiles are downsampled
+    to one record per ``hours_per_sample`` (keeping the final record so
+    failure days survive) and written as one CSV per day with the
+    standard Backblaze columns.  Useful for interchange with tools built
+    around the drive-stats format and for testing the loader.
+
+    Returns the written file paths, ordered by day.
+    """
+    unmapped = [s for s in dataset.attributes if s not in BACKBLAZE_COLUMN_MAP]
+    if unmapped:
+        raise DatasetError(
+            f"attributes without Backblaze columns: {unmapped}"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rows_by_day: dict[int, list[list[str]]] = defaultdict(list)
+    for profile in dataset.profiles:
+        for index in range(len(profile) - 1, -1, -hours_per_sample):
+            day = int(profile.hours[index]) // hours_per_sample
+            is_failure_day = profile.failed and index == len(profile) - 1
+            day_date = date.fromordinal(epoch.toordinal() + day)
+            rows_by_day[day].append([
+                day_date.isoformat(),
+                profile.serial,
+                model,
+                "4000000000000",
+                "1" if is_failure_day else "0",
+                *(repr(float(v)) for v in profile.matrix[index]),
+            ])
+
+    header = ["date", "serial_number", "model", "capacity_bytes", "failure",
+              *(BACKBLAZE_COLUMN_MAP[s] for s in dataset.attributes)]
+    paths: list[Path] = []
+    for day, rows in sorted(rows_by_day.items()):
+        path = directory / f"{date.fromordinal(epoch.toordinal() + day).isoformat()}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            writer.writerows(rows)
+        paths.append(path)
+    return paths
+
+
+def _ingest_file(path: Path, model: str | None,
+                 samples: dict[str, list[tuple[int, bool, list[float]]]],
+                 day_zero: date | None) -> date | None:
+    """Parse one daily CSV into ``samples``; returns the epoch day."""
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DatasetError(f"{path}: missing CSV header")
+        missing = [
+            column for column in ("date", "serial_number", "failure")
+            if column not in reader.fieldnames
+        ]
+        if missing:
+            raise DatasetError(f"{path}: missing Backblaze columns {missing}")
+        for row in reader:
+            if model is not None and row.get("model") != model:
+                continue
+            sample_date = date.fromisoformat(row["date"])
+            if day_zero is None:
+                day_zero = sample_date
+            day_index = (sample_date - day_zero).days
+            values = []
+            for symbol in CHARACTERIZATION_ATTRIBUTES:
+                text = row.get(BACKBLAZE_COLUMN_MAP[symbol], "")
+                values.append(float(text) if text not in ("", None) else np.nan)
+            # Rows with entirely missing SMART payloads are dropped; partially
+            # missing values are forward-filled later by profile assembly.
+            if all(np.isnan(v) for v in values):
+                continue
+            values = [0.0 if np.isnan(v) else v for v in values]
+            samples[row["serial_number"]].append(
+                (day_index * _HOURS_PER_SAMPLE, row["failure"] == "1", values)
+            )
+    return day_zero

@@ -1,0 +1,91 @@
+"""CSV round-trip for datasets.
+
+The on-disk format is one flat CSV with a header row:
+
+``serial,hour,failed,<attribute symbols...>``
+
+Rows may appear in any order; they are grouped by serial and sorted by
+hour on load.  This is the library's native interchange format — for the
+public Backblaze drive-stats format see :mod:`repro.data.backblaze`.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import DiskDataset
+from repro.errors import DatasetError
+from repro.smart.profile import HealthProfile
+
+
+def save_csv(dataset: DiskDataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` in the native CSV format."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["serial", "hour", "failed", *dataset.attributes])
+        for profile in dataset.profiles:
+            for hour, row in zip(profile.hours, profile.matrix):
+                writer.writerow(
+                    [profile.serial, int(hour), int(profile.failed),
+                     *(repr(float(v)) for v in row)]
+                )
+
+
+def load_csv(path: str | Path) -> DiskDataset:
+    """Load a dataset written by :func:`save_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path}: empty dataset file") from None
+        if header[:3] != ["serial", "hour", "failed"]:
+            raise DatasetError(
+                f"{path}: expected header 'serial,hour,failed,...', got {header[:3]}"
+            )
+        attributes = tuple(header[3:])
+        if not attributes:
+            raise DatasetError(f"{path}: no attribute columns")
+
+        rows_by_serial: dict[str, list[tuple[int, bool, list[float]]]] = defaultdict(list)
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 3 + len(attributes):
+                raise DatasetError(
+                    f"{path}:{line_no}: expected {3 + len(attributes)} fields, "
+                    f"got {len(row)}"
+                )
+            serial, hour_text, failed_text = row[0], row[1], row[2]
+            try:
+                hour = int(hour_text)
+                failed = bool(int(failed_text))
+                values = [float(v) for v in row[3:]]
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{line_no}: {exc}") from exc
+            rows_by_serial[serial].append((hour, failed, values))
+
+    profiles = []
+    for serial, rows in rows_by_serial.items():
+        rows.sort(key=lambda item: item[0])
+        failed_flags = {failed for _, failed, _ in rows}
+        if len(failed_flags) != 1:
+            raise DatasetError(
+                f"{path}: serial {serial!r} has inconsistent failed flags"
+            )
+        hours = np.array([hour for hour, _, _ in rows], dtype=np.int64)
+        matrix = np.array([values for _, _, values in rows], dtype=np.float64)
+        profiles.append(
+            HealthProfile(
+                serial=serial,
+                hours=hours,
+                matrix=matrix,
+                failed=failed_flags.pop(),
+                attributes=attributes,
+            )
+        )
+    return DiskDataset(profiles)

@@ -1,0 +1,81 @@
+"""Train/test splitting for the prediction experiments.
+
+The paper's degradation-prediction protocol (Section V-B) randomly places
+each health sample into a 70% training / 30% test partition; this module
+provides that row-level split plus a drive-level variant that keeps all
+samples of a drive on the same side (useful for leakage-free evaluation,
+one of the library's extensions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True, slots=True)
+class Split:
+    """Index sets of one train/test partition."""
+
+    train_indices: np.ndarray
+    test_indices: np.ndarray
+
+    def select(self, *arrays: np.ndarray) -> tuple[np.ndarray, ...]:
+        """Return ``(a_train, a_test)`` pairs for each input array."""
+        out: list[np.ndarray] = []
+        for array in arrays:
+            out.append(array[self.train_indices])
+            out.append(array[self.test_indices])
+        return tuple(out)
+
+
+def train_test_split(n_samples: int, *, train_fraction: float = 0.7,
+                     rng: np.random.Generator | None = None,
+                     groups: np.ndarray | None = None) -> Split:
+    """Randomly partition ``n_samples`` rows.
+
+    Parameters
+    ----------
+    n_samples:
+        Number of rows to split.
+    train_fraction:
+        Fraction assigned to the training side (paper: 0.7).
+    rng:
+        Random generator; a fixed default keeps experiments reproducible.
+    groups:
+        Optional per-row group labels (e.g. drive serial hashes).  When
+        given, whole groups are assigned to one side, preventing samples
+        of one drive from leaking across the partition.
+    """
+    if n_samples <= 1:
+        raise DatasetError("need at least two samples to split")
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError("train_fraction must lie in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng(7)
+
+    if groups is None:
+        order = rng.permutation(n_samples)
+        n_train = max(1, min(n_samples - 1, round(n_samples * train_fraction)))
+        return Split(
+            train_indices=np.sort(order[:n_train]),
+            test_indices=np.sort(order[n_train:]),
+        )
+
+    groups = np.asarray(groups)
+    if groups.shape[0] != n_samples:
+        raise DatasetError("groups must label every sample")
+    unique = rng.permutation(np.unique(groups))
+    if unique.shape[0] < 2:
+        raise DatasetError("group-level split needs at least two groups")
+    n_train_groups = max(1, min(unique.shape[0] - 1,
+                                round(unique.shape[0] * train_fraction)))
+    train_groups = set(unique[:n_train_groups].tolist())
+    mask = np.array([g in train_groups for g in groups.tolist()], dtype=bool)
+    return Split(
+        train_indices=np.flatnonzero(mask),
+        test_indices=np.flatnonzero(~mask),
+    )

@@ -1,0 +1,30 @@
+"""Observation-window policy of the studied data center.
+
+Failed drives keep at most 20 days (480 hourly samples) ending at the
+failure record; good drives keep at most 7 days (168 samples).  The
+simulator generates profiles already under this policy; loaders for
+external telemetry apply :func:`truncate_to_policy` after ingestion.
+"""
+
+from __future__ import annotations
+
+from repro.smart.profile import (
+    FAILED_OBSERVATION_HOURS,
+    GOOD_OBSERVATION_HOURS,
+    HealthProfile,
+)
+
+
+def truncate_to_policy(profile: HealthProfile,
+                       failed_hours: int = FAILED_OBSERVATION_HOURS,
+                       good_hours: int = GOOD_OBSERVATION_HOURS) -> HealthProfile:
+    """Truncate ``profile`` to the collection policy.
+
+    Failed profiles keep their final ``failed_hours`` samples (the failure
+    record is always retained); good profiles keep their final
+    ``good_hours`` samples.
+    """
+    limit = failed_hours if profile.failed else good_hours
+    if len(profile) <= limit:
+        return profile
+    return profile.last(limit)

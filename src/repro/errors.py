@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch one type to handle any library failure while letting programming
+errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class UnknownAttributeError(ReproError, KeyError):
+    """A SMART attribute symbol is not present in the Table I registry."""
+
+    def __init__(self, symbol: str) -> None:
+        super().__init__(symbol)
+        self.symbol = symbol
+
+    def __str__(self) -> str:
+        return f"unknown SMART attribute symbol: {self.symbol!r}"
+
+
+class NormalizationError(ReproError):
+    """Normalization was applied before fitting or to mismatched data."""
+
+
+class DatasetError(ReproError):
+    """A dataset container is malformed or an operation on it is invalid."""
+
+
+class SimulationError(ReproError):
+    """The fleet simulator was configured or driven inconsistently."""
+
+
+class ModelError(ReproError):
+    """A machine-learning model was used before fitting or misconfigured."""
+
+
+class ConvergenceError(ModelError):
+    """An iterative algorithm failed to converge within its iteration cap."""
+
+
+class SignatureError(ReproError):
+    """Degradation-signature extraction failed (e.g. empty window)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with invalid parameters."""

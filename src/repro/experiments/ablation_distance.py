@@ -1,0 +1,88 @@
+"""Ablation: Euclidean vs Mahalanobis distance for degradation analysis.
+
+The paper tested both and chose Euclidean: "Euclidean distance provides
+us a better characterization of the changes of lower distances, while the
+lower Mahalanobis distances are all the same."  This ablation quantifies
+that: near the failure event, the Euclidean series keeps resolving
+distinct degradation levels while the Mahalanobis series collapses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import CharacterizationReport
+from repro.core.signatures import distance_to_failure
+from repro.core.taxonomy import FailureType
+from repro.experiments.common import ExperimentResult, default_report
+from repro.ml.distance import MahalanobisDistance
+from repro.reporting.tables import ascii_table
+from repro.stats.correlation import spearman
+
+#: Bounds of the tail over which the decline is scored; the tail scales
+#: with the group's own degradation window so slow (Group 2) and fast
+#: (Group 1) degradations are judged over a comparable share of their
+#: descent.
+MIN_TAIL_RECORDS = 8
+MAX_TAIL_RECORDS = 60
+
+
+def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    report = report if report is not None else default_report()
+    dataset = report.dataset
+    stacked, _ = dataset.stacked_records()
+    mahalanobis = MahalanobisDistance().fit(stacked)
+
+    rows = []
+    data = {}
+    for failure_type in FailureType:
+        serial = report.categorization.centroid_of_type(failure_type)
+        profile = dataset.get(serial)
+        window = report.signature_of(serial).window_size
+        tail = int(np.clip(window // 4, MIN_TAIL_RECORDS, MAX_TAIL_RECORDS))
+        euclid = distance_to_failure(profile)
+        maha = distance_to_failure(profile, metric="mahalanobis",
+                                   mahalanobis=mahalanobis)
+        name = f"group{failure_type.paper_group_number}"
+        decline = {
+            "euclidean": _tail_decline(euclid, tail),
+            "mahalanobis": _tail_decline(maha, tail),
+        }
+        data[name] = decline
+        rows.append((name, decline["euclidean"], decline["mahalanobis"]))
+
+    euclid_wins = all(
+        values["euclidean"] <= values["mahalanobis"] for values in data.values()
+    )
+    rendered = "\n".join([
+        ascii_table(
+            ("group", "euclidean tail decline",
+             "mahalanobis tail decline"), rows,
+            title="Ablation: tail rank-correlation with time (-1 = clean "
+                  "monotone decline) over the final quarter of each window",
+        ),
+        "",
+        f"euclidean declines at least as cleanly in every group: "
+        f"{euclid_wins} (paper: chose Euclidean for exactly this reason)",
+    ])
+    return ExperimentResult(
+        experiment_id="ablation_distance",
+        title="Distance metric ablation",
+        paper_reference="Euclidean characterizes low distances better; low "
+                        "Mahalanobis distances collapse together",
+        data={**data, "euclidean_wins": euclid_wins},
+        rendered=rendered,
+    )
+
+
+def _tail_decline(distances: np.ndarray, tail_records: int) -> float:
+    """Rank correlation of the final pre-failure records with time.
+
+    A metric that keeps resolving the approach to failure declines
+    monotonically (correlation near -1); one whose low distances are
+    "all the same" shows no ordering (correlation near 0).  The failure
+    record itself (distance identically zero) is excluded.
+    """
+    tail = distances[-(tail_records + 1):-1]
+    index = np.arange(tail.shape[0], dtype=np.float64)
+    return spearman(index, tail)

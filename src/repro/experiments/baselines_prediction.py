@@ -1,0 +1,160 @@
+"""Classical failure-prediction baselines (Section II-C context).
+
+The paper motivates its work against the classical drive-level detectors:
+vendor thresholds (FDR 3-10% at ~0.1% FAR), the rank-sum test (60% FDR at
+0.5% FAR) and Bayesian methods (35-55% at ~1% FAR).  This experiment runs
+the three baselines on the simulated fleet under a prediction protocol
+with lead time — each detector sees a 48-hour observation window ending
+24 hours *before* the failure event, so detectors cannot peek at the
+failure record — and reproduces the who-wins ordering: statistical
+detectors beat conservative vendor thresholds on detection rate at a
+false-alarm cost.
+
+The statistical detectors test only the failure-indicative error
+attributes; identity-like attributes (temperature, spin-up time, power-on
+hours) differ across healthy drives for benign reasons (rack position,
+age) and would turn a distribution test into a drive-identity test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, default_fleet
+from repro.ml.hmm import HMMDetector
+from repro.ml.metrics import detection_rates
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.ranksum import RankSumDetector
+from repro.ml.threshold import ThresholdDetector
+from repro.reporting.tables import ascii_table
+from repro.sim.fleet import FleetResult
+
+#: Observation window: 48 hours ending 24 hours before the profile end.
+DETECTION_SPAN_HOURS = 48
+DETECTION_LEAD_HOURS = 24
+
+#: Attributes whose distributions indicate failure (error counters and
+#: rates), excluding identity-like environmental/mechanical attributes.
+FAILURE_INDICATIVE = ("RRER", "RSC", "RUE", "HFW", "HER", "CPSC",
+                      "R-RSC", "R-CPSC")
+
+#: Subset usable by lower-bound vendor thresholds: health values, where
+#: lower means worse.  Raw counters grow with degradation, so a deep
+#: lower cut would flag every *healthy* drive instead.
+HEALTH_INDICATIVE = ("RRER", "RSC", "RUE", "HFW", "HER", "CPSC")
+
+
+def run(fleet: FleetResult | None = None, *, seed: int = 23) -> ExperimentResult:
+    fleet = fleet if fleet is not None else default_fleet()
+    dataset = fleet.dataset.normalize()
+    rng = np.random.default_rng(seed)
+    indicative_columns = [
+        dataset.column_index(symbol) for symbol in FAILURE_INDICATIVE
+    ]
+
+    good = dataset.good_profiles
+    failed = dataset.failed_profiles
+    order = rng.permutation(len(good))
+    half = len(good) // 2
+    train_good = [good[i] for i in order[:half]]
+    eval_good = [good[i] for i in order[half:]]
+
+    def observation(profile) -> np.ndarray:
+        stop = len(profile) - DETECTION_LEAD_HOURS
+        start = max(0, stop - DETECTION_SPAN_HOURS)
+        if stop <= start:  # very short profile: use what exists
+            return profile.matrix[: max(1, len(profile) // 2)]
+        return profile.matrix[start:stop]
+
+    train_matrix = np.vstack([observation(p) for p in train_good])
+    eval_profiles = eval_good + failed
+    labels = np.array([p.failed for p in eval_profiles])
+    windows = [observation(p) for p in eval_profiles]
+
+    # Vendor thresholds: fixed deep cuts on the health-value attributes,
+    # the conservative design-time policy the paper cites.
+    health_columns = [dataset.column_index(s) for s in HEALTH_INDICATIVE]
+    threshold = ThresholdDetector.conservative(len(health_columns))
+    threshold_flags = np.array([
+        threshold.flag_drive(w[:, health_columns]) for w in windows
+    ])
+
+    # Rank-sum on the failure-indicative attributes only.
+    ranksum = RankSumDetector(significance=1.0e-6, seed=seed)
+    ranksum.fit(train_matrix[:, indicative_columns])
+    ranksum_flags = np.array([
+        ranksum.flag(w[:, indicative_columns]) for w in windows
+    ])
+
+    # Gaussian naive Bayes: needs failed training examples — use half of
+    # the failed drives for training, the remainder for evaluation.
+    failed_order = rng.permutation(len(failed))
+    failed_half = max(1, len(failed) // 2)
+    bayes_train = [failed[i] for i in failed_order[:failed_half]]
+    bayes_eval = eval_good + [failed[i] for i in failed_order[failed_half:]]
+    features = [train_matrix[:, indicative_columns]]
+    bayes_labels_train = [np.zeros(train_matrix.shape[0], dtype=bool)]
+    for profile in bayes_train:
+        window = observation(profile)[:, indicative_columns]
+        features.append(window)
+        bayes_labels_train.append(np.ones(window.shape[0], dtype=bool))
+    bayes = GaussianNaiveBayes().fit(
+        np.vstack(features), np.concatenate(bayes_labels_train)
+    )
+    bayes_eval_labels = np.array([p.failed for p in bayes_eval])
+    bayes_flags = np.array([
+        bool(np.mean(bayes.predict(
+            observation(p)[:, indicative_columns], threshold=2.0
+        )) > 0.5)
+        for p in bayes_eval
+    ])
+
+    # Gaussian HMM likelihood-ratio detector (Zhao et al. framing):
+    # healthy-model vs pre-failure-model per-observation log-likelihoods.
+    hmm_good_windows = [
+        observation(p)[:, indicative_columns] for p in train_good[:200]
+    ]
+    hmm_failed_windows = [
+        observation(p)[:, indicative_columns] for p in bayes_train
+    ]
+    hmm = HMMDetector(n_states=3, margin=0.5, seed=seed).fit(
+        hmm_good_windows, hmm_failed_windows
+    )
+    hmm_flags = np.array([
+        hmm.flag(observation(p)[:, indicative_columns]) for p in bayes_eval
+    ])
+
+    rates = {
+        "vendor_threshold": detection_rates(labels, threshold_flags),
+        "rank_sum": detection_rates(labels, ranksum_flags),
+        "naive_bayes": detection_rates(bayes_eval_labels, bayes_flags),
+        "gaussian_hmm": detection_rates(bayes_eval_labels, hmm_flags),
+    }
+    statistical_fdr = max(rates["rank_sum"].fdr, rates["naive_bayes"].fdr)
+    ordering_holds = statistical_fdr > rates["vendor_threshold"].fdr
+    rows = [
+        (name, f"{r.fdr:.1%}", f"{r.far:.2%}", r.n_failed, r.n_good)
+        for name, r in rates.items()
+    ]
+    rendered = "\n".join([
+        ascii_table(
+            ("detector", "FDR", "FAR", "n failed", "n good"), rows,
+            title=(f"Classical baselines, {DETECTION_LEAD_HOURS}h lead time, "
+                   f"{DETECTION_SPAN_HOURS}h observation window"),
+        ),
+        "",
+        f"statistical detectors beat vendor thresholds on FDR: {ordering_holds}",
+        "paper context: vendor thresholds 3-10% FDR @ ~0.1% FAR; rank-sum "
+        "60% @ 0.5%; Bayesian 35-55% @ ~1%",
+    ])
+    return ExperimentResult(
+        experiment_id="baselines",
+        title="Classical detector FDR/FAR comparison",
+        paper_reference="statistical detectors beat vendor thresholds on FDR "
+                        "at a FAR cost",
+        data={
+            **{name: {"fdr": r.fdr, "far": r.far} for name, r in rates.items()},
+            "ordering_holds": ordering_holds,
+        },
+        rendered=rendered,
+    )

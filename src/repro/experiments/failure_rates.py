@@ -1,0 +1,76 @@
+"""Extension: placing the fleet in the related-work failure-rate context.
+
+Section II-B surveys field failure rates: Schroeder & Gibson's annual
+replacement rates "typically exceeded 1%, with 2-4% common and up to 13%
+observed on some systems"; Gray's 3.3-6%; the Internet Archive's 2-6%.
+The studied fleet lost 433 of 23,395 drives in eight weeks — 1.85% per
+period, which annualizes to ~12%, at the top of that range.
+
+This experiment computes the simulated fleet's AFR and fits a Weibull to
+the within-period failure times.  Note the clock: times are measured
+from the start of the collection window, not from drive birth, so the
+fitted shape describes the observation-period hazard mix (the
+infant-mortality excess of Figure 1 shows up as the early-failure mass,
+not necessarily as shape < 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, default_fleet
+from repro.reporting.tables import ascii_table
+from repro.sim.fleet import FleetResult
+from repro.stats.afr import annualized_failure_rate, fit_weibull
+
+#: The paper's own population, for the reference row.
+PAPER_FAILED, PAPER_DRIVES, PAPER_PERIOD_HOURS = 433, 23395, 1344
+
+
+def run(fleet: FleetResult | None = None) -> ExperimentResult:
+    fleet = fleet if fleet is not None else default_fleet()
+    summary = fleet.dataset.summary()
+    period = fleet.config.period_hours
+    afr = annualized_failure_rate(summary.n_failed, summary.n_drives, period)
+    paper_afr = annualized_failure_rate(PAPER_FAILED, PAPER_DRIVES,
+                                        PAPER_PERIOD_HOURS)
+
+    failure_hours = np.array([
+        profile.failure_hour for profile in fleet.dataset.failed_profiles
+    ], dtype=np.float64)
+    weibull = fit_weibull(failure_hours)
+
+    rows = [
+        ("simulated fleet", summary.n_drives, summary.n_failed,
+         f"{summary.failure_rate:.2%}", f"{afr:.1%}"),
+        ("paper's fleet", PAPER_DRIVES, PAPER_FAILED,
+         f"{PAPER_FAILED / PAPER_DRIVES:.2%}", f"{paper_afr:.1%}"),
+    ]
+    hazard_reading = ("infant-mortality-dominated (shape < 1)"
+                      if weibull.hazard_is_decreasing
+                      else "wear-out-dominated (shape > 1)"
+                      if weibull.hazard_is_increasing
+                      else "constant hazard")
+    rendered = "\n".join([
+        ascii_table(
+            ("fleet", "drives", "failed", "period rate", "AFR"), rows,
+            title="Failure rates in the related-work context "
+                  "(field studies: 1-13% AFR)",
+        ),
+        "",
+        f"Weibull fit of failure times: shape {weibull.shape:.2f}, "
+        f"scale {weibull.scale:.0f} h -> {hazard_reading}",
+    ])
+    return ExperimentResult(
+        experiment_id="failure_rates",
+        title="AFR and failure-time distribution",
+        paper_reference="Section II-B field rates 1-13% AFR; infant "
+                        "mortality per Xin et al.",
+        data={
+            "afr": afr,
+            "paper_afr": paper_afr,
+            "weibull_shape": weibull.shape,
+            "weibull_scale": weibull.scale,
+        },
+        rendered=rendered,
+    )

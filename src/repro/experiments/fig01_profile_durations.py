@@ -1,0 +1,45 @@
+"""Figure 1: histogram of the health-profile durations of failed drives.
+
+The paper: "78.5% of the failed drives have their health profiles longer
+than 10 days and the percent of failed drives having a 20-day health
+profile reaches 51.3%."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, default_fleet
+from repro.reporting.figures import ascii_histogram
+from repro.sim.fleet import FleetResult
+
+
+def run(fleet: FleetResult | None = None) -> ExperimentResult:
+    fleet = fleet if fleet is not None else default_fleet()
+    durations = np.array(
+        [len(profile) for profile in fleet.dataset.failed_profiles],
+        dtype=np.float64,
+    )
+    fraction_over_10_days = float(np.mean(durations > 240))
+    fraction_full_20_days = float(np.mean(durations >= 480))
+    rendered = "\n".join([
+        ascii_histogram(
+            durations, n_bins=10, width=50,
+            title="Figure 1: duration of failed-drive health profiles (hours)",
+        ),
+        "",
+        f"profiles > 10 days: {fraction_over_10_days:.1%} (paper: 78.5%)",
+        f"full 20-day profiles: {fraction_full_20_days:.1%} (paper: 51.3%)",
+    ])
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Failed-drive profile durations",
+        paper_reference="78.5% of profiles > 10 days; 51.3% with the full "
+                        "20-day profile",
+        data={
+            "durations": durations,
+            "fraction_over_10_days": fraction_over_10_days,
+            "fraction_full_20_days": fraction_full_20_days,
+        },
+        rendered=rendered,
+    )

@@ -1,0 +1,52 @@
+"""Figure 2: distributions of the 12 attributes over failure records.
+
+The paper: CPSC, R-CPSC, RUE, SER, HFW and HER show small variation among
+90% of their values; RRER, TC, SUT, POH, RSC and R-RSC display medium to
+large variations — the first hint that multiple failure categories exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import CharacterizationReport
+from repro.experiments.common import ExperimentResult, default_report
+from repro.reporting.figures import render_box_rows
+from repro.stats.summary import box_summary
+
+#: Attributes the paper lists as showing small variation among most
+#: failure records.
+SMALL_VARIATION = ("CPSC", "R-CPSC", "RUE", "SER", "HFW", "HER")
+LARGE_VARIATION = ("RRER", "TC", "SUT", "POH", "RSC", "R-RSC")
+
+
+def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    report = report if report is not None else default_report()
+    records = report.records
+    summaries = {}
+    central_spread = {}
+    for symbol in records.attribute_names:
+        values = records.attribute_column(symbol)
+        summaries[symbol] = box_summary(values)
+        # "Small variation among 90% of the values": spread of the central
+        # 90% of the distribution.
+        p5, p95 = np.percentile(values, [5.0, 95.0])
+        central_spread[symbol] = float(p95 - p5)
+
+    rendered = render_box_rows(
+        summaries, width=56,
+        title="Figure 2: attribute distributions over failure records "
+              "(normalized to [-1, 1])",
+    )
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Failure-record attribute distributions",
+        paper_reference="CPSC/R-CPSC/RUE/SER/HFW/HER: small variation among "
+                        "90% of values; RRER/TC/SUT/POH/RSC/R-RSC: medium to "
+                        "large variation",
+        data={
+            "box_summaries": summaries,
+            "central_90_spread": central_spread,
+        },
+        rendered=rendered,
+    )

@@ -1,0 +1,40 @@
+"""Figure 3: average within-group distance vs number of clusters.
+
+The paper sweeps k = 1..10 and finds "three groups produce the best
+clustering results" — the elbow of the curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import CharacterizationReport
+from repro.experiments.common import ExperimentResult, default_report
+from repro.ml.kmeans import elbow_analysis
+from repro.reporting.figures import ascii_series
+
+
+def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    report = report if report is not None else default_report()
+    analysis = elbow_analysis(report.records.features, max_clusters=10)
+    counts, distances = analysis.as_series()
+    rendered = "\n".join([
+        ascii_series(
+            counts.astype(np.float64), {"distance": distances},
+            height=12, width=60,
+            title="Figure 3: mean within-cluster distance vs cluster count",
+        ),
+        "",
+        f"selected elbow: k = {analysis.best_k} (paper: 3)",
+    ])
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Cluster-count elbow analysis",
+        paper_reference="elbow at k = 3",
+        data={
+            "cluster_counts": analysis.cluster_counts,
+            "average_distances": analysis.average_distances,
+            "best_k": analysis.best_k,
+        },
+        rendered=rendered,
+    )

@@ -1,0 +1,67 @@
+"""Figure 8: failure degradation of the centroid drives with fits.
+
+Per group: the degradation window size, the normalized degradation curve
+and the R-squared of polynomial fits of order 1..3.  The paper's windows
+are d = 3 / 377 / 12 for the centroids, with the best-fitting canonical
+orders 2 / 1 / 3.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import CharacterizationReport
+from repro.core.taxonomy import FailureType
+from repro.experiments.common import ExperimentResult, default_report
+from repro.reporting.figures import ascii_series
+from repro.reporting.tables import ascii_table
+
+PAPER_WINDOWS = {
+    FailureType.LOGICAL: 3,
+    FailureType.BAD_SECTOR: 377,
+    FailureType.HEAD: 12,
+}
+
+
+def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    report = report if report is not None else default_report()
+    panels = []
+    fit_rows = []
+    data: dict[str, dict] = {}
+    for failure_type in FailureType:
+        serial = report.categorization.centroid_of_type(failure_type)
+        signature = report.signature_of(serial)
+        t, s = signature.window.degradation_values()
+        name = f"group{failure_type.paper_group_number}"
+        panels.append(ascii_series(
+            t, {"degradation": s}, height=10, width=64,
+            title=(f"Figure 8 ({name}, centroid {serial}): degradation, "
+                   f"window d={signature.window_size} "
+                   f"(paper d={PAPER_WINDOWS[failure_type]})"),
+        ))
+        r2_by_order = {
+            fit.order: fit.r_squared for fit in signature.polynomial_fits
+        }
+        fit_rows.append((
+            name, signature.window_size,
+            *(r2_by_order.get(order, float("nan")) for order in (1, 2, 3)),
+            signature.best_canonical_order,
+        ))
+        data[name] = {
+            "window": signature.window_size,
+            "r_squared": r2_by_order,
+            "canonical_rmse": signature.canonical_rmse,
+            "best_canonical_order": signature.best_canonical_order,
+        }
+    rendered = "\n\n".join(panels) + "\n\n" + ascii_table(
+        ("group", "d", "R2 order1", "R2 order2", "R2 order3",
+         "best canonical"),
+        fit_rows,
+        title="Polynomial fit quality per centroid",
+    )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Degradation curves and polynomial fits",
+        paper_reference="centroid windows 3 / 377 / 12; signature orders "
+                        "2 / 1 / 3",
+        data=data,
+        rendered=rendered,
+    )

@@ -1,0 +1,51 @@
+"""Figure 9: correlation of R/W attributes with failure degradation.
+
+The paper: "RRER strongly correlates with the failure degradation in both
+Groups 1 and 3, while R-RSC and RUE are the top two attributes for
+Group 2."
+"""
+
+from __future__ import annotations
+
+from repro.core.influence import (
+    rw_attribute_correlations,
+    top_correlated_attributes,
+)
+from repro.core.pipeline import CharacterizationReport
+from repro.core.taxonomy import FailureType
+from repro.experiments.common import ExperimentResult, default_report
+from repro.reporting.tables import ascii_table
+from repro.smart.attributes import READ_WRITE_ATTRIBUTES
+
+
+def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    report = report if report is not None else default_report()
+    rows = []
+    data = {}
+    for failure_type in FailureType:
+        serial = report.categorization.centroid_of_type(failure_type)
+        signature = report.signature_of(serial)
+        correlations = rw_attribute_correlations(
+            report.dataset.get(serial), signature.window
+        )
+        top = top_correlated_attributes(correlations, count=2)
+        name = f"group{failure_type.paper_group_number}"
+        data[name] = {"correlations": correlations, "top": top}
+        rows.append((
+            name,
+            *(correlations[symbol] for symbol in READ_WRITE_ATTRIBUTES),
+            "/".join(top),
+        ))
+    rendered = ascii_table(
+        ("group", *READ_WRITE_ATTRIBUTES, "top-2 |corr|"), rows,
+        title="Figure 9: correlation of R/W attributes with degradation "
+              "(centroid drives)",
+    )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="R/W attribute correlation with degradation",
+        paper_reference="RRER dominant for G1 and G3; RUE and R-RSC top two "
+                        "for G2",
+        data=data,
+        rendered=rendered,
+    )

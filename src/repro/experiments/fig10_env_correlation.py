@@ -1,0 +1,67 @@
+"""Figure 10: correlation of environmental attributes with R/W attributes.
+
+The paper correlates POH and TC with the degradation-dominant R/W
+attributes over three horizons (degradation window, 24 hours, full
+profile) and concludes: POH correlates strongly with the dominant
+attributes *inside* degradation windows (it is monotone in time, as the
+degradation is) but the influence "diminishes" at longer horizons, and
+"in all cases, TC has little correlation with the read/write attributes"
+— so neither environmental factor intensifies degradation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.influence import (
+    environmental_correlations,
+    rw_attribute_correlations,
+    top_correlated_attributes,
+)
+from repro.core.pipeline import CharacterizationReport
+from repro.core.taxonomy import FailureType
+from repro.experiments.common import ExperimentResult, default_report
+from repro.reporting.tables import ascii_table
+
+
+def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    report = report if report is not None else default_report()
+    rows = []
+    data = {}
+    for failure_type in FailureType:
+        serial = report.categorization.centroid_of_type(failure_type)
+        profile = report.dataset.get(serial)
+        signature = report.signature_of(serial)
+        correlations = rw_attribute_correlations(profile, signature.window)
+        targets = tuple(top_correlated_attributes(correlations, count=2))
+        cells = environmental_correlations(profile, signature.window, targets)
+        name = f"group{failure_type.paper_group_number}"
+        data[name] = {"targets": targets, "cells": cells}
+        for cell in cells:
+            rows.append((name, cell.environmental, cell.target,
+                         cell.horizon, cell.correlation))
+
+    # Headline checks: max |corr| of TC anywhere; POH in-window vs full.
+    tc_values = [abs(r[4]) for r in rows if r[1] == "TC"]
+    poh_window = [abs(r[4]) for r in rows
+                  if r[1] == "POH" and r[3] == "degradation_window"]
+    poh_full = [abs(r[4]) for r in rows
+                if r[1] == "POH" and r[3] == "full_profile"]
+    summary = (
+        f"max |corr(TC, .)| anywhere: {max(tc_values):.2f} (paper: small); "
+        f"mean |corr(POH, .)| in-window: {np.mean(poh_window):.2f} vs "
+        f"full-profile: {np.mean(poh_full):.2f} (paper: strong in window, "
+        f"diminishes at longer horizons)"
+    )
+    rendered = ascii_table(
+        ("group", "env", "target", "horizon", "corr"), rows,
+        title="Figure 10: environmental-attribute correlations",
+    ) + "\n\n" + summary
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Environmental attribute correlations",
+        paper_reference="POH strong inside degradation windows, diminishing "
+                        "over 24h/20d; TC uncorrelated everywhere",
+        data=data,
+        rendered=rendered,
+    )

@@ -1,0 +1,81 @@
+"""Extension: the approach transfers to other storage systems.
+
+The paper claims "our proposed approach is generic and applicable to
+other storage systems" and contrasts its mixed-workload data center with
+"dedicated backup storage systems where bad sector failures dominate"
+(Ma et al., FAST'15).  This experiment simulates such a backup fleet —
+write-heavy, wear-out dominated, a very different failure mixture — and
+runs the unchanged categorization pipeline on it, verifying that:
+
+* three groups still emerge and map onto the same taxonomy;
+* bad-sector failures dominate, flipping the data-center mix exactly as
+  the Ma et al. comparison predicts;
+* categorization still matches the simulator's ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import CharacterizationPipeline
+from repro.core.taxonomy import FailureType
+from repro.experiments.common import ExperimentResult
+from repro.reporting.tables import ascii_table
+from repro.sim.config import FleetConfig
+from repro.sim.failure_modes import FailureMode
+from repro.sim.fleet import simulate_fleet
+
+MODE_BY_TYPE = {
+    FailureType.LOGICAL: FailureMode.LOGICAL,
+    FailureType.BAD_SECTOR: FailureMode.BAD_SECTOR,
+    FailureType.HEAD: FailureMode.HEAD,
+}
+
+
+def run(*, n_drives: int = 3000, seed: int = 404) -> ExperimentResult:
+    fleet = simulate_fleet(FleetConfig.backup_system(n_drives=n_drives,
+                                                     seed=seed))
+    report = CharacterizationPipeline(run_prediction=False, seed=seed).run(
+        fleet.dataset
+    )
+
+    rows = []
+    fractions = {}
+    correct = total = 0
+    for failure_type in FailureType:
+        serials = report.categorization.serials_of_type(failure_type)
+        fractions[failure_type.name] = (
+            len(serials) / report.records.n_records
+        )
+        for serial in serials:
+            total += 1
+            correct += fleet.true_modes[serial] is MODE_BY_TYPE[failure_type]
+        summary = report.group_summaries.get(failure_type)
+        rows.append((
+            f"Group {failure_type.paper_group_number}",
+            failure_type.value,
+            f"{fractions[failure_type.name]:.1%}",
+            f"{summary.median_window:.0f} h" if summary else "-",
+            summary.consensus_order if summary else "-",
+        ))
+    accuracy = correct / total if total else 0.0
+
+    rendered = "\n".join([
+        ascii_table(
+            ("group", "type", "population", "median window",
+             "signature order"), rows,
+            title="Generalization: unchanged pipeline on a backup-storage "
+                  "fleet (write-heavy, wear-out dominated)",
+        ),
+        "",
+        f"bad-sector failures dominate: "
+        f"{fractions['BAD_SECTOR'] > 0.5} "
+        f"(Ma et al. observe the same in EMC backup systems)",
+        f"categorization accuracy vs ground truth: {accuracy:.1%}",
+    ])
+    return ExperimentResult(
+        experiment_id="generalization",
+        title="Transfer to a backup-storage system",
+        paper_reference="the approach is generic; in backup systems "
+                        "bad-sector failures dominate",
+        data={"fractions": fractions, "accuracy": accuracy},
+        rendered=rendered,
+    )

@@ -1,0 +1,93 @@
+"""Extension: operating curve of the degradation-monitor middleware.
+
+The Section VI middleware is only useful if its alert threshold admits a
+good detection/false-alarm trade-off on drives it never trained on.
+This experiment trains the per-group predictors on one fleet, streams a
+*fresh* fleet (different seed) through the stage scorer, and sweeps the
+WATCH threshold: for each setting it reports the failed-drive detection
+rate with at least 24 hours of lead time and the good-drive false-alarm
+rate — the FDR/FAR axes every disk-failure-prediction study uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prediction import DegradationPredictor
+from repro.core.pipeline import CharacterizationPipeline
+from repro.core.taxonomy import FailureType
+from repro.experiments.common import ExperimentResult
+from repro.reporting.tables import ascii_table
+from repro.sim.config import FleetConfig
+from repro.sim.fleet import simulate_fleet
+
+THRESHOLDS = (-0.02, -0.05, -0.10, -0.20, -0.40)
+LEAD_HOURS = 24
+
+
+def run(*, train_drives: int = 2000, eval_drives: int = 1500,
+        seed: int = 71) -> ExperimentResult:
+    train_fleet = simulate_fleet(FleetConfig(n_drives=train_drives,
+                                             seed=seed))
+    report = CharacterizationPipeline(run_prediction=False, seed=seed).run(
+        train_fleet.dataset
+    )
+    predictor = DegradationPredictor(seed=seed)
+    predictor.evaluate_all(report.dataset, report.categorization)
+    trees = [predictor.tree_for(t) for t in FailureType]
+    normalizer = train_fleet.dataset.fit_normalizer()
+
+    eval_fleet = simulate_fleet(FleetConfig(n_drives=eval_drives,
+                                            seed=seed + 1))
+
+    # Most pessimistic stage over time per drive; failed drives are
+    # scored only up to LEAD_HOURS before the failure (an alert with no
+    # lead time rescues nothing).
+    min_stage_failed = []
+    for profile in eval_fleet.dataset.failed_profiles:
+        if len(profile) <= LEAD_HOURS + 1:
+            continue
+        matrix = normalizer.transform(profile.matrix[:-LEAD_HOURS])
+        stages = np.min(
+            np.vstack([tree.predict(matrix) for tree in trees]), axis=0
+        )
+        min_stage_failed.append(float(stages.min()))
+    min_stage_good = []
+    for profile in eval_fleet.dataset.good_profiles:
+        matrix = normalizer.transform(profile.matrix)
+        stages = np.min(
+            np.vstack([tree.predict(matrix) for tree in trees]), axis=0
+        )
+        min_stage_good.append(float(stages.min()))
+    failed_stages = np.array(min_stage_failed)
+    good_stages = np.array(min_stage_good)
+
+    rows = []
+    curve = {}
+    for threshold in THRESHOLDS:
+        fdr = float(np.mean(failed_stages <= threshold))
+        far = float(np.mean(good_stages <= threshold))
+        curve[threshold] = {"fdr": fdr, "far": far}
+        rows.append((threshold, f"{fdr:.1%}", f"{far:.2%}"))
+
+    rendered = "\n".join([
+        ascii_table(
+            ("watch threshold", f"FDR (>= {LEAD_HOURS}h lead)", "FAR"),
+            rows,
+            title="Degradation-monitor operating curve on an unseen fleet",
+        ),
+        "",
+        f"{failed_stages.shape[0]} failed and {good_stages.shape[0]} good "
+        "drives scored; tightening the threshold trades detection for "
+        "false alarms, exactly as with the classical detectors.",
+    ])
+    return ExperimentResult(
+        experiment_id="monitor_roc",
+        title="Monitor middleware operating curve",
+        paper_reference="Section VI middleware; FDR/FAR axes of the "
+                        "Section II-C literature",
+        data={"curve": curve,
+              "n_failed": int(failed_stages.shape[0]),
+              "n_good": int(good_stages.shape[0])},
+        rendered=rendered,
+    )

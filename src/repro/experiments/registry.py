@@ -1,0 +1,160 @@
+"""Experiment registry and CLI entry point.
+
+``repro-experiments`` (or ``python -m repro.experiments.registry``) runs
+any subset of the paper's experiments and prints their renderings:
+
+.. code-block:: console
+
+   $ repro-experiments --list
+   $ repro-experiments fig8 table3
+   $ repro-experiments --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ablation_distance,
+    ablation_features,
+    baselines_prediction,
+    fig01_profile_durations,
+    fig02_attribute_boxes,
+    fig03_elbow,
+    fig04_pca_groups,
+    fig05_centroids,
+    fig06_deciles,
+    fig07_distance_series,
+    fig08_poly_fits,
+    fig09_rw_correlation,
+    fig10_env_correlation,
+    fig11_tc_zscores,
+    fig12_poh_zscores,
+    failure_rates,
+    fig13_regression_tree,
+    generalization,
+    monitor_roc,
+    prediction_methods,
+    raid_protection,
+    robustness,
+    sig_model_selection,
+    thermal_mitigation,
+    table1_attributes,
+    table2_taxonomy,
+    table3_prediction,
+)
+from repro.experiments.common import ExperimentResult
+
+#: Registry of experiment ids to (runner, description).
+EXPERIMENTS: dict[str, tuple[Callable[[], ExperimentResult], str]] = {
+    "table1": (table1_attributes.run, "Table I: selected SMART attributes"),
+    "fig1": (fig01_profile_durations.run,
+             "Figure 1: failed-drive profile durations"),
+    "fig2": (fig02_attribute_boxes.run,
+             "Figure 2: attribute distributions over failure records"),
+    "fig3": (fig03_elbow.run, "Figure 3: cluster-count elbow analysis"),
+    "fig4": (fig04_pca_groups.run, "Figure 4: PCA scatter of failure groups"),
+    "fig5": (fig05_centroids.run, "Figure 5: centroid failure records"),
+    "fig6": (fig06_deciles.run, "Figure 6: decile comparison of key attributes"),
+    "table2": (table2_taxonomy.run, "Table II: failure taxonomy"),
+    "fig7": (fig07_distance_series.run,
+             "Figure 7: distance-to-failure series"),
+    "fig8": (fig08_poly_fits.run, "Figure 8: degradation curves and fits"),
+    "sig_models": (sig_model_selection.run,
+                   "Section IV-C: signature model selection"),
+    "fig9": (fig09_rw_correlation.run,
+             "Figure 9: R/W attribute correlation with degradation"),
+    "fig10": (fig10_env_correlation.run,
+              "Figure 10: environmental correlations"),
+    "fig11": (fig11_tc_zscores.run, "Figure 11: TC z-scores"),
+    "fig12": (fig12_poh_zscores.run, "Figure 12: POH z-scores"),
+    "fig13": (fig13_regression_tree.run, "Figure 13: Group 1 regression tree"),
+    "table3": (table3_prediction.run, "Table III: prediction RMSE/error"),
+    "baselines": (baselines_prediction.run,
+                  "Extension: classical detector baselines"),
+    "ablation_distance": (ablation_distance.run,
+                          "Ablation: Euclidean vs Mahalanobis"),
+    "ablation_features": (ablation_features.run,
+                          "Ablation: clustering feature sets"),
+    "prediction_methods": (prediction_methods.run,
+                           "Extension: alternative degradation predictors"),
+    "generalization": (generalization.run,
+                       "Extension: transfer to a backup-storage fleet"),
+    "raid_protection": (raid_protection.run,
+                        "Extension: RAID data-loss risk and proactive "
+                        "protection"),
+    "thermal_mitigation": (thermal_mitigation.run,
+                           "Extension: cooling vs logical failures"),
+    "robustness": (robustness.run,
+                   "Extension: categorization robustness across fleets"),
+    "failure_rates": (failure_rates.run,
+                      "Extension: AFR and failure-time distribution"),
+    "monitor_roc": (monitor_roc.run,
+                    "Extension: monitor middleware operating curve"),
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by registry id."""
+    try:
+        runner, _ = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids to run")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument("--list", action="store_true",
+                        help="list known experiments")
+    parser.add_argument("--n-drives", type=int, default=None,
+                        help="fleet size (default 4000; the paper's fleet "
+                             "is 23395)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="fleet seed (default 42)")
+    parser.add_argument("--output", metavar="PATH", default=None,
+                        help="also write the rendered results to this file")
+    args = parser.parse_args(argv)
+
+    if args.n_drives is not None or args.seed is not None:
+        from repro.experiments.common import configure_default_fleet
+        configure_default_fleet(n_drives=args.n_drives, seed=args.seed)
+
+    if args.list:
+        for experiment_id, (_, description) in EXPERIMENTS.items():
+            print(f"{experiment_id:20s} {description}")
+        return 0
+    ids = list(EXPERIMENTS) if args.all else args.ids
+    if not ids:
+        parser.print_help()
+        return 2
+    results = []
+    for experiment_id in ids:
+        try:
+            result = run_experiment(experiment_id)
+        except ExperimentError as error:
+            print(error, file=sys.stderr)
+            return 1
+        results.append(result)
+        print(result)
+        print()
+    if args.output:
+        from repro.reporting.report import save_results
+        save_results(results, args.output)
+        print(f"results written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Extension: what thermal mitigation buys (Section V-A made quantitative).
+
+The paper's diagnosis finds "disk temperature is the most important
+factor causing logical failure" and recommends cooling technologies
+(SuperCaddy, rack temperature control, thermal-aware scheduling) "to
+reduce the number of logical failures, which will in turn improve the
+storage system's reliability".
+
+This experiment quantifies that recommendation under the simulator's
+causal thermal model (the logical-failure hazard grows ~9% per degree of
+inlet temperature, Arrhenius-like after Sankar et al.): the same fleet
+is simulated at several room temperatures and the failure counts per
+ground-truth mode are compared.  Cooling cuts logical failures steeply
+while bad-sector and head failures — wear-driven, not heat-driven — stay
+flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.common import ExperimentResult
+from repro.reporting.tables import ascii_table
+from repro.sim.config import FleetConfig
+from repro.sim.failure_modes import FailureMode
+from repro.sim.fleet import simulate_fleet
+
+#: Room temperatures swept (deg C).  24 is the reference datacenter.
+INLET_SWEEP_C = (20.0, 24.0, 28.0, 32.0)
+
+
+def run(*, n_drives: int = 4000, seed: int = 42) -> ExperimentResult:
+    rows = []
+    counts_by_temp: dict[float, dict[str, int]] = {}
+    for inlet in INLET_SWEEP_C:
+        config = replace(FleetConfig(n_drives=n_drives, seed=seed),
+                         inlet_temperature_c=inlet)
+        fleet = simulate_fleet(config)
+        modes = [m for m in fleet.true_modes.values() if m.is_failure]
+        counts = {
+            "logical": modes.count(FailureMode.LOGICAL),
+            "bad_sector": modes.count(FailureMode.BAD_SECTOR),
+            "head": modes.count(FailureMode.HEAD),
+        }
+        counts_by_temp[inlet] = counts
+        rows.append((
+            f"{inlet:.0f} C", sum(counts.values()),
+            counts["logical"], counts["bad_sector"], counts["head"],
+        ))
+
+    reference = counts_by_temp[24.0]
+    coolest = counts_by_temp[INLET_SWEEP_C[0]]
+    hottest = counts_by_temp[INLET_SWEEP_C[-1]]
+    logical_reduction = (
+        1.0 - coolest["logical"] / reference["logical"]
+        if reference["logical"] else 0.0
+    )
+    rendered = "\n".join([
+        ascii_table(
+            ("inlet", "total failures", "logical", "bad sector", "head"),
+            rows,
+            title=f"Thermal mitigation sweep, {n_drives}-drive fleet",
+        ),
+        "",
+        f"cooling from 24 C to {INLET_SWEEP_C[0]:.0f} C removes "
+        f"{logical_reduction:.0%} of logical failures; heating to "
+        f"{INLET_SWEEP_C[-1]:.0f} C grows them "
+        f"{hottest['logical'] / reference['logical']:.1f}x while "
+        "wear-driven failures stay flat — the Section V-A recommendation, "
+        "quantified under the simulator's Arrhenius-like hazard model.",
+    ])
+    return ExperimentResult(
+        experiment_id="thermal_mitigation",
+        title="Thermal mitigation of logical failures",
+        paper_reference="Section V-A: cooling technologies reduce logical "
+                        "failures and improve reliability dramatically",
+        data={"counts_by_temp": counts_by_temp,
+              "logical_reduction_at_coolest": logical_reduction},
+        rendered=rendered,
+    )

@@ -1,0 +1,93 @@
+"""k-nearest-neighbors regression — an alternative degradation predictor.
+
+The paper's future work plans to "test more prediction methods and
+evaluate their performance for disk degradation prediction"; k-NN is the
+natural non-parametric contender to the regression tree.  Brute-force
+neighbor search in chunks keeps memory bounded on large training sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+_CHUNK_ROWS = 256
+
+
+class KNNRegressor:
+    """Distance-weighted k-nearest-neighbor regression.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Neighborhood size.
+    weighted:
+        Inverse-distance weighting of neighbor targets (uniform when
+        ``False``).  An exact training-point match returns that point's
+        target.
+    """
+
+    def __init__(self, n_neighbors: int = 5, *, weighted: bool = True) -> None:
+        if n_neighbors < 1:
+            raise ModelError("n_neighbors must be positive")
+        self._n_neighbors = n_neighbors
+        self._weighted = weighted
+        self._features: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._features is not None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "KNNRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2 or targets.ndim != 1:
+            raise ModelError("fit expects a 2-D matrix and 1-D targets")
+        if features.shape[0] != targets.shape[0]:
+            raise ModelError("features and targets disagree on sample count")
+        if features.shape[0] < self._n_neighbors:
+            raise ModelError(
+                f"need at least {self._n_neighbors} training samples"
+            )
+        self._features = features
+        self._targets = targets
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._features is None or self._targets is None:
+            raise ModelError("KNNRegressor used before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if features.shape[1] != self._features.shape[1]:
+            raise ModelError(
+                f"expected {self._features.shape[1]} features, got "
+                f"{features.shape[1]}"
+            )
+        out = np.empty(features.shape[0], dtype=np.float64)
+        train_sq = np.sum(self._features ** 2, axis=1)
+        for start in range(0, features.shape[0], _CHUNK_ROWS):
+            chunk = features[start:start + _CHUNK_ROWS]
+            distances_sq = np.maximum(
+                np.sum(chunk ** 2, axis=1)[:, None]
+                + train_sq[None, :]
+                - 2.0 * chunk @ self._features.T,
+                0.0,
+            )
+            neighbor_index = np.argpartition(
+                distances_sq, self._n_neighbors - 1, axis=1
+            )[:, : self._n_neighbors]
+            neighbor_sq = np.take_along_axis(distances_sq, neighbor_index,
+                                             axis=1)
+            neighbor_targets = self._targets[neighbor_index]
+            if not self._weighted:
+                out[start:start + chunk.shape[0]] = neighbor_targets.mean(axis=1)
+                continue
+            weights = 1.0 / (np.sqrt(neighbor_sq) + 1.0e-12)
+            out[start:start + chunk.shape[0]] = (
+                np.sum(weights * neighbor_targets, axis=1)
+                / np.sum(weights, axis=1)
+            )
+        return out

@@ -1,0 +1,60 @@
+"""Ridge-regularized linear regression — the simplest degradation model.
+
+Included as the sanity baseline for the prediction-method comparison:
+a linear map from the twelve attributes to the degradation value.  The
+closed-form normal-equation solution with a small ridge keeps the fit
+stable under collinear attributes (RSC is a linear transform of R-RSC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class RidgeRegressor:
+    """Linear least squares with L2 regularization and an intercept."""
+
+    def __init__(self, ridge: float = 1.0e-3) -> None:
+        if ridge < 0:
+            raise ModelError("ridge must be non-negative")
+        self._ridge = ridge
+        self.coefficients_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.coefficients_ is not None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2 or targets.ndim != 1:
+            raise ModelError("fit expects a 2-D matrix and 1-D targets")
+        if features.shape[0] != targets.shape[0]:
+            raise ModelError("features and targets disagree on sample count")
+        if features.shape[0] == 0:
+            raise ModelError("cannot fit on zero samples")
+        mean_x = features.mean(axis=0)
+        mean_y = float(targets.mean())
+        centered_x = features - mean_x
+        centered_y = targets - mean_y
+        gram = centered_x.T @ centered_x
+        gram += self._ridge * np.eye(gram.shape[0])
+        self.coefficients_ = np.linalg.solve(gram, centered_x.T @ centered_y)
+        self.intercept_ = mean_y - float(mean_x @ self.coefficients_)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.coefficients_ is None or self.intercept_ is None:
+            raise ModelError("RidgeRegressor used before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if features.shape[1] != self.coefficients_.shape[0]:
+            raise ModelError(
+                f"expected {self.coefficients_.shape[0]} features, got "
+                f"{features.shape[1]}"
+            )
+        return features @ self.coefficients_ + self.intercept_

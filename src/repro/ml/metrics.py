@@ -1,0 +1,164 @@
+"""Evaluation metrics.
+
+Regression metrics for the Table III reproduction (RMSE and the paper's
+error rate, RMSE over the target range), detection metrics (FDR/FAR) for
+the Section II-C baselines, and clustering agreement measures used by the
+test suite to verify that categorization recovers the simulator's
+ground-truth failure modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root-mean-square error."""
+    actual, predicted = _aligned(actual, predicted)
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def error_rate(actual: np.ndarray, predicted: np.ndarray,
+               target_range: float | None = None) -> float:
+    """The paper's prediction error rate: RMSE over the target range.
+
+    Table III derives its percentages by "considering the range of the
+    target values": with degradation targets spanning ``[-1, 1]`` the
+    range is 2, so an RMSE of 0.216 becomes the reported 10.8%.
+    """
+    actual, predicted = _aligned(actual, predicted)
+    if target_range is None:
+        target_range = float(actual.max() - actual.min())
+    if target_range <= 0:
+        raise ModelError("target range must be positive")
+    return rmse(actual, predicted) / target_range
+
+
+def r_squared(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination."""
+    actual, predicted = _aligned(actual, predicted)
+    residual = float(np.sum((actual - predicted) ** 2))
+    total = float(np.sum((actual - actual.mean()) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionRates:
+    """Failure-detection quality of a binary detector.
+
+    ``fdr`` is the failure detection rate (recall on failed drives);
+    ``far`` the false alarm rate (fraction of good drives flagged) — the
+    two numbers every disk-failure-prediction paper reports.
+    """
+
+    fdr: float
+    far: float
+    n_failed: int
+    n_good: int
+
+
+def detection_rates(is_failed: np.ndarray, flagged: np.ndarray) -> DetectionRates:
+    """Compute FDR / FAR from ground-truth labels and detector output."""
+    is_failed = np.asarray(is_failed, dtype=bool)
+    flagged = np.asarray(flagged, dtype=bool)
+    if is_failed.shape != flagged.shape:
+        raise ModelError("labels and detector output must align")
+    n_failed = int(np.sum(is_failed))
+    n_good = int(np.sum(~is_failed))
+    if n_failed == 0 or n_good == 0:
+        raise ModelError("need both failed and good drives to compute rates")
+    fdr = float(np.sum(flagged & is_failed)) / n_failed
+    far = float(np.sum(flagged & ~is_failed)) / n_good
+    return DetectionRates(fdr=fdr, far=far, n_failed=n_failed, n_good=n_good)
+
+
+def silhouette_score(data: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient of a clustering.
+
+    For each sample, ``(b - a) / max(a, b)`` where ``a`` is the mean
+    distance to its own cluster and ``b`` the mean distance to the
+    nearest other cluster.  Scores near 1 indicate tight, well-separated
+    clusters; the measure weights every *point*, so a small but distinct
+    cluster still pays off — unlike the average within-cluster distance,
+    which barely moves when 7% of the records improve.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    labels = np.asarray(labels)
+    if data.ndim != 2 or labels.ndim != 1 or data.shape[0] != labels.shape[0]:
+        raise ModelError("silhouette_score expects aligned data and labels")
+    unique = np.unique(labels)
+    if unique.shape[0] < 2:
+        raise ModelError("silhouette needs at least two clusters")
+    n_samples = data.shape[0]
+    sq = np.sum(data * data, axis=1)
+    distances = np.sqrt(np.maximum(
+        sq[:, None] + sq[None, :] - 2.0 * data @ data.T, 0.0
+    ))
+    # Mean distance of every sample to every cluster.
+    means = np.empty((n_samples, unique.shape[0]))
+    counts = np.empty(unique.shape[0])
+    for index, cluster in enumerate(unique):
+        members = labels == cluster
+        counts[index] = members.sum()
+        means[:, index] = distances[:, members].mean(axis=1)
+
+    scores = np.zeros(n_samples)
+    label_index = np.searchsorted(unique, labels)
+    for i in range(n_samples):
+        own = label_index[i]
+        own_count = counts[own]
+        if own_count <= 1:
+            scores[i] = 0.0  # singleton clusters score zero by convention
+            continue
+        # Remove the self-distance (zero) from the own-cluster mean.
+        a = means[i, own] * own_count / (own_count - 1.0)
+        b = np.min(np.delete(means[i], own))
+        denominator = max(a, b)
+        scores[i] = (b - a) / denominator if denominator > 0 else 0.0
+    return float(scores.mean())
+
+
+def rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Rand index between two flat clusterings (1.0 = identical)."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape or labels_a.ndim != 1:
+        raise ModelError("rand_index expects two aligned 1-D label arrays")
+    n = labels_a.shape[0]
+    if n < 2:
+        raise ModelError("rand_index needs at least two samples")
+    same_a = labels_a[:, None] == labels_a[None, :]
+    same_b = labels_b[:, None] == labels_b[None, :]
+    upper = np.triu_indices(n, k=1)
+    agreements = np.sum(same_a[upper] == same_b[upper])
+    return float(agreements) / upper[0].shape[0]
+
+
+def cluster_purity(labels: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Fraction of samples whose cluster's majority truth matches theirs."""
+    labels = np.asarray(labels)
+    ground_truth = np.asarray(ground_truth)
+    if labels.shape != ground_truth.shape or labels.ndim != 1:
+        raise ModelError("cluster_purity expects two aligned 1-D arrays")
+    correct = 0
+    for cluster in np.unique(labels):
+        members = ground_truth[labels == cluster]
+        _, counts = np.unique(members, return_counts=True)
+        correct += int(counts.max())
+    return correct / labels.shape[0]
+
+
+def _aligned(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.shape != predicted.shape or actual.ndim != 1:
+        raise ModelError("metrics expect two aligned 1-D arrays")
+    if actual.shape[0] == 0:
+        raise ModelError("metrics need at least one sample")
+    return actual, predicted

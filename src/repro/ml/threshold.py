@@ -1,0 +1,84 @@
+"""Vendor-style threshold detection — the in-drive SMART baseline.
+
+Drive firmware flags an impending failure when any health value crosses
+its conservative vendor threshold.  The paper cites manufacturers
+estimating a 3-10% failure detection rate at ~0.1% false alarms for this
+scheme; the benchmarks reproduce that who-wins ordering against the
+statistical detectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class ThresholdDetector:
+    """Per-attribute lower-bound thresholds, OR-ed across attributes.
+
+    Thresholds are set from good-drive data at a configurable quantile
+    margin below the observed minimum — the conservative policy vendors
+    use to keep false alarms near zero at the expense of detection rate.
+    """
+
+    def __init__(self, *, margin: float = 0.02) -> None:
+        if margin < 0:
+            raise ModelError("margin must be non-negative")
+        self._margin = margin
+        self._thresholds: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._thresholds is not None
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        if self._thresholds is None:
+            raise ModelError("ThresholdDetector used before fit()")
+        return self._thresholds.copy()
+
+    @classmethod
+    def conservative(cls, n_attributes: int,
+                     cut: float = -0.5) -> "ThresholdDetector":
+        """Fixed deep thresholds, the way vendors actually ship them.
+
+        Firmware thresholds are set at design time far below any healthy
+        operating point (the paper: FDR 3-10% at ~0.1% FAR, "the drive
+        manufacturers set the thresholds conservatively").  ``cut`` is in
+        the data's own units — for Eq. (1)-normalized data, ``-0.5`` sits
+        three quarters of the way down the observed range.
+        """
+        detector = cls(margin=0.0)
+        detector._thresholds = np.full(n_attributes, cut, dtype=np.float64)
+        return detector
+
+    def fit(self, good_samples: np.ndarray) -> "ThresholdDetector":
+        """Set each attribute's threshold below the good-drive floor.
+
+        The threshold sits ``margin`` (a fraction of the attribute's
+        good-drive range) below the minimum value any good drive ever
+        showed, so a good fleet re-scored against itself raises no alarm.
+        """
+        good_samples = np.asarray(good_samples, dtype=np.float64)
+        if good_samples.ndim != 2 or good_samples.shape[0] == 0:
+            raise ModelError("fit expects a non-empty 2-D matrix")
+        minima = good_samples.min(axis=0)
+        spans = good_samples.max(axis=0) - minima
+        self._thresholds = minima - self._margin * np.maximum(spans, 1.0e-12)
+        return self
+
+    def flag_records(self, records: np.ndarray) -> np.ndarray:
+        """Per-record decision: any attribute below its threshold."""
+        if self._thresholds is None:
+            raise ModelError("ThresholdDetector used before fit()")
+        records = np.asarray(records, dtype=np.float64)
+        if records.ndim == 1:
+            records = records.reshape(1, -1)
+        if records.shape[1] != self._thresholds.shape[0]:
+            raise ModelError("attribute count mismatch with fitted thresholds")
+        return np.any(records < self._thresholds, axis=1)
+
+    def flag_drive(self, profile_matrix: np.ndarray) -> bool:
+        """Drive-level decision: any record trips any threshold."""
+        return bool(np.any(self.flag_records(profile_matrix)))

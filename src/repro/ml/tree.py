@@ -1,0 +1,258 @@
+"""CART regression tree for degradation prediction.
+
+The paper's Section V-B trains a regression tree whose targets are the
+degradation values produced by the signature models (1.0 for good-drive
+samples) and reports RMSE / error rates per failure group (Table III) and
+the Group 1 tree itself (Figure 13).
+
+Splits minimize the within-node sum of squared errors (Equation 8): for
+every feature and every threshold the sum of child SSEs is computed from
+cumulative statistics over the sorted feature column, so finding the best
+split of a node is O(n_features * n log n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(slots=True)
+class TreeNode:
+    """One node of a fitted regression tree.
+
+    Leaves have ``feature_index is None``; internal nodes route samples
+    with ``value < threshold`` to ``left`` and the rest to ``right``.
+    """
+
+    value: float
+    n_samples: int
+    sse: float
+    feature_index: int | None = None
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature_index is None
+
+
+class RegressionTree:
+    """Binary regression tree grown by greedy SSE minimization.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (root is depth 0).
+    min_samples_split:
+        Nodes with fewer samples become leaves.
+    min_samples_leaf:
+        Candidate splits leaving fewer samples on a side are discarded.
+    min_sse_decrease:
+        Minimum absolute SSE improvement for a split to be kept; prunes
+        splits that only chase noise.
+    """
+
+    def __init__(self, *, max_depth: int = 8, min_samples_split: int = 20,
+                 min_samples_leaf: int = 10,
+                 min_sse_decrease: float = 1.0e-7) -> None:
+        if max_depth < 1:
+            raise ModelError("max_depth must be at least 1")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ModelError("invalid minimum sample constraints")
+        self._max_depth = max_depth
+        self._min_samples_split = min_samples_split
+        self._min_samples_leaf = min_samples_leaf
+        self._min_sse_decrease = min_sse_decrease
+        self.root_: TreeNode | None = None
+        self.n_features_: int | None = None
+        self.feature_names_: tuple[str, ...] | None = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray,
+            feature_names: tuple[str, ...] | list[str] | None = None) -> "RegressionTree":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2 or targets.ndim != 1:
+            raise ModelError("fit expects a 2-D feature matrix and 1-D targets")
+        if features.shape[0] != targets.shape[0]:
+            raise ModelError("features and targets disagree on sample count")
+        if features.shape[0] == 0:
+            raise ModelError("cannot fit a tree on zero samples")
+        if feature_names is not None and len(feature_names) != features.shape[1]:
+            raise ModelError("feature_names length mismatch")
+        self.n_features_ = features.shape[1]
+        self.feature_names_ = tuple(feature_names) if feature_names else None
+        self.root_ = self._grow(features, targets, depth=0)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.root_ is None or self.n_features_ is None:
+            raise ModelError("RegressionTree used before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if features.shape[1] != self.n_features_:
+            raise ModelError(
+                f"expected {self.n_features_} features, got {features.shape[1]}"
+            )
+        # Route whole index sets down the tree instead of walking rows one
+        # at a time: each node partitions its batch with one vectorized
+        # comparison, so prediction costs O(n * depth) numpy operations.
+        out = np.empty(features.shape[0], dtype=np.float64)
+        frontier: list[tuple[TreeNode, np.ndarray]] = [
+            (self.root_, np.arange(features.shape[0]))
+        ]
+        while frontier:
+            node, indices = frontier.pop()
+            if indices.shape[0] == 0:
+                continue
+            if node.is_leaf:
+                out[indices] = node.value
+                continue
+            assert node.left is not None and node.right is not None
+            goes_left = features[indices, node.feature_index] < node.threshold
+            frontier.append((node.left, indices[goes_left]))
+            frontier.append((node.right, indices[~goes_left]))
+        return out
+
+    def depth(self) -> int:
+        """Maximum depth of the fitted tree."""
+        return self._depth_of(self._require_root())
+
+    def n_leaves(self) -> int:
+        return self._leaves_of(self._require_root())
+
+    def feature_importances(self) -> np.ndarray:
+        """SSE reduction attributed to each feature, normalized to sum 1."""
+        root = self._require_root()
+        assert self.n_features_ is not None
+        importances = np.zeros(self.n_features_, dtype=np.float64)
+
+        def visit(node: TreeNode) -> None:
+            if node.is_leaf:
+                return
+            assert node.left is not None and node.right is not None
+            gain = node.sse - node.left.sse - node.right.sse
+            importances[node.feature_index] += max(gain, 0.0)
+            visit(node.left)
+            visit(node.right)
+
+        visit(root)
+        total = importances.sum()
+        return importances / total if total > 0 else importances
+
+    def export_text(self) -> str:
+        """Render the tree in the style of the paper's Figure 13.
+
+        Each node shows its mean target value and sample share; internal
+        nodes show the split condition.
+        """
+        root = self._require_root()
+        total = root.n_samples
+        lines: list[str] = []
+
+        def visit(node: TreeNode, indent: str) -> None:
+            share = 100.0 * node.n_samples / total
+            header = f"{node.value:+.2f}  {share:.0f}%"
+            if node.is_leaf:
+                lines.append(f"{indent}{header}")
+                return
+            name = (self.feature_names_[node.feature_index]
+                    if self.feature_names_ else f"x{node.feature_index}")
+            lines.append(f"{indent}{header}  [{name} < {node.threshold:.2f}]")
+            assert node.left is not None and node.right is not None
+            visit(node.left, indent + "  ")
+            visit(node.right, indent + "  ")
+
+        visit(root, "")
+        return "\n".join(lines)
+
+    # -- internals ---------------------------------------------------------
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray,
+              depth: int) -> TreeNode:
+        node = TreeNode(
+            value=float(targets.mean()),
+            n_samples=targets.shape[0],
+            sse=float(np.sum((targets - targets.mean()) ** 2)),
+        )
+        if (depth >= self._max_depth
+                or targets.shape[0] < self._min_samples_split
+                or node.sse <= 0.0):
+            return node
+        split = self._best_split(features, targets)
+        if split is None:
+            return node
+        feature_index, threshold, gain = split
+        if gain < self._min_sse_decrease:
+            return node
+        mask = features[:, feature_index] < threshold
+        node.feature_index = feature_index
+        node.threshold = threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def _best_split(self, features: np.ndarray,
+                    targets: np.ndarray) -> tuple[int, float, float] | None:
+        n_samples = targets.shape[0]
+        parent_sse = float(np.sum((targets - targets.mean()) ** 2))
+        best: tuple[int, float, float] | None = None
+        best_children_sse = np.inf
+        for feature_index in range(features.shape[1]):
+            column = features[:, feature_index]
+            order = np.argsort(column, kind="stable")
+            sorted_values = column[order]
+            sorted_targets = targets[order]
+            # Candidate split positions: between distinct adjacent values,
+            # respecting the per-leaf minimum.
+            cumsum = np.cumsum(sorted_targets)
+            cumsq = np.cumsum(sorted_targets ** 2)
+            counts = np.arange(1, n_samples + 1, dtype=np.float64)
+            left_sse = cumsq - cumsum ** 2 / counts
+            right_sum = cumsum[-1] - cumsum
+            right_sq = cumsq[-1] - cumsq
+            right_counts = n_samples - counts
+            with np.errstate(divide="ignore", invalid="ignore"):
+                right_sse = right_sq - np.where(
+                    right_counts > 0, right_sum ** 2 / right_counts, 0.0
+                )
+            children = left_sse[:-1] + right_sse[:-1]
+            valid = (
+                (sorted_values[:-1] != sorted_values[1:])
+                & (counts[:-1] >= self._min_samples_leaf)
+                & (right_counts[:-1] >= self._min_samples_leaf)
+            )
+            if not np.any(valid):
+                continue
+            children = np.where(valid, children, np.inf)
+            position = int(np.argmin(children))
+            if children[position] < best_children_sse:
+                best_children_sse = float(children[position])
+                threshold = float(
+                    (sorted_values[position] + sorted_values[position + 1]) / 2.0
+                )
+                best = (feature_index, threshold,
+                        parent_sse - best_children_sse)
+        return best
+
+    def _require_root(self) -> TreeNode:
+        if self.root_ is None:
+            raise ModelError("RegressionTree used before fit()")
+        return self.root_
+
+    def _depth_of(self, node: TreeNode) -> int:
+        if node.is_leaf:
+            return 0
+        assert node.left is not None and node.right is not None
+        return 1 + max(self._depth_of(node.left), self._depth_of(node.right))
+
+    def _leaves_of(self, node: TreeNode) -> int:
+        if node.is_leaf:
+            return 1
+        assert node.left is not None and node.right is not None
+        return self._leaves_of(node.left) + self._leaves_of(node.right)

@@ -1,0 +1,135 @@
+"""Fleet-level RAID reliability: Monte Carlo over group assignments.
+
+:func:`drive_states_from_fleet` turns a simulated fleet (plus optional
+degradation-monitor warning leads) into :class:`DriveState` records;
+:class:`RaidReliabilityAnalysis` draws many random RAID groups from those
+drives and measures the data-loss rate under a protection policy —
+reactive RAID-5, reactive RAID-6, or signature-driven proactive
+replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.raid.array import DriveState, RaidLevel, evaluate_group
+from repro.sim.fleet import FleetResult
+from repro.smart.attributes import attribute_index
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyResult:
+    """Loss statistics of one protection policy."""
+
+    policy: str
+    level: RaidLevel
+    n_groups: int
+    n_losses: int
+    n_double_failure_losses: int
+    n_latent_error_losses: int
+    n_proactive_migrations: int
+
+    @property
+    def loss_rate(self) -> float:
+        return self.n_losses / self.n_groups if self.n_groups else 0.0
+
+
+def drive_states_from_fleet(fleet: FleetResult,
+                            warning_leads: dict[str, float] | None = None,
+                            ) -> list[DriveState]:
+    """Extract per-drive RAID-relevant state from a simulated fleet.
+
+    A drive carries latent errors when its final recorded pending or
+    uncorrectable counters are non-zero — sectors a full rebuild read
+    would hit.  The counters are read from the raw R-CPSC column and the
+    RUE health value (below 100 means reported uncorrectable errors).
+    """
+    warning_leads = warning_leads or {}
+    pending_column = attribute_index("R-CPSC")
+    rue_column = attribute_index("RUE")
+    states = []
+    for profile in fleet.dataset.profiles:
+        final = profile.matrix[-1]
+        has_latent = final[pending_column] > 0 or final[rue_column] < 100.0
+        states.append(
+            DriveState(
+                serial=profile.serial,
+                failure_hour=(profile.failure_hour if profile.failed
+                              else None),
+                has_latent_errors=bool(has_latent),
+                warning_lead_hours=warning_leads.get(profile.serial),
+            )
+        )
+    return states
+
+
+class RaidReliabilityAnalysis:
+    """Monte Carlo data-loss estimation over random RAID groupings.
+
+    Parameters
+    ----------
+    drives:
+        Fleet drive states (from :func:`drive_states_from_fleet`).
+    group_size:
+        Drives per RAID group.
+    n_groups:
+        Groups sampled per policy evaluation (drives are drawn without
+        replacement within a group, with replacement across groups, so
+        arbitrarily many groups can be scored against one fleet).
+    seed:
+        Sampling seed.
+    """
+
+    def __init__(self, drives: list[DriveState], *, group_size: int = 8,
+                 n_groups: int = 20000, seed: int = 99) -> None:
+        if group_size < 3:
+            raise ReproError("group_size must be at least 3")
+        if n_groups < 1:
+            raise ReproError("n_groups must be positive")
+        if len(drives) < group_size:
+            raise ReproError("not enough drives for a single group")
+        self._drives = list(drives)
+        self._group_size = group_size
+        self._n_groups = n_groups
+        self._seed = seed
+
+    def evaluate(self, level: RaidLevel, *, proactive: bool = False,
+                 reconstruction_hours: float = 12.0,
+                 migration_hours: float = 6.0) -> PolicyResult:
+        """Score one policy over the sampled groups."""
+        rng = np.random.default_rng(self._seed)
+        n_drives = len(self._drives)
+        losses = 0
+        double_failures = 0
+        latent_losses = 0
+        migrations = 0
+        for _ in range(self._n_groups):
+            chosen = rng.choice(n_drives, size=self._group_size,
+                                replace=False)
+            members = [self._drives[i] for i in chosen]
+            outcome = evaluate_group(
+                members, level,
+                reconstruction_hours=reconstruction_hours,
+                migration_hours=migration_hours,
+                proactive=proactive,
+            )
+            migrations += outcome.n_proactive_migrations
+            if outcome.data_loss:
+                losses += 1
+                if outcome.loss_cause == "double_failure":
+                    double_failures += 1
+                else:
+                    latent_losses += 1
+        policy = f"{'proactive' if proactive else 'reactive'}_{level.name}"
+        return PolicyResult(
+            policy=policy,
+            level=level,
+            n_groups=self._n_groups,
+            n_losses=losses,
+            n_double_failure_losses=double_failures,
+            n_latent_error_losses=latent_losses,
+            n_proactive_migrations=migrations,
+        )

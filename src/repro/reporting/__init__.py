@@ -1,0 +1,26 @@
+"""Plain-text rendering of tables and figures.
+
+The experiment harness regenerates every table and figure of the paper;
+these helpers render them as ASCII so results are inspectable in a
+terminal and comparable in golden-output tests.
+"""
+
+from repro.reporting.figures import (
+    ascii_histogram,
+    ascii_scatter,
+    ascii_series,
+    render_box_rows,
+)
+from repro.reporting.report import render_results, save_results
+from repro.reporting.tables import ascii_table, format_float
+
+__all__ = [
+    "render_results",
+    "save_results",
+    "ascii_histogram",
+    "ascii_scatter",
+    "ascii_series",
+    "render_box_rows",
+    "ascii_table",
+    "format_float",
+]

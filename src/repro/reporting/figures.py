@@ -1,0 +1,167 @@
+"""ASCII figure rendering: histograms, line series, scatter plots, boxes."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.stats.summary import BoxSummary
+
+
+def ascii_histogram(values: np.ndarray, *, n_bins: int = 10,
+                    width: int = 50, title: str | None = None,
+                    bin_labels: Sequence[str] | None = None) -> str:
+    """Horizontal-bar histogram (Figure 1 style)."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.shape[0] == 0:
+        raise ReproError("histogram needs data")
+    counts, edges = np.histogram(values, bins=n_bins)
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for index, count in enumerate(counts):
+        if bin_labels is not None:
+            label = bin_labels[index]
+        else:
+            label = f"[{edges[index]:8.1f}, {edges[index + 1]:8.1f})"
+        bar = "#" * max(0, round(width * count / peak))
+        lines.append(f"{label} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def ascii_series(x: np.ndarray, series: dict[str, np.ndarray], *,
+                 height: int = 16, width: int = 72,
+                 title: str | None = None) -> str:
+    """Plot one or more y-series over a shared x-axis on a character grid.
+
+    Each series gets the first letter of its (unique-prefixed) name as its
+    marker.  NaN values are skipped.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if not series:
+        raise ReproError("ascii_series needs at least one series")
+    stacked = []
+    for values in series.values():
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.shape != x.shape:
+            raise ReproError("every series must align with x")
+        stacked.append(values)
+    finite = np.concatenate([v[np.isfinite(v)] for v in stacked])
+    if finite.shape[0] == 0:
+        raise ReproError("no finite values to plot")
+    y_low, y_high = float(finite.min()), float(finite.max())
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = float(x.min()), float(x.max())
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = _unique_markers(list(series))
+    for (name, values), marker in zip(series.items(), markers):
+        values = np.asarray(values, dtype=np.float64).ravel()
+        for xi, yi in zip(x, values):
+            if not np.isfinite(yi):
+                continue
+            column = round((xi - x_low) / (x_high - x_low) * (width - 1))
+            row = round((y_high - yi) / (y_high - y_low) * (height - 1))
+            grid[row][column] = marker
+
+    lines = [title] if title else []
+    lines.append(f"y: {y_low:.3g} .. {y_high:.3g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_low:.3g} .. {x_high:.3g}")
+    legend = ", ".join(
+        f"{marker}={name}" for (name, marker) in zip(series, markers)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(points: dict[str, tuple[np.ndarray, np.ndarray]], *,
+                  height: int = 20, width: int = 72,
+                  title: str | None = None) -> str:
+    """Scatter plot of labeled point groups (Figure 4 style)."""
+    if not points:
+        raise ReproError("ascii_scatter needs at least one group")
+    all_x = np.concatenate([np.asarray(x, dtype=np.float64).ravel()
+                            for x, _ in points.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=np.float64).ravel()
+                            for _, y in points.values()])
+    if all_x.shape[0] == 0:
+        raise ReproError("no points to plot")
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = _unique_markers(list(points))
+    for (name, (xs, ys)), marker in zip(points.items(), markers):
+        xs = np.asarray(xs, dtype=np.float64).ravel()
+        ys = np.asarray(ys, dtype=np.float64).ravel()
+        for xi, yi in zip(xs, ys):
+            column = round((xi - x_low) / (x_high - x_low) * (width - 1))
+            row = round((y_high - yi) / (y_high - y_low) * (height - 1))
+            grid[row][column] = marker
+
+    lines = [title] if title else []
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    legend = ", ".join(
+        f"{marker}={name}" for (name, marker) in zip(points, markers)
+    )
+    lines.append(f"x: {x_low:.3g} .. {x_high:.3g}   y: {y_low:.3g} .. {y_high:.3g}")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_box_rows(summaries: dict[str, BoxSummary], *, width: int = 48,
+                    title: str | None = None) -> str:
+    """Render box summaries as aligned whisker diagrams (Figure 2 style).
+
+    All boxes share one value axis spanning the collective min..max.
+    """
+    if not summaries:
+        raise ReproError("render_box_rows needs at least one summary")
+    low = min(s.minimum for s in summaries.values())
+    high = max(s.maximum for s in summaries.values())
+    if high == low:
+        high = low + 1.0
+    label_width = max(len(name) for name in summaries)
+
+    def column(value: float) -> int:
+        return round((value - low) / (high - low) * (width - 1))
+
+    lines = [title] if title else []
+    lines.append(f"{'':{label_width}}  {low:.3g} .. {high:.3g}")
+    for name, summary in summaries.items():
+        row = [" "] * width
+        for position in range(column(summary.lower_whisker),
+                              column(summary.upper_whisker) + 1):
+            row[position] = "-"
+        for position in range(column(summary.first_quartile),
+                              column(summary.third_quartile) + 1):
+            row[position] = "="
+        row[column(summary.median)] = "|"
+        lines.append(f"{name:{label_width}}  {''.join(row)}")
+    return "\n".join(lines)
+
+
+def _unique_markers(names: list[str]) -> list[str]:
+    markers = []
+    used: set[str] = set()
+    fallback = iter("*#@%&$!?^~123456789")
+    for name in names:
+        candidate = name[0].upper() if name else "*"
+        while candidate in used:
+            candidate = next(fallback)
+        used.add(candidate)
+        markers.append(candidate)
+    return markers

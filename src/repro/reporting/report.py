@@ -1,0 +1,33 @@
+"""Aggregate rendering of experiment results.
+
+Used by the ``repro-experiments`` CLI and by callers that want one text
+document covering a set of regenerated artifacts (e.g. for archiving a
+reproduction run next to its EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ReproError
+
+
+def render_results(results: Iterable[object], *,
+                   title: str | None = None) -> str:
+    """Join experiment results into one readable document."""
+    sections = [str(result) for result in results]
+    if not sections:
+        raise ReproError("render_results needs at least one result")
+    parts = []
+    if title:
+        rule = "=" * len(title)
+        parts.append(f"{rule}\n{title}\n{rule}")
+    parts.extend(sections)
+    return "\n\n".join(parts) + "\n"
+
+
+def save_results(results: Iterable[object], path: str | Path, *,
+                 title: str | None = None) -> None:
+    """Write :func:`render_results` output to ``path``."""
+    Path(path).write_text(render_results(results, title=title))

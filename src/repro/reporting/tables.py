@@ -1,0 +1,70 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def format_float(value: float, precision: int = 3) -> str:
+    """Format a float compactly, keeping sign alignment for small values."""
+    if value != value:  # NaN
+        return "nan"
+    return f"{value:+.{precision}f}" if abs(value) < 10 else f"{value:.{precision}f}"
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                *, title: str | None = None) -> str:
+    """Render a list of rows as a boxed ASCII table.
+
+    Cells are stringified with ``str``; numeric alignment is right, text
+    alignment left.
+    """
+    if not headers:
+        raise ReproError("a table needs at least one column")
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    for index, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {index} has {len(row)} cells for {len(headers)} columns"
+            )
+    widths = [len(str(h)) for h in headers]
+    for row in text_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, width in zip(cells, widths):
+            if _is_numeric(cell):
+                parts.append(cell.rjust(width))
+            else:
+                parts.append(cell.ljust(width))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(render_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True

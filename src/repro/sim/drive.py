@@ -1,0 +1,311 @@
+"""Assembly of one simulated drive.
+
+:func:`simulate_drive` wires the component models, workload, thermal
+environment, sector pool and (for failed drives) a failure-mode stress
+process into the hourly SMART profile the collection agent would record:
+vendor health values for the first eight Table I attributes, raw counters
+for R-RSC and R-CPSC, and the environmental POH / TC health values.
+
+All per-drive randomness is derived from the fleet seed and the drive
+serial, so profiles are reproducible individually and independent across
+drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.signal import lfilter
+
+from repro.errors import SimulationError
+from repro.sim.components import HeadAssembly, MediaSurface, SpindleMotor
+from repro.sim.config import FleetConfig
+from repro.sim.environment import PowerOnClock, ThermalEnvironment
+from repro.sim.failure_modes import (
+    COUNTER_CHANNELS,
+    RATE_CHANNELS,
+    FailureMode,
+    ModeProfile,
+    cumulative_ramp_increments,
+    mode_profile,
+    ramp_progress,
+)
+from repro.sim.rng import child_rng
+from repro.sim.sectors import SectorPool
+from repro.sim.workload import WorkloadGenerator
+from repro.smart.profile import HealthProfile
+
+# Health-curve scales: the raw quantity at which the vendor health value
+# bottoms out.  Linear curves keep the ramp shapes measurable in the
+# recorded values.  Rate attributes are measured per million operations —
+# like real firmware — so the health value tracks the underlying error
+# probability rather than the hour-to-hour workload volume.
+_RRER_SCALE = 4000.0       # raw read errors per million reads
+_HER_SCALE = 4000.0        # ECC-recovered errors per million reads
+_SER_SCALE = 10.0          # smoothed seek errors per hour
+_SER_EWMA_ALPHA = 0.05     # firmware reports SER as a running rate
+_RUE_SCALE = 300.0         # cumulative uncorrectable errors
+_HFW_SCALE = 300.0         # cumulative high-fly writes
+_CPSC_SCALE = 200.0        # currently pending sectors
+_SUT_BASE_MS = 3000.0      # spin-up time floor
+_SUT_SCALE_MS = 20000.0    # spin-up span to the worst health value
+
+# Episodic symptom bursts: short error spikes that precede (and
+# intersperse) the terminal window of logical and head failures, producing
+# the pre-failure fluctuation visible in the paper's Figures 7(a)/7(c).
+_BURST_PROBABILITY = {
+    FailureMode.LOGICAL: 1.0 / 30.0,
+    FailureMode.HEAD: 1.0 / 40.0,
+}
+_BURST_LOG_MEDIAN = np.log(400.0)
+_BURST_LOG_SIGMA = 0.8
+
+
+@dataclass(frozen=True, slots=True)
+class DriveSpec:
+    """Identity and schedule of one drive in the fleet.
+
+    ``failure_hour`` is ``None`` for good drives; for failed drives it is
+    the absolute hour of the failure event (the profile's final sample).
+    ``start_hour``/``n_samples`` define the recorded observation window.
+    """
+
+    serial: str
+    mode: FailureMode
+    start_hour: int
+    n_samples: int
+    failure_hour: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise SimulationError(f"{self.serial}: n_samples must be positive")
+        if self.start_hour < 0:
+            raise SimulationError(f"{self.serial}: start_hour must be >= 0")
+        if self.mode.is_failure:
+            if self.failure_hour is None:
+                raise SimulationError(
+                    f"{self.serial}: failed drives need a failure_hour"
+                )
+            if self.failure_hour != self.start_hour + self.n_samples - 1:
+                raise SimulationError(
+                    f"{self.serial}: failure_hour must be the final sample"
+                )
+        elif self.failure_hour is not None:
+            raise SimulationError(
+                f"{self.serial}: good drives cannot have a failure_hour"
+            )
+
+    @property
+    def hours(self) -> np.ndarray:
+        return np.arange(self.start_hour, self.start_hour + self.n_samples,
+                         dtype=np.int64)
+
+
+def simulate_drive(spec: DriveSpec, config: FleetConfig) -> HealthProfile:
+    """Produce the hourly SMART profile of one drive."""
+    profile = mode_profile(spec.mode, config)
+    hours = spec.hours
+
+    rng_components = child_rng(config.seed, spec.serial, "components")
+    rng_workload = child_rng(config.seed, spec.serial, "workload")
+    rng_thermal = child_rng(config.seed, spec.serial, "thermal")
+    rng_mode = child_rng(config.seed, spec.serial, "mode")
+    rng_events = child_rng(config.seed, spec.serial, "events")
+
+    media = MediaSurface.sample(rng_components)
+    heads = HeadAssembly.sample(rng_components)
+    spindle = SpindleMotor.sample(rng_components)
+    environment = ThermalEnvironment.sample(
+        config, rng_thermal, mode_offset_c=profile.temp_offset_c
+    )
+    clock = PowerOnClock.sample(config, rng_thermal, age_bias=profile.age_bias)
+    workload = WorkloadGenerator(config).generate(hours, rng_workload)
+
+    stresses, pre_window_mass = _stress_schedule(spec, profile, hours, rng_mode)
+
+    # --- error events ------------------------------------------------
+    read_error_rate = media.read_error_rate(
+        workload.read_ops, stresses["media_error"]
+    )
+    read_errors = _poisson(rng_events, read_error_rate)
+    recovered = _poisson(
+        rng_events, read_error_rate * media.ecc_recovery_fraction
+    )
+    seek_errors = _poisson(
+        rng_events,
+        heads.seek_error_rate(workload.read_ops + workload.write_ops,
+                              stresses["seek"]),
+    )
+    high_fly = _poisson(
+        rng_events, heads.high_fly_rate(workload.write_ops, stresses["high_fly"])
+    )
+    write_errors = (
+        _poisson(rng_events,
+                 heads.write_error_rate(workload.write_ops, np.ones_like(hours,
+                                                                         dtype=np.float64))
+                 * stresses["write_error_chronic"])
+        + stresses["write_error_extra"]
+    )
+    scan_detections = (
+        _poisson(rng_events,
+                 np.full(hours.shape[0], 1.0e-3)
+                 * stresses["scan_detect_chronic"])
+        + stresses["scan_detect_extra"]
+    )
+
+    # Degradation that began before the observation period warm-starts
+    # the sector pool: the pending population sits at its steady state for
+    # the first-sample arrival rate, and the escalated share of the
+    # pre-observation scan detections is already on the RUE counter.
+    pool = SectorPool(spare_sectors=config.spare_sectors)
+    scan_pre_mass = pre_window_mass.get("scan_detect", 0.0)
+    turnover = pool.recover_prob + pool.uncorrectable_prob
+    initial_pending = min(scan_pre_mass,
+                          float(scan_detections[0]) / max(turnover, 1.0e-9))
+    escalated_fraction = pool.uncorrectable_prob / max(turnover, 1.0e-9)
+    initial_uncorrectable = (scan_pre_mass - initial_pending) * escalated_fraction
+    sectors = pool.simulate(
+        write_errors, scan_detections,
+        initial_reallocated=(profile.sample_initial_reallocated(rng_mode)
+                             + pre_window_mass.get("write_error", 0.0)),
+        initial_pending=initial_pending,
+        initial_uncorrectable=initial_uncorrectable,
+    )
+
+    # --- physical series ----------------------------------------------
+    temperature = environment.temperature_series(workload.utilization,
+                                                 rng_thermal)
+    spin_up_ms = spindle.spin_up_series(
+        clock.raw_series(hours), temperature, stresses["spin_up"], rng_events
+    )
+
+    # --- recorded SMART values, Table I order --------------------------
+    reallocated = np.floor(sectors.reallocated)
+    pending = np.round(np.maximum(sectors.pending, 0.0))
+    uncorrectable = np.floor(sectors.uncorrectable)
+    cumulative_high_fly = np.cumsum(high_fly)
+
+    read_errors_per_mread = read_errors / workload.read_ops * 1.0e6
+    recovered_per_mread = recovered / workload.read_ops * 1.0e6
+
+    columns = [
+        _health(read_errors_per_mread, _RRER_SCALE),       # RRER
+        _health(reallocated, float(config.spare_sectors)),  # RSC
+        _health(_ewma(seek_errors, _SER_EWMA_ALPHA), _SER_SCALE),  # SER
+        _health(uncorrectable, _RUE_SCALE),                # RUE
+        _health(cumulative_high_fly, _HFW_SCALE),          # HFW
+        _health(recovered_per_mread, _HER_SCALE),          # HER
+        _health(pending, _CPSC_SCALE),                     # CPSC
+        _health(spin_up_ms - _SUT_BASE_MS, _SUT_SCALE_MS),  # SUT
+        reallocated,                                       # R-RSC (raw)
+        pending,                                           # R-CPSC (raw)
+        clock.health_series(hours),                        # POH
+        np.maximum(1.0, np.round(100.0 - temperature)),    # TC
+    ]
+    matrix = np.column_stack(columns)
+    if config.sample_loss_rate > 0.0:
+        hours, matrix = _drop_lost_samples(spec, config, hours, matrix)
+    return HealthProfile(
+        serial=spec.serial,
+        hours=hours,
+        matrix=matrix,
+        failed=spec.mode.is_failure,
+    )
+
+
+def _drop_lost_samples(spec: DriveSpec, config: FleetConfig,
+                       hours: np.ndarray,
+                       matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Simulate collection losses: random samples never reach the agent.
+
+    The final record always survives (for failed drives it is the
+    failure record that defines the drive's label), as does at least one
+    earlier record so every profile keeps a time axis.
+    """
+    rng = child_rng(config.seed, spec.serial, "sampling")
+    keep = rng.random(hours.shape[0]) >= config.sample_loss_rate
+    keep[-1] = True
+    if keep.sum() < 2:
+        keep[0] = True
+    return hours[keep], matrix[keep]
+
+
+def _stress_schedule(spec: DriveSpec, profile: ModeProfile, hours: np.ndarray,
+                     rng: np.random.Generator,
+                     ) -> tuple[dict[str, np.ndarray], dict[str, float]]:
+    """Build per-channel stress series for one drive.
+
+    Rate channels get a multiplier series (chronic level, episodic bursts
+    and the in-window ramp); counter channels get a chronic multiplier
+    series plus an explicit array of extra events injected by the ramp.
+    The second return value maps counter channels to the event mass their
+    ramps injected before the profile's first sample (for pool warm-up).
+    """
+    n_samples = hours.shape[0]
+    ones = np.ones(n_samples, dtype=np.float64)
+    chronic = profile.sample_chronic(rng)
+
+    stresses: dict[str, np.ndarray] = {}
+    pre_window_mass: dict[str, float] = {}
+    for channel in RATE_CHANNELS:
+        stresses[channel] = ones * chronic.get(channel, 1.0)
+    for channel in COUNTER_CHANNELS:
+        stresses[f"{channel}_chronic"] = ones * chronic.get(channel, 1.0)
+        stresses[f"{channel}_extra"] = np.zeros(n_samples, dtype=np.float64)
+
+    if not spec.mode.is_failure:
+        return stresses, pre_window_mass
+
+    assert spec.failure_hour is not None
+    hours_before_failure = (spec.failure_hour - hours).astype(np.float64)
+    window = profile.sample_window(rng)
+    progress = ramp_progress(hours_before_failure, window, profile.exponent)
+
+    for ramp in profile.ramps:
+        strength = ramp.sample_strength(rng)
+        if ramp.channel in RATE_CHANNELS:
+            stresses[ramp.channel] = stresses[ramp.channel] + strength * progress
+        else:
+            increments, pre_mass = cumulative_ramp_increments(
+                hours_before_failure, window, profile.exponent, strength
+            )
+            stresses[f"{ramp.channel}_extra"] += increments
+            pre_window_mass[ramp.channel] = (
+                pre_window_mass.get(ramp.channel, 0.0) + pre_mass
+            )
+
+    burst_probability = _BURST_PROBABILITY.get(spec.mode)
+    if burst_probability is not None:
+        # Symptom bursts only outside the terminal window: inside it the
+        # ramp must stay monotone for the degradation to be extractable.
+        outside = hours_before_failure > window
+        active = (rng.random(n_samples) < burst_probability) & outside
+        magnitudes = rng.lognormal(_BURST_LOG_MEDIAN, _BURST_LOG_SIGMA,
+                                   size=n_samples)
+        stresses["media_error"] = stresses["media_error"] + np.where(
+            active, magnitudes, 0.0
+        )
+    return stresses, pre_window_mass
+
+
+def _health(raw: np.ndarray, scale: float) -> np.ndarray:
+    """Linear vendor health curve: 100 at raw zero, 1 at ``scale`` or more."""
+    fraction = np.clip(np.asarray(raw, dtype=np.float64) / scale, 0.0, 1.0)
+    return np.maximum(1.0, np.round(100.0 * (1.0 - fraction)))
+
+
+def _poisson(rng: np.random.Generator, rate: np.ndarray) -> np.ndarray:
+    """Poisson event counts with a guard against negative rates."""
+    return rng.poisson(np.maximum(rate, 0.0)).astype(np.float64)
+
+
+def _ewma(series: np.ndarray, alpha: float) -> np.ndarray:
+    """Exponentially-weighted running rate, as drive firmware reports it.
+
+    Sparse error events (seek errors occur well under once per hour) would
+    otherwise make the health value jump a full quantum on every single
+    event; the running rate matches how vendors actually derive rate-type
+    health values from event streams.
+    """
+    return lfilter([alpha], [1.0, -(1.0 - alpha)], series)

@@ -1,0 +1,240 @@
+"""Failure-mode degradation processes.
+
+Each failed drive is afflicted by exactly one failure mode.  The three
+modes mirror the paper's Table II taxonomy:
+
+* **LOGICAL** (Group 1) — file-structure / firmware-level corruption.
+  SMART read/write attributes stay near good-drive values until a short
+  final collapse (degradation window of a few hours, quadratic shape);
+  the afflicted drives run persistently hot, which is the signal the
+  paper's z-score analysis surfaces in Figure 11.
+* **BAD_SECTOR** (Group 2) — media wear-out.  Unstable sectors accumulate
+  steadily for hundreds of hours, driving uncorrectable errors (RUE) up
+  monotonically — the long linear degradation of Figure 8(b); per-drive
+  chronic write-error levels vary widely, giving the "diverse R-RSC" the
+  paper observes.
+* **HEAD** (Group 3) — read/write head wear.  Write errors exhaust the
+  spare-sector pool in a short cubic burst (R-RSC saturates near its
+  maximum), with chronically elevated high-fly writes and old drives
+  (long power-on hours).
+
+A mode contributes two kinds of stress to the drive's error channels:
+
+* *chronic multipliers* applied over the entire profile, and
+* a *ramp* confined to the degradation window of ``d`` hours before the
+  failure, shaped so that the displacement of the afflicted attributes
+  from their failure values follows ``(t / d) ** p`` for ``t`` hours
+  before failure — the polynomial order ``p`` is what the paper's
+  signature extraction recovers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.config import FleetConfig
+
+
+class FailureMode(enum.Enum):
+    """Afflicting failure mode of a simulated drive."""
+
+    GOOD = "good"
+    LOGICAL = "logical"
+    BAD_SECTOR = "bad_sector"
+    HEAD = "head"
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not FailureMode.GOOD
+
+
+#: Error channels a mode can stress.  Rate channels multiply a per-hour
+#: event rate; the counter channels inject extra cumulative events.
+RATE_CHANNELS = ("media_error", "seek", "high_fly", "spin_up")
+COUNTER_CHANNELS = ("write_error", "scan_detect")
+
+
+@dataclass(frozen=True, slots=True)
+class RampSpec:
+    """Ramp of one channel inside the degradation window.
+
+    For rate channels ``strength`` is the peak multiplier added at the
+    failure instant; for counter channels it is the total number of extra
+    events injected across the window.
+    """
+
+    channel: str
+    strength_low: float
+    strength_high: float
+
+    def __post_init__(self) -> None:
+        if self.channel not in RATE_CHANNELS + COUNTER_CHANNELS:
+            raise SimulationError(f"unknown stress channel {self.channel!r}")
+        if not 0 < self.strength_low <= self.strength_high:
+            raise SimulationError("ramp strengths must satisfy 0 < low <= high")
+
+    def sample_strength(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.strength_low, self.strength_high))
+
+
+@dataclass(frozen=True, slots=True)
+class ModeProfile:
+    """Full stress description of one failure mode.
+
+    ``initial_reallocated`` bounds the log-uniform draw of the sectors a
+    drive had already remapped before the collection period began — the
+    lifetime accumulation that makes R-RSC "diverse" across bad-sector
+    failures without introducing an in-profile drift.
+    """
+
+    mode: FailureMode
+    window_range: tuple[int, int]
+    exponent: float
+    temp_offset_c: float
+    age_bias: float
+    chronic: dict[str, tuple[float, float]] = field(default_factory=dict)
+    ramps: tuple[RampSpec, ...] = ()
+    initial_reallocated: tuple[float, float] = (0.5, 20.0)
+
+    def sample_window(self, rng: np.random.Generator) -> int:
+        low, high = self.window_range
+        return int(rng.integers(low, high + 1))
+
+    def sample_initial_reallocated(self, rng: np.random.Generator) -> float:
+        low, high = self.initial_reallocated
+        if low <= 0 or high < low:
+            raise SimulationError(
+                "initial_reallocated bounds must satisfy 0 < low <= high"
+            )
+        return float(np.exp(rng.uniform(np.log(low), np.log(high))))
+
+    def sample_chronic(self, rng: np.random.Generator) -> dict[str, float]:
+        """Draw per-drive chronic multipliers (lognormal between bounds)."""
+        multipliers: dict[str, float] = {}
+        for channel, (low, high) in self.chronic.items():
+            if channel not in RATE_CHANNELS + COUNTER_CHANNELS:
+                raise SimulationError(f"unknown stress channel {channel!r}")
+            if low <= 0 or high < low:
+                raise SimulationError(
+                    f"chronic bounds for {channel!r} must satisfy 0 < low <= high"
+                )
+            log_low, log_high = np.log(low), np.log(high)
+            multipliers[channel] = float(np.exp(rng.uniform(log_low, log_high)))
+        return multipliers
+
+
+def ramp_progress(hours_before_failure: np.ndarray, window: int,
+                  exponent: float) -> np.ndarray:
+    """Progress of the degradation ramp in ``[0, 1]``.
+
+    Returns ``1 - (t / d) ** p`` clipped to the window: zero before the
+    window opens, one at the failure instant.  The *displacement* of a
+    ramped attribute from its failure value is therefore
+    ``(1 - progress) = (t / d) ** p``, which is exactly the polynomial
+    family the paper fits in Figure 8.
+    """
+    t = np.asarray(hours_before_failure, dtype=np.float64)
+    if window <= 0:
+        raise SimulationError("degradation window must be positive")
+    scaled = np.clip(t / float(window), 0.0, 1.0)
+    return 1.0 - scaled ** exponent
+
+
+def cumulative_ramp_increments(hours_before_failure: np.ndarray, window: int,
+                               exponent: float,
+                               total: float) -> tuple[np.ndarray, float]:
+    """Per-hour event increments whose running sum follows the ramp.
+
+    The cumulative count injected by the ramp equals
+    ``total * ramp_progress``.  Returns ``(increments, pre_window_mass)``:
+    the per-sample increments aligned with a profile ordered
+    oldest-to-newest, and the event mass the ramp injected *before* the
+    profile's first sample (non-zero when the degradation window predates
+    the observation period — the norm for bad-sector failures, whose
+    wear-out starts hundreds of hours before the drive is condemned).
+    The caller warm-starts the sector pool with that mass.
+    """
+    t = np.asarray(hours_before_failure, dtype=np.float64)
+    progress = ramp_progress(t, window, exponent)
+    cumulative = total * progress
+    pre_window = total * float(
+        ramp_progress(np.asarray([t[0] + 1.0]), window, exponent)[0]
+    )
+    increments = np.diff(cumulative, prepend=pre_window)
+    return np.maximum(increments, 0.0), pre_window
+
+
+def mode_profile(mode: FailureMode, config: FleetConfig) -> ModeProfile:
+    """Return the stress profile of ``mode`` under ``config``."""
+    if mode is FailureMode.GOOD:
+        return ModeProfile(
+            mode=mode,
+            window_range=(1, 1),
+            exponent=1.0,
+            temp_offset_c=0.0,
+            age_bias=1.0,
+        )
+    if mode is FailureMode.LOGICAL:
+        return ModeProfile(
+            mode=mode,
+            window_range=config.logical_window,
+            exponent=config.logical_exponent,
+            temp_offset_c=config.logical_temp_offset_c,
+            age_bias=1.6,
+            chronic={"media_error": (1.5, 4.0)},
+            ramps=(
+                RampSpec("media_error", 500.0, 1800.0),
+                RampSpec("spin_up", 0.04, 0.10),
+            ),
+        )
+    if mode is FailureMode.BAD_SECTOR:
+        return ModeProfile(
+            mode=mode,
+            window_range=config.bad_sector_window,
+            exponent=config.bad_sector_exponent,
+            temp_offset_c=config.bad_sector_temp_offset_c,
+            age_bias=1.1,
+            chronic={
+                "media_error": (800.0, 3200.0),
+                "write_error": (2.0, 40.0),
+            },
+            ramps=(
+                RampSpec("scan_detect", 250.0, 700.0),
+            ),
+            # Lifetime write-error accumulation: the "diverse R-RSC" the
+            # paper observes among bad-sector failures.
+            initial_reallocated=(10.0, 3500.0),
+        )
+    if mode is FailureMode.HEAD:
+        return ModeProfile(
+            mode=mode,
+            window_range=config.head_window,
+            exponent=config.head_exponent,
+            temp_offset_c=config.head_temp_offset_c,
+            age_bias=2.5,
+            chronic={
+                "high_fly": (8.0, 120.0),
+                # Worn heads mistrack: a wide chronic spread (constant per
+                # drive) keeps the fleet-wide SER range broad so that
+                # after Eq. (1) normalization a single seek-error flicker
+                # on a healthy drive stays small.
+                "seek": (5.0, 200.0),
+            },
+            ramps=(
+                # Exhaust (nearly) the whole spare pool inside the window:
+                # R-RSC ends near its fleet-wide maximum, the paper's
+                # "all above 0.94" manifestation.  The strengths stay at
+                # the pool size, not beyond it, so the cumulative ramp
+                # keeps its cubic shape instead of flat-lining at the cap.
+                RampSpec("write_error",
+                         0.97 * config.spare_sectors,
+                         1.01 * config.spare_sectors),
+                RampSpec("media_error", 400.0, 1200.0),
+            ),
+            initial_reallocated=(1.0, 30.0),
+        )
+    raise SimulationError(f"unhandled failure mode {mode!r}")

@@ -1,0 +1,134 @@
+"""Sector-pool dynamics: pending, reallocated and uncorrectable sectors.
+
+This module models the error flow the paper describes in Section II-A:
+
+* detected **write errors** are retried and, on persistent failure, the
+  sector is remapped to the spare pool — reallocation "only occurs on
+  detected write errors" and is bounded by the few-thousand-sector spare
+  pool;
+* the background **disk scan** marks unstable sectors as *pending*;
+* pending sectors are either recovered by the built-in ECC or, when
+  recovery fails, escalate to **uncorrectable errors**.
+
+Pending sectors follow the AR(1) recursion
+
+``pending[t] = retention * pending[t-1] + detections[t]``
+
+with ``retention = 1 - recover_prob - uncorrectable_prob``; the recursion
+is evaluated with :func:`scipy.signal.lfilter`, so simulating a profile is
+vectorized over its full length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.signal import lfilter
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class SectorPoolHistory:
+    """Cumulative sector-health counters over one profile."""
+
+    pending: np.ndarray         # currently pending sectors per hour
+    reallocated: np.ndarray     # cumulative reallocated sectors per hour
+    uncorrectable: np.ndarray   # cumulative uncorrectable errors per hour
+
+
+@dataclass(frozen=True, slots=True)
+class SectorPool:
+    """Spare-pool bookkeeping of one drive.
+
+    Parameters
+    ----------
+    spare_sectors:
+        Size of the spare pool; cumulative reallocations saturate here
+        (a drive that exhausts its spares can no longer remap writes).
+    recover_prob:
+        Per-hour probability that a pending sector is recovered by ECC.
+    uncorrectable_prob:
+        Per-hour probability that a pending sector escalates to an
+        uncorrectable error.
+
+    The default resolution rates are slow (a pending sector lingers for
+    roughly a day), matching how background scans revisit sectors, and
+    keeping the pending population a smooth function of the arrival rate.
+    """
+
+    spare_sectors: int
+    recover_prob: float = 0.020
+    uncorrectable_prob: float = 0.015
+
+    def __post_init__(self) -> None:
+        if self.spare_sectors <= 0:
+            raise SimulationError("spare_sectors must be positive")
+        if not 0.0 <= self.recover_prob <= 1.0:
+            raise SimulationError("recover_prob must lie in [0, 1]")
+        if not 0.0 <= self.uncorrectable_prob <= 1.0:
+            raise SimulationError("uncorrectable_prob must lie in [0, 1]")
+        if self.recover_prob + self.uncorrectable_prob > 1.0:
+            raise SimulationError(
+                "recover_prob + uncorrectable_prob must not exceed 1"
+            )
+
+    @property
+    def retention(self) -> float:
+        """Fraction of pending sectors that stay pending each hour."""
+        return 1.0 - self.recover_prob - self.uncorrectable_prob
+
+    def simulate(self, write_errors: np.ndarray,
+                 scan_detections: np.ndarray, *,
+                 initial_reallocated: float = 0.0,
+                 initial_pending: float = 0.0,
+                 initial_uncorrectable: float = 0.0) -> SectorPoolHistory:
+        """Evolve the pool over a profile.
+
+        Parameters
+        ----------
+        write_errors:
+            Unrecoverable write errors per hour (each triggers one
+            reallocation while spares remain).
+        scan_detections:
+            Unstable sectors flagged by the background scan per hour.
+        initial_reallocated:
+            Sectors already remapped before the profile's first sample
+            (the drive's lifetime accumulation).
+        initial_pending, initial_uncorrectable:
+            Warm-start state for degradation processes that began before
+            the observation period: sectors pending at the first sample
+            and uncorrectable errors already reported.
+        """
+        if min(initial_reallocated, initial_pending,
+               initial_uncorrectable) < 0:
+            raise SimulationError("initial pool state must be non-negative")
+        write_errors = np.asarray(write_errors, dtype=np.float64)
+        scan_detections = np.asarray(scan_detections, dtype=np.float64)
+        if write_errors.shape != scan_detections.shape:
+            raise SimulationError(
+                "write_errors and scan_detections must align"
+            )
+        if np.any(write_errors < 0) or np.any(scan_detections < 0):
+            raise SimulationError("event counts must be non-negative")
+
+        pending, _ = lfilter(
+            [1.0], [1.0, -self.retention], scan_detections,
+            zi=np.asarray([self.retention * initial_pending]),
+        )
+        # Sectors leaving the pending state this hour, split between
+        # recovery and escalation; the carried-over pending population is
+        # last hour's.
+        carried = np.concatenate(([initial_pending], pending[:-1]))
+        uncorrectable = (initial_uncorrectable
+                         + np.cumsum(self.uncorrectable_prob * carried))
+        reallocated = np.minimum(
+            initial_reallocated + np.cumsum(write_errors),
+            float(self.spare_sectors),
+        )
+        return SectorPoolHistory(
+            pending=pending,
+            reallocated=reallocated,
+            uncorrectable=uncorrectable,
+        )

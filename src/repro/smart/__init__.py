@@ -1,0 +1,39 @@
+"""SMART attribute model.
+
+This package implements the paper's Table I: the twelve disk health
+attributes selected for failure characterization, the semantics of raw
+sensor values versus vendor-normalized one-byte health values, and the
+min-max normalization of Eq. (1) used throughout the analysis.
+"""
+
+from repro.smart.attributes import (
+    ATTRIBUTE_REGISTRY,
+    CHARACTERIZATION_ATTRIBUTES,
+    ENVIRONMENTAL_ATTRIBUTES,
+    READ_WRITE_ATTRIBUTES,
+    AttributeKind,
+    AttributeSpec,
+    ValueForm,
+    attribute_index,
+    get_attribute,
+)
+from repro.smart.normalization import MinMaxNormalizer, VendorCurve, vendor_curve_for
+from repro.smart.profile import HealthProfile
+from repro.smart.record import SmartRecord
+
+__all__ = [
+    "ATTRIBUTE_REGISTRY",
+    "CHARACTERIZATION_ATTRIBUTES",
+    "ENVIRONMENTAL_ATTRIBUTES",
+    "READ_WRITE_ATTRIBUTES",
+    "AttributeKind",
+    "AttributeSpec",
+    "ValueForm",
+    "attribute_index",
+    "get_attribute",
+    "MinMaxNormalizer",
+    "VendorCurve",
+    "vendor_curve_for",
+    "HealthProfile",
+    "SmartRecord",
+]

@@ -1,0 +1,138 @@
+"""Codec for 48-bit SMART raw values and common vendor packings.
+
+SMART attributes carry a six-byte little-endian *raw value*; public
+datasets (including Backblaze's drive stats) publish it as a decimal
+integer, and several vendors pack sub-fields into it:
+
+* **Temperature (id 194)** — current temperature in the low byte, with
+  the lifetime minimum and maximum packed in the higher words
+  (``cur | min << 16 | max << 32`` on common Seagate firmware).
+* **Seagate error rates (ids 1, 7, 195)** — the number of errors in the
+  high 16 bits and the number of operations in the low 32 bits, which is
+  why a freshly wiped counter shows huge "errors" to naive readers.
+* **Power-on hours (id 9)** — plain hours on most firmware; some vendors
+  report minutes or pack a millisecond remainder in the high word.
+
+This module converts between integers, six-byte fields and the decoded
+sub-fields so raw telemetry can be interpreted consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: The raw field is 48 bits wide.
+RAW48_MAX = (1 << 48) - 1
+
+
+def encode_raw48(value: int) -> bytes:
+    """Pack an integer into the six-byte little-endian raw field."""
+    if not 0 <= value <= RAW48_MAX:
+        raise ReproError(f"raw value {value} outside the 48-bit range")
+    return int(value).to_bytes(6, "little")
+
+
+def decode_raw48(field: bytes) -> int:
+    """Unpack a six-byte little-endian raw field."""
+    if len(field) != 6:
+        raise ReproError(f"raw field must be 6 bytes, got {len(field)}")
+    return int.from_bytes(field, "little")
+
+
+@dataclass(frozen=True, slots=True)
+class TemperatureReading:
+    """Decoded temperature attribute: current plus lifetime extremes."""
+
+    current_c: int
+    lifetime_min_c: int
+    lifetime_max_c: int
+
+
+def decode_temperature(raw: int) -> TemperatureReading:
+    """Decode the packed temperature raw value (id 194).
+
+    Firmware that does not track lifetime extremes leaves the upper
+    words zero; they are then reported equal to the current reading.
+    """
+    _check_raw(raw)
+    current = raw & 0xFF
+    minimum = (raw >> 16) & 0xFF
+    maximum = (raw >> 32) & 0xFF
+    if minimum == 0 and maximum == 0:
+        minimum = maximum = current
+    return TemperatureReading(
+        current_c=current,
+        lifetime_min_c=minimum,
+        lifetime_max_c=maximum,
+    )
+
+
+def encode_temperature(current_c: int, lifetime_min_c: int | None = None,
+                       lifetime_max_c: int | None = None) -> int:
+    """Pack a temperature reading into the raw value."""
+    minimum = lifetime_min_c if lifetime_min_c is not None else current_c
+    maximum = lifetime_max_c if lifetime_max_c is not None else current_c
+    for name, value in (("current", current_c), ("min", minimum),
+                        ("max", maximum)):
+        if not 0 <= value <= 0xFF:
+            raise ReproError(f"temperature {name} {value} outside 0..255")
+    if not minimum <= current_c <= maximum:
+        raise ReproError("temperature extremes must bracket the current value")
+    return current_c | (minimum << 16) | (maximum << 32)
+
+
+@dataclass(frozen=True, slots=True)
+class SeagateErrorRate:
+    """Decoded Seagate-style error-rate raw value."""
+
+    errors: int
+    operations: int
+
+    @property
+    def errors_per_million(self) -> float:
+        if self.operations == 0:
+            return 0.0
+        return self.errors / self.operations * 1.0e6
+
+
+def decode_seagate_error_rate(raw: int) -> SeagateErrorRate:
+    """Split the packed error/operation counters (ids 1, 7, 195)."""
+    _check_raw(raw)
+    return SeagateErrorRate(
+        errors=(raw >> 32) & 0xFFFF,
+        operations=raw & 0xFFFFFFFF,
+    )
+
+
+def encode_seagate_error_rate(errors: int, operations: int) -> int:
+    """Pack error/operation counters into the raw value."""
+    if not 0 <= errors <= 0xFFFF:
+        raise ReproError(f"error count {errors} outside 16-bit range")
+    if not 0 <= operations <= 0xFFFFFFFF:
+        raise ReproError(f"operation count {operations} outside 32-bit range")
+    return (errors << 32) | operations
+
+
+def decode_power_on_hours(raw: int, *, unit: str = "hours") -> float:
+    """Decode the power-on-time raw value (id 9).
+
+    ``unit`` names the firmware's counting convention: ``"hours"``
+    (most drives), ``"minutes"`` or ``"seconds"`` (some WD/SSD
+    firmware).  The result is always hours.
+    """
+    _check_raw(raw)
+    divisors = {"hours": 1.0, "minutes": 60.0, "seconds": 3600.0}
+    try:
+        divisor = divisors[unit]
+    except KeyError:
+        raise ReproError(f"unknown POH unit {unit!r}") from None
+    # Some firmware packs a millisecond remainder in the high word; the
+    # hour counter proper lives in the low 32 bits.
+    return ((raw & 0xFFFFFFFF) / divisor)
+
+
+def _check_raw(raw: int) -> None:
+    if not 0 <= raw <= RAW48_MAX:
+        raise ReproError(f"raw value {raw} outside the 48-bit range")

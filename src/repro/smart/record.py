@@ -1,0 +1,79 @@
+"""Scalar view of a single hourly SMART sample.
+
+The bulk of the library works on the matrix representation stored in
+:class:`repro.smart.profile.HealthProfile`; :class:`SmartRecord` is the
+per-sample object handed to user code that wants to inspect individual
+observations (examples, reporting, loaders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import UnknownAttributeError
+from repro.smart.attributes import CHARACTERIZATION_ATTRIBUTES, attribute_index
+
+
+@dataclass(frozen=True, slots=True)
+class SmartRecord:
+    """One hourly SMART sample of one drive.
+
+    Attributes
+    ----------
+    serial:
+        Drive serial number the sample belongs to.
+    hour:
+        Hours since the start of the collection period.
+    values:
+        The twelve attribute values in Table I order.  Depending on the
+        pipeline stage these are raw/vendor values or normalized values;
+        the record itself is agnostic.
+    attributes:
+        Symbols naming the columns of ``values``.
+    """
+
+    serial: str
+    hour: int
+    values: tuple[float, ...]
+    attributes: tuple[str, ...] = field(default=CHARACTERIZATION_ATTRIBUTES)
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.attributes):
+            raise ValueError(
+                f"record for {self.serial!r} has {len(self.values)} values "
+                f"for {len(self.attributes)} attributes"
+            )
+
+    def __getitem__(self, symbol: str) -> float:
+        """Return the value of attribute ``symbol``."""
+        try:
+            position = self.attributes.index(symbol)
+        except ValueError:
+            raise UnknownAttributeError(symbol) from None
+        return self.values[position]
+
+    def as_array(self) -> np.ndarray:
+        """Return the values as a 1-D ``float64`` array."""
+        return np.asarray(self.values, dtype=np.float64)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return a ``symbol -> value`` mapping."""
+        return dict(zip(self.attributes, self.values))
+
+    @classmethod
+    def from_mapping(cls, serial: str, hour: int,
+                     values: dict[str, float]) -> "SmartRecord":
+        """Build a record from a ``symbol -> value`` mapping.
+
+        The mapping must contain every Table I attribute; extra keys raise
+        :class:`UnknownAttributeError` so typos are caught early.
+        """
+        for symbol in values:
+            attribute_index(symbol)  # validates the symbol
+        missing = [s for s in CHARACTERIZATION_ATTRIBUTES if s not in values]
+        if missing:
+            raise ValueError(f"record is missing attributes: {missing}")
+        ordered = tuple(float(values[s]) for s in CHARACTERIZATION_ATTRIBUTES)
+        return cls(serial=serial, hour=hour, values=ordered)

@@ -1,0 +1,34 @@
+"""Statistical analysis utilities.
+
+Box-chart summaries (Figure 2), decile summaries (Figure 6), Pearson
+correlation (Figures 9/10), the Eq. (7) two-population z-score
+(Figures 11/12) and the rolling feature statistics of the 30-feature
+failure records.
+"""
+
+from repro.stats.afr import (
+    WeibullFit,
+    annualized_failure_rate,
+    fit_weibull,
+)
+from repro.stats.correlation import pearson, pearson_matrix, spearman
+from repro.stats.features import change_rate, rolling_std, smooth_poh
+from repro.stats.summary import BoxSummary, box_summary, deciles
+from repro.stats.zscore import two_population_z, temporal_z_scores
+
+__all__ = [
+    "WeibullFit",
+    "annualized_failure_rate",
+    "fit_weibull",
+    "pearson",
+    "pearson_matrix",
+    "spearman",
+    "change_rate",
+    "rolling_std",
+    "smooth_poh",
+    "BoxSummary",
+    "box_summary",
+    "deciles",
+    "two_population_z",
+    "temporal_z_scores",
+]

@@ -1,0 +1,72 @@
+"""Feature statistics over health-record time series.
+
+The paper's failure records carry, per read/write attribute, two derived
+statistics — "standard deviation of the values in the last 24 hours and
+change rate of the values" — computed here, together with the POH
+smoothing of Section IV-D (the health value steps down only every 876
+hours, so a small per-hour constant restores a usable time signal before
+correlation analysis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Default look-back of the derived statistics, hours.
+FEATURE_WINDOW_HOURS = 24
+
+#: Per-sample constant added to POH between consecutive samples, as the
+#: paper does "to reflect the one-hour interval between two consecutive
+#: samples".
+POH_SMOOTHING_PER_HOUR = 1.0e-3
+
+
+def rolling_std(series: np.ndarray,
+                window: int = FEATURE_WINDOW_HOURS) -> float:
+    """Standard deviation of the trailing ``window`` samples."""
+    series = _series(series)
+    tail = series[-window:]
+    return float(np.std(tail))
+
+
+def change_rate(series: np.ndarray,
+                window: int = FEATURE_WINDOW_HOURS) -> float:
+    """Least-squares slope (units per hour) of the trailing window.
+
+    A regression slope is used rather than the end-to-start difference so
+    a single noisy endpoint cannot dominate the rate.
+    """
+    series = _series(series)
+    tail = series[-window:]
+    if tail.shape[0] < 2:
+        return 0.0
+    t = np.arange(tail.shape[0], dtype=np.float64)
+    t -= t.mean()
+    denominator = float(np.sum(t * t))
+    if denominator == 0.0:
+        return 0.0
+    return float(np.sum(t * (tail - tail.mean())) / denominator)
+
+
+def smooth_poh(poh_series: np.ndarray, hours: np.ndarray,
+               per_hour: float = POH_SMOOTHING_PER_HOUR) -> np.ndarray:
+    """Apply the paper's POH smoothing.
+
+    The recorded POH health value is a step function (one unit per 876
+    power-on hours); adding ``per_hour`` per elapsed hour makes consecutive
+    samples distinct so correlations inside short windows are defined.
+    """
+    poh_series = _series(poh_series)
+    hours = np.asarray(hours, dtype=np.float64).ravel()
+    if hours.shape != poh_series.shape:
+        raise ReproError("POH series and hours must align")
+    return poh_series + per_hour * (hours - hours[0])
+
+
+def _series(series: np.ndarray) -> np.ndarray:
+    series = np.asarray(series, dtype=np.float64).ravel()
+    if series.shape[0] == 0:
+        raise ReproError("empty series")
+    return series

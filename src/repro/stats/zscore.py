@@ -1,0 +1,88 @@
+"""Two-population z-scores (Equation 7) and their temporal extension.
+
+Section V-A quantifies how an attribute differs between a failure group
+and the good-drive population with
+
+``z_a = (m_f - m_g) / sqrt(s2_f / n_f + s2_g / n_g)``
+
+and extends the calculation over the 20-day pre-failure timeline: at each
+number of hours before failure, the failure-group records observed at
+that lag are compared against *all* good-drive records (Figures 11/12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.smart.profile import HealthProfile
+
+
+def two_population_z(failed_values: np.ndarray,
+                     good_values: np.ndarray) -> float:
+    """Equation (7): standardized mean difference of two samples."""
+    failed_values = _sample(failed_values, "failed")
+    good_values = _sample(good_values, "good")
+    mean_f = float(failed_values.mean())
+    mean_g = float(good_values.mean())
+    var_f = float(failed_values.var(ddof=0))
+    var_g = float(good_values.var(ddof=0))
+    denominator = np.sqrt(var_f / failed_values.shape[0]
+                          + var_g / good_values.shape[0])
+    if denominator == 0.0:
+        return 0.0 if mean_f == mean_g else np.inf * np.sign(mean_f - mean_g)
+    return (mean_f - mean_g) / denominator
+
+
+def temporal_z_scores(failed_profiles: list[HealthProfile],
+                      good_values: np.ndarray, attribute: str,
+                      max_lag_hours: int = 480,
+                      step_hours: int = 8) -> tuple[np.ndarray, np.ndarray]:
+    """Z-score of ``attribute`` at each lag before failure.
+
+    Parameters
+    ----------
+    failed_profiles:
+        Profiles of one failure group (normalized or raw — the z-score is
+        scale-covariant either way).
+    good_values:
+        All good-drive values of the attribute, pooled.
+    attribute:
+        Symbol of the attribute to analyze.
+    max_lag_hours, step_hours:
+        Timeline resolution; the paper plots lags 0..480 hours.
+
+    Returns
+    -------
+    (lags, z_scores):
+        Lags (hours before failure) and the Eq. (7) score at each lag.
+        Lags at which fewer than two failure-group records exist yield
+        ``nan``.
+    """
+    if not failed_profiles:
+        raise ReproError("temporal z-scores need at least one failed profile")
+    good_values = _sample(np.asarray(good_values, dtype=np.float64), "good")
+    lags = np.arange(0, max_lag_hours + 1, step_hours, dtype=np.int64)
+
+    columns = []
+    lags_before = []
+    for profile in failed_profiles:
+        columns.append(profile.column(attribute))
+        lags_before.append(profile.hours_before_failure())
+    z_scores = np.full(lags.shape[0], np.nan)
+    for index, lag in enumerate(lags):
+        at_lag = [
+            values[lag_array == lag]
+            for values, lag_array in zip(columns, lags_before)
+        ]
+        pooled = np.concatenate(at_lag) if at_lag else np.empty(0)
+        if pooled.shape[0] >= 2:
+            z_scores[index] = two_population_z(pooled, good_values)
+    return lags, z_scores
+
+
+def _sample(values: np.ndarray, name: str) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.shape[0] < 2:
+        raise ReproError(f"{name} sample needs at least two values")
+    return values

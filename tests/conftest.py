@@ -1,0 +1,49 @@
+"""Shared fixtures: small seed-pinned fleets and pipeline reports.
+
+Simulation and the full pipeline are the expensive parts of the suite,
+so they are session-scoped: one small fleet for unit-level consumers and
+one mid-size fleet whose failure groups are large enough for the
+integration assertions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CharacterizationPipeline
+from repro.sim.config import FleetConfig
+from repro.sim.fleet import simulate_fleet
+
+
+@pytest.fixture(scope="session")
+def small_fleet():
+    """~600 drives, 11 failed — enough for every unit-level consumer."""
+    return simulate_fleet(FleetConfig(n_drives=600, seed=1))
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_fleet):
+    return small_fleet.dataset
+
+
+@pytest.fixture(scope="session")
+def small_normalized(small_fleet):
+    return small_fleet.dataset.normalize()
+
+
+@pytest.fixture(scope="session")
+def mid_fleet():
+    """~2,000 drives, 37 failed — all three groups well populated."""
+    return simulate_fleet(FleetConfig(n_drives=2000, seed=7))
+
+
+@pytest.fixture(scope="session")
+def mid_report(mid_fleet):
+    pipeline = CharacterizationPipeline(seed=7)
+    return pipeline.run(mid_fleet.dataset)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

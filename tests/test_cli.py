@@ -1,0 +1,75 @@
+"""Tests for the repro-characterize CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data.loader import save_csv
+
+
+def test_simulate_path(capsys):
+    assert main(["--simulate", "1200", "--seed", "7",
+                 "--no-prediction"]) == 0
+    out = capsys.readouterr().out
+    assert "loaded 1200 drives" in out
+    assert "Failure taxonomy" in out
+    assert "logical failures" in out
+
+
+def test_csv_path_with_json_output(tmp_path, small_dataset, capsys):
+    csv_path = tmp_path / "fleet.csv"
+    save_csv(small_dataset, csv_path)
+    json_path = tmp_path / "report.json"
+    assert main(["--csv", str(csv_path), "--no-prediction",
+                 "--json", str(json_path)]) == 0
+    payload = json.loads(json_path.read_text())
+    assert payload["n_failed_drives"] == len(small_dataset.failed_profiles)
+    out = capsys.readouterr().out
+    assert "report written" in out
+
+
+def test_prediction_table_included(capsys):
+    assert main(["--simulate", "1200", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "Degradation prediction quality" in out
+    assert "error rate" in out
+
+
+def test_missing_csv_errors(tmp_path, capsys):
+    assert main(["--csv", str(tmp_path / "nope.csv")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_backblaze_glob_without_matches_errors(tmp_path, capsys):
+    assert main(["--backblaze", str(tmp_path / "*.csv")]) == 1
+    assert "no files match" in capsys.readouterr().err
+
+
+def test_backblaze_path(tmp_path, small_dataset, capsys):
+    from repro.data.backblaze import save_backblaze_csv
+    save_backblaze_csv(small_dataset, tmp_path, model="M1")
+    assert main(["--backblaze", str(tmp_path / "*.csv"),
+                 "--model", "M1", "--no-prediction"]) == 0
+    assert "Failure taxonomy" in capsys.readouterr().out
+
+
+def test_too_few_failures_rejected(tmp_path, capsys):
+    import numpy as np
+    from repro.data.dataset import DiskDataset
+    from repro.smart.profile import HealthProfile
+    rng = np.random.default_rng(0)
+    profiles = [
+        HealthProfile(f"g{i}", np.arange(30),
+                      rng.uniform(size=(30, 12)), failed=(i == 0))
+        for i in range(10)
+    ]
+    path = tmp_path / "tiny.csv"
+    save_csv(DiskDataset(profiles), path)
+    assert main(["--csv", str(path)]) == 1
+    assert "at least 3 failed drives" in capsys.readouterr().err
+
+
+def test_requires_a_source():
+    with pytest.raises(SystemExit):
+        main([])

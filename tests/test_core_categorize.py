@@ -1,0 +1,88 @@
+"""Tests for the failure categorizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.categorize import FailureCategorizer
+from repro.core.records import build_failure_records
+from repro.core.taxonomy import FailureType
+from repro.errors import ModelError, ReproError
+from repro.sim.failure_modes import FailureMode
+
+MODE_BY_TYPE = {
+    FailureType.LOGICAL: FailureMode.LOGICAL,
+    FailureType.BAD_SECTOR: FailureMode.BAD_SECTOR,
+    FailureType.HEAD: FailureMode.HEAD,
+}
+
+
+@pytest.fixture(scope="module")
+def categorization(mid_fleet):
+    records = build_failure_records(mid_fleet.dataset.normalize())
+    return FailureCategorizer(n_clusters=3, seed=7).categorize(records)
+
+
+def test_three_groups_found(categorization):
+    assert categorization.n_groups == 3
+    assert set(np.unique(categorization.labels)) == {0, 1, 2}
+
+
+def test_groups_recover_ground_truth(categorization, mid_fleet):
+    correct = 0
+    total = 0
+    for failure_type in FailureType:
+        for serial in categorization.serials_of_type(failure_type):
+            total += 1
+            if mid_fleet.true_modes[serial] is MODE_BY_TYPE[failure_type]:
+                correct += 1
+    assert correct / total >= 0.95
+
+
+def test_population_ordering_matches_mixture(categorization):
+    counts = {
+        failure_type: len(categorization.serials_of_type(failure_type))
+        for failure_type in FailureType
+    }
+    assert counts[FailureType.LOGICAL] > counts[FailureType.HEAD]
+    assert counts[FailureType.HEAD] > counts[FailureType.BAD_SECTOR]
+
+
+def test_centroid_serials_belong_to_their_groups(categorization):
+    for failure_type in FailureType:
+        centroid = categorization.centroid_of_type(failure_type)
+        assert centroid in categorization.serials_of_type(failure_type)
+
+
+def test_type_of_serial_round_trip(categorization):
+    serial = categorization.serials_of_type(FailureType.HEAD)[0]
+    assert categorization.type_of_serial(serial) is FailureType.HEAD
+    with pytest.raises(ReproError):
+        categorization.type_of_serial("not-a-drive")
+
+
+def test_elbow_selection_picks_three(mid_fleet):
+    records = build_failure_records(mid_fleet.dataset.normalize())
+    result = FailureCategorizer(n_clusters=None, seed=7).categorize(records)
+    assert result.elbow is not None
+    assert result.elbow.best_k == 3
+    assert result.n_groups == 3
+
+
+def test_svc_method_agrees_with_kmeans(mid_fleet):
+    records = build_failure_records(mid_fleet.dataset.normalize())
+    kmeans_result = FailureCategorizer(n_clusters=3, seed=7,
+                                       method="kmeans").categorize(records)
+    svc_result = FailureCategorizer(n_clusters=3, seed=7,
+                                    method="svc").categorize(records)
+    # "We employed both K-means and SVC, which generate the same results."
+    for failure_type in FailureType:
+        assert set(svc_result.serials_of_type(failure_type)) == set(
+            kmeans_result.serials_of_type(failure_type)
+        )
+
+
+def test_invalid_method_rejected():
+    with pytest.raises(ModelError):
+        FailureCategorizer(method="spectral")
+    with pytest.raises(ModelError):
+        FailureCategorizer(n_clusters=1)

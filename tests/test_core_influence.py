@@ -1,0 +1,82 @@
+"""Tests for attribute-influence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.influence import (
+    environmental_correlations,
+    rw_attribute_correlations,
+    top_correlated_attributes,
+)
+from repro.core.signatures import DegradationWindow
+from repro.errors import ReproError
+from repro.smart.attributes import READ_WRITE_ATTRIBUTES
+from repro.smart.profile import HealthProfile
+
+
+def planted_profile(n=100, window=20):
+    """Profile whose RRER tracks the final descent and RUE is frozen."""
+    matrix = np.full((n, 12), 50.0)
+    t = np.arange(window, -1, -1, dtype=np.float64)
+    descent = 2.0 * (t / window) ** 2
+    matrix[-(window + 1):, 0] = 50.0 + descent  # RRER falls to 50 at failure
+    matrix[:, 10] = 80.0  # POH constant (smoothed by the analysis)
+    return HealthProfile("p", np.arange(n), matrix, failed=True)
+
+
+def planted_window(profile, window=20):
+    from repro.core.signatures import distance_to_failure
+    distances = distance_to_failure(profile)
+    return DegradationWindow(size=window,
+                             distances=distances[-(window + 1):])
+
+
+def test_ramped_attribute_correlates_strongly():
+    profile = planted_profile()
+    correlations = rw_attribute_correlations(profile, planted_window(profile))
+    assert set(correlations) == set(READ_WRITE_ATTRIBUTES)
+    assert abs(correlations["RRER"]) > 0.95
+
+
+def test_frozen_attributes_correlate_zero():
+    profile = planted_profile()
+    correlations = rw_attribute_correlations(profile, planted_window(profile))
+    assert correlations["RUE"] == 0.0
+    assert correlations["SER"] == 0.0
+
+
+def test_top_correlated_ranking():
+    correlations = {"A": 0.2, "B": -0.9, "C": 0.5}
+    assert top_correlated_attributes(correlations, count=2) == ["B", "C"]
+    with pytest.raises(ReproError):
+        top_correlated_attributes(correlations, count=0)
+
+
+def test_environmental_correlations_cover_horizons():
+    profile = planted_profile()
+    cells = environmental_correlations(profile, planted_window(profile),
+                                       targets=("RRER",))
+    horizons = {cell.horizon for cell in cells}
+    assert horizons == {"degradation_window", "24_hour_window",
+                        "full_profile"}
+    environmental = {cell.environmental for cell in cells}
+    assert environmental == {"POH", "TC"}
+
+
+def test_poh_smoothing_enables_in_window_correlation():
+    """Raw POH is constant inside a short window; the smoothed series
+    correlates perfectly with the (monotone) ramp."""
+    profile = planted_profile()
+    cells = environmental_correlations(profile, planted_window(profile),
+                                       targets=("RRER",))
+    in_window = next(c for c in cells
+                     if c.environmental == "POH"
+                     and c.horizon == "degradation_window")
+    assert abs(in_window.correlation) > 0.9
+
+
+def test_requires_targets():
+    profile = planted_profile()
+    with pytest.raises(ReproError):
+        environmental_correlations(profile, planted_window(profile),
+                                   targets=())

@@ -1,0 +1,115 @@
+"""Integration tests: the end-to-end characterization pipeline.
+
+These are the reproduction's acceptance tests — they assert the paper's
+published *shapes* on the simulated fleet: the group mix, the degradation
+window magnitudes, the canonical signature orders and the prediction
+ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CharacterizationPipeline
+from repro.core.taxonomy import FailureType
+from repro.sim.failure_modes import FailureMode
+
+MODE_BY_TYPE = {
+    FailureType.LOGICAL: FailureMode.LOGICAL,
+    FailureType.BAD_SECTOR: FailureMode.BAD_SECTOR,
+    FailureType.HEAD: FailureMode.HEAD,
+}
+
+
+def test_report_carries_every_stage(mid_report):
+    assert mid_report.dataset.is_normalized
+    assert mid_report.records.n_records == len(
+        mid_report.dataset.failed_profiles
+    )
+    assert mid_report.categorization.n_groups == 3
+    assert len(mid_report.signatures) >= 0.9 * mid_report.records.n_records
+    assert set(mid_report.group_summaries) == set(FailureType)
+    assert set(mid_report.predictions) == set(FailureType)
+
+
+def test_categorization_recovers_ground_truth(mid_report, mid_fleet):
+    correct = total = 0
+    for failure_type in FailureType:
+        for serial in mid_report.categorization.serials_of_type(failure_type):
+            total += 1
+            correct += mid_fleet.true_modes[serial] is MODE_BY_TYPE[failure_type]
+    assert correct / total >= 0.95
+
+
+def test_group_mix_matches_paper(mid_report):
+    summaries = mid_report.group_summaries
+    total = sum(s.n_drives for s in summaries.values())
+    logical_share = summaries[FailureType.LOGICAL].n_drives / total
+    bad_share = summaries[FailureType.BAD_SECTOR].n_drives / total
+    head_share = summaries[FailureType.HEAD].n_drives / total
+    assert logical_share == pytest.approx(0.596, abs=0.08)
+    assert bad_share == pytest.approx(0.076, abs=0.05)
+    assert head_share == pytest.approx(0.328, abs=0.08)
+
+
+def test_degradation_window_magnitudes(mid_report):
+    summaries = mid_report.group_summaries
+    assert summaries[FailureType.LOGICAL].median_window <= 14
+    assert summaries[FailureType.BAD_SECTOR].median_window >= 100
+    assert 8 <= summaries[FailureType.HEAD].median_window <= 30
+    # Group 2's degradation is an order of magnitude longer.
+    assert (summaries[FailureType.BAD_SECTOR].median_window
+            > 5 * summaries[FailureType.HEAD].median_window)
+
+
+def test_canonical_signature_orders(mid_report):
+    summaries = mid_report.group_summaries
+    assert summaries[FailureType.LOGICAL].consensus_order == 2
+    assert summaries[FailureType.BAD_SECTOR].consensus_order == 1
+    assert summaries[FailureType.HEAD].consensus_order == 3
+
+
+def test_dominant_correlated_attributes(mid_report):
+    summaries = mid_report.group_summaries
+    assert set(summaries[FailureType.BAD_SECTOR].top_correlated) <= {
+        "RUE", "R-RSC", "CPSC", "R-CPSC", "RSC"
+    }
+    assert "RRER" in summaries[FailureType.LOGICAL].top_correlated or \
+           "HER" in summaries[FailureType.LOGICAL].top_correlated
+    assert "R-RSC" in summaries[FailureType.HEAD].top_correlated or \
+           "RSC" in summaries[FailureType.HEAD].top_correlated
+
+
+def test_prediction_ordering_matches_table_three(mid_report):
+    predictions = mid_report.predictions
+    logical = predictions[FailureType.LOGICAL].error_rate
+    assert logical >= predictions[FailureType.BAD_SECTOR].error_rate
+    assert logical >= predictions[FailureType.HEAD].error_rate
+
+
+def test_signature_lookup(mid_report):
+    serial = next(iter(mid_report.signatures))
+    signature = mid_report.signature_of(serial)
+    assert signature.serial == serial
+    group = mid_report.group_of(serial)
+    assert group in FailureType
+
+
+def test_pipeline_accepts_prenormalized_dataset(small_normalized):
+    pipeline = CharacterizationPipeline(run_prediction=False, seed=1)
+    report = pipeline.run(small_normalized)
+    assert report.dataset is small_normalized
+
+
+def test_pipeline_without_prediction(small_dataset):
+    pipeline = CharacterizationPipeline(run_prediction=False, seed=1)
+    report = pipeline.run(small_dataset)
+    assert report.predictions == {}
+
+
+def test_pipeline_is_deterministic(small_dataset):
+    a = CharacterizationPipeline(run_prediction=False, seed=3).run(small_dataset)
+    b = CharacterizationPipeline(run_prediction=False, seed=3).run(small_dataset)
+    np.testing.assert_array_equal(a.categorization.labels,
+                                  b.categorization.labels)
+    assert {s: sig.window_size for s, sig in a.signatures.items()} == \
+           {s: sig.window_size for s, sig in b.signatures.items()}

@@ -1,0 +1,99 @@
+"""Tests for the degradation predictor (Table III protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import (
+    GOOD_SAMPLE_MULTIPLIER,
+    TARGET_RANGE,
+    DegradationPredictor,
+)
+from repro.core.taxonomy import FailureType
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def predictor_and_reports(mid_report):
+    predictor = DegradationPredictor(seed=7)
+    reports = predictor.evaluate_all(mid_report.dataset,
+                                     mid_report.categorization)
+    return predictor, reports
+
+
+def test_training_set_mixes_good_samples(mid_report):
+    predictor = DegradationPredictor(seed=7)
+    training_set = predictor.build_training_set(
+        mid_report.dataset, mid_report.categorization, FailureType.LOGICAL
+    )
+    failed_samples = sum(
+        len(mid_report.dataset.get(serial))
+        for serial in mid_report.categorization.serials_of_type(
+            FailureType.LOGICAL
+        )
+    )
+    assert training_set.features.shape[0] == failed_samples * (
+        1 + GOOD_SAMPLE_MULTIPLIER
+    )
+    # Good samples carry the healthy target 1.0.
+    assert np.sum(training_set.targets == 1.0) >= (
+        failed_samples * GOOD_SAMPLE_MULTIPLIER
+    )
+
+
+def test_targets_span_degradation_scale(mid_report):
+    predictor = DegradationPredictor(seed=7)
+    training_set = predictor.build_training_set(
+        mid_report.dataset, mid_report.categorization, FailureType.HEAD
+    )
+    assert training_set.targets.min() == pytest.approx(-1.0, abs=0.01)
+    assert training_set.targets.max() == 1.0
+
+
+def test_reports_cover_all_groups(predictor_and_reports):
+    _, reports = predictor_and_reports
+    assert set(reports) == set(FailureType)
+    for report in reports.values():
+        assert report.rmse >= 0.0
+        assert report.error_rate == pytest.approx(report.rmse / TARGET_RANGE)
+        assert report.n_train > report.n_test
+
+
+def test_prediction_quality_beats_trivial_baseline(predictor_and_reports):
+    """The tree must clearly beat predicting the constant mean target."""
+    _, reports = predictor_and_reports
+    for report in reports.values():
+        assert report.error_rate < 0.15
+
+
+def test_logical_group_is_hardest(predictor_and_reports):
+    _, reports = predictor_and_reports
+    logical = reports[FailureType.LOGICAL].error_rate
+    assert logical >= reports[FailureType.BAD_SECTOR].error_rate
+    assert logical >= reports[FailureType.HEAD].error_rate
+
+
+def test_paper_window_sizes_used(predictor_and_reports):
+    _, reports = predictor_and_reports
+    assert reports[FailureType.LOGICAL].window == 12
+    assert reports[FailureType.BAD_SECTOR].window == 380
+    assert reports[FailureType.HEAD].window == 24
+
+
+def test_head_tree_relies_on_reallocated_sectors(predictor_and_reports):
+    """Paper: Group 3's degradation is described by R-RSC alone."""
+    _, reports = predictor_and_reports
+    importances = reports[FailureType.HEAD].feature_importances
+    top_feature = max(importances, key=lambda k: importances[k])
+    assert top_feature in ("R-RSC", "RSC")
+
+
+def test_tree_for_requires_evaluation(mid_report):
+    predictor = DegradationPredictor(seed=7)
+    with pytest.raises(ReproError):
+        predictor.tree_for(FailureType.LOGICAL)
+
+
+def test_trees_exposed_after_evaluation(predictor_and_reports):
+    predictor, _ = predictor_and_reports
+    tree = predictor.tree_for(FailureType.HEAD)
+    assert tree.n_leaves() >= 2

@@ -1,0 +1,80 @@
+"""Tests for report JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.serialize import (
+    SCHEMA_VERSION,
+    load_report_summary,
+    report_to_dict,
+    save_report_json,
+)
+from repro.errors import ReproError
+
+
+def test_round_trip(tmp_path, mid_report):
+    path = tmp_path / "report.json"
+    save_report_json(mid_report, path)
+    summary = load_report_summary(path)
+    assert summary["schema_version"] == SCHEMA_VERSION
+    assert summary["n_failed_drives"] == mid_report.records.n_records
+    assert len(summary["drive_types"]) == mid_report.records.n_records
+
+
+def test_dict_contains_all_sections(mid_report):
+    payload = report_to_dict(mid_report)
+    assert set(payload["groups"]) == {"0", "1", "2"}
+    assert set(payload["group_summaries"]) == {
+        "LOGICAL", "BAD_SECTOR", "HEAD"
+    }
+    assert set(payload["predictions"]) == {"LOGICAL", "BAD_SECTOR", "HEAD"}
+    # Signature entries are keyed by serial and carry the window/order.
+    serial, signature = next(iter(payload["signatures"].items()))
+    assert signature["window_hours"] >= 1
+    assert signature["best_canonical_order"] in (1, 2, 3)
+    assert serial in payload["drive_types"]
+
+
+def test_payload_is_json_serializable(mid_report):
+    text = json.dumps(report_to_dict(mid_report))
+    assert "LOGICAL" in text
+
+
+def test_group_fractions_sum_to_one(mid_report):
+    payload = report_to_dict(mid_report)
+    total = sum(group["population_fraction"]
+                for group in payload["groups"].values())
+    assert total == pytest.approx(1.0)
+
+
+def test_load_rejects_bad_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(ReproError, match="not valid JSON"):
+        load_report_summary(path)
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"schema_version": 0}))
+    with pytest.raises(ReproError, match="schema version"):
+        load_report_summary(path)
+
+
+def test_load_rejects_missing_sections(tmp_path):
+    path = tmp_path / "partial.json"
+    path.write_text(json.dumps({"schema_version": SCHEMA_VERSION}))
+    with pytest.raises(ReproError, match="missing key"):
+        load_report_summary(path)
+
+
+def test_load_rejects_unknown_types(tmp_path):
+    path = tmp_path / "odd.json"
+    path.write_text(json.dumps({
+        "schema_version": SCHEMA_VERSION,
+        "groups": {}, "signatures": {}, "group_summaries": {},
+        "drive_types": {"d1": "QUANTUM_FOAM"},
+    }))
+    with pytest.raises(ReproError, match="unknown failure types"):
+        load_report_summary(path)

@@ -1,0 +1,114 @@
+"""Tests for the canonical signature models (Equations 2-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature_models import (
+    CANONICAL_ORDER_BY_TYPE,
+    PREDICTION_WINDOW_BY_TYPE,
+    canonical_signature,
+    compare_signature_models,
+    paper_equation_2,
+    paper_equation_5,
+    prediction_target,
+    signature_for_type,
+)
+from repro.core.taxonomy import FailureType
+from repro.errors import SignatureError
+
+
+def test_canonical_boundary_conditions():
+    for order in (1, 2, 3):
+        signature = canonical_signature(order, window=12)
+        assert signature(np.array([0.0]))[0] == pytest.approx(-1.0)
+        assert signature(np.array([12.0]))[0] == pytest.approx(0.0)
+
+
+def test_canonical_orders_match_paper():
+    assert CANONICAL_ORDER_BY_TYPE[FailureType.LOGICAL] == 2
+    assert CANONICAL_ORDER_BY_TYPE[FailureType.BAD_SECTOR] == 1
+    assert CANONICAL_ORDER_BY_TYPE[FailureType.HEAD] == 3
+
+
+def test_prediction_windows_match_paper():
+    assert PREDICTION_WINDOW_BY_TYPE == {
+        FailureType.LOGICAL: 12,
+        FailureType.BAD_SECTOR: 380,
+        FailureType.HEAD: 24,
+    }
+
+
+def test_equation_2_has_the_papers_boundary_defect():
+    """Eq. (2) evaluates to -1/3 at t=d instead of 0 — the reason the
+    paper revises it."""
+    equation = paper_equation_2(window=3)
+    assert equation(np.array([3.0]))[0] == pytest.approx(-1.0 / 3.0)
+
+
+def test_equation_5_with_unit_coefficient():
+    equation = paper_equation_5(window=12, a=1.0)
+    assert equation(np.array([0.0]))[0] == pytest.approx(-1.0)
+    # At t=d: 1 - 1/a - 1 = -1 for a=1.
+    assert equation(np.array([12.0]))[0] == pytest.approx(-1.0)
+
+
+def test_revised_form_beats_equation_2_on_quadratic_truth():
+    window = 3
+    t = np.arange(window + 1, dtype=np.float64)
+    s = (t / window) ** 2 - 1.0
+    rmse = compare_signature_models(t, s, window, FailureType.LOGICAL)
+    assert rmse["revised_second_order"] < rmse["equation_2"]
+    assert rmse["revised_second_order"] < rmse["first_order"]
+
+
+def test_third_order_wins_on_cubic_truth():
+    window = 12
+    t = np.arange(window + 1, dtype=np.float64)
+    s = (t / window) ** 3 - 1.0
+    rmse = compare_signature_models(t, s, window, FailureType.HEAD)
+    assert min(rmse, key=lambda k: rmse[k]) == "simplified_third_order"
+
+
+def test_first_order_wins_on_linear_truth():
+    window = 377
+    t = np.arange(window + 1, dtype=np.float64)
+    s = t / window - 1.0
+    rmse = compare_signature_models(t, s, window, FailureType.BAD_SECTOR)
+    assert min(rmse, key=lambda k: rmse[k]) == "first_order"
+
+
+def test_signature_for_type_dispatches():
+    signature = signature_for_type(FailureType.HEAD, window=24)
+    assert signature(np.array([12.0]))[0] == pytest.approx(
+        (12.0 / 24.0) ** 3 - 1.0
+    )
+
+
+class TestPredictionTarget:
+    def test_failure_instant_is_minus_one(self):
+        target = prediction_target(FailureType.LOGICAL, np.array([0.0]))
+        assert target[0] == pytest.approx(-1.0)
+
+    def test_saturates_at_good_state(self):
+        target = prediction_target(FailureType.LOGICAL,
+                                   np.array([0.0, 12.0, 100.0, 480.0]))
+        assert target[1] == pytest.approx(0.0)
+        assert target[2] == 1.0
+        assert target[3] == 1.0
+
+    def test_custom_window(self):
+        target = prediction_target(FailureType.BAD_SECTOR, np.array([50.0]),
+                                   window=100)
+        assert target[0] == pytest.approx(-0.5)
+
+
+def test_invalid_parameters():
+    with pytest.raises(SignatureError):
+        canonical_signature(0, 10)
+    with pytest.raises(SignatureError):
+        canonical_signature(2, 0)
+    with pytest.raises(SignatureError):
+        paper_equation_5(10, a=0.0)
+    with pytest.raises(SignatureError):
+        compare_signature_models(np.arange(3.0), np.arange(4.0), 2,
+                                 FailureType.LOGICAL)

@@ -1,0 +1,141 @@
+"""Tests for degradation-window extraction and signature derivation."""
+
+import numpy as np
+import pytest
+
+from repro.core.signatures import (
+    WindowParams,
+    derive_signature,
+    distance_to_failure,
+    extract_degradation_window,
+)
+from repro.errors import SignatureError
+from repro.ml.distance import MahalanobisDistance
+from repro.smart.profile import HealthProfile
+
+
+def synthetic_distances(window, exponent, plateau=200, level=2.0,
+                        noise=0.0, seed=0):
+    """Distance series: noisy plateau followed by a clean power-law descent."""
+    rng = np.random.default_rng(seed)
+    flat = level + rng.normal(0.0, noise, plateau)
+    t = np.arange(window, -1, -1, dtype=np.float64)
+    ramp = level * (t / window) ** exponent
+    return np.concatenate([flat, ramp[1:]])
+
+
+class TestWindowExtraction:
+    @pytest.mark.parametrize("window,exponent", [(3, 2.0), (12, 2.0),
+                                                 (20, 3.0), (350, 1.0)])
+    def test_recovers_planted_window(self, window, exponent):
+        distances = synthetic_distances(window, exponent, noise=0.02)
+        extracted = extract_degradation_window(distances)
+        assert abs(extracted.size - window) <= max(2, int(0.1 * window))
+
+    def test_monotone_series_spans_whole_profile(self):
+        t = np.arange(400, -1, -1, dtype=np.float64)
+        distances = 2.0 * t / 400.0
+        extracted = extract_degradation_window(distances)
+        assert extracted.size >= 375
+
+    def test_window_distances_end_at_zero(self):
+        distances = synthetic_distances(10, 2.0)
+        extracted = extract_degradation_window(distances)
+        assert extracted.distances[-1] == 0.0
+        assert extracted.distances.shape == (extracted.size + 1,)
+
+    def test_single_sample_spikes_do_not_truncate(self):
+        distances = synthetic_distances(50, 1.0, noise=0.0)
+        distances[-25] += 1.5  # isolated spike mid-window
+        extracted = extract_degradation_window(distances)
+        assert extracted.size >= 40
+
+    def test_last_record_must_be_failure(self):
+        with pytest.raises(SignatureError):
+            extract_degradation_window(np.array([3.0, 2.0, 1.0]))
+
+    def test_needs_two_records(self):
+        with pytest.raises(SignatureError):
+            extract_degradation_window(np.array([0.0]))
+
+    def test_params_validation(self):
+        with pytest.raises(SignatureError):
+            WindowParams(dip_tolerance=0.0)
+        with pytest.raises(SignatureError):
+            WindowParams(min_window=0)
+
+
+class TestDegradationValues:
+    def test_normalized_to_minus_one_zero(self):
+        distances = synthetic_distances(10, 2.0)
+        window = extract_degradation_window(distances)
+        t, s = window.degradation_values()
+        assert s[-1] == pytest.approx(-1.0)   # failure event
+        assert s.max() == pytest.approx(0.0)  # largest distance
+        assert t[-1] == 0.0
+        assert t[0] == window.size
+
+    def test_degenerate_window_rejected(self):
+        from repro.core.signatures import DegradationWindow
+        window = DegradationWindow(size=2, distances=np.zeros(3))
+        with pytest.raises(SignatureError):
+            window.degradation_values()
+
+
+class TestDistanceToFailure:
+    def test_euclidean_series(self, small_normalized):
+        profile = small_normalized.failed_profiles[0]
+        distances = distance_to_failure(profile)
+        assert distances.shape == (len(profile),)
+        assert distances[-1] == 0.0
+        assert np.all(distances >= 0.0)
+
+    def test_mahalanobis_requires_fitted_metric(self, small_normalized):
+        profile = small_normalized.failed_profiles[0]
+        with pytest.raises(SignatureError):
+            distance_to_failure(profile, metric="mahalanobis")
+        metric = MahalanobisDistance().fit(
+            small_normalized.stacked_records()[0]
+        )
+        distances = distance_to_failure(profile, metric="mahalanobis",
+                                        mahalanobis=metric)
+        assert distances[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_unknown_metric_rejected(self, small_normalized):
+        with pytest.raises(SignatureError):
+            distance_to_failure(small_normalized.failed_profiles[0],
+                                metric="cosine")
+
+
+class TestDeriveSignature:
+    def _profile_from_distances(self, distances):
+        """Build a profile whose distance-to-failure equals ``distances``.
+
+        One attribute carries the planted shape; the rest are constant.
+        """
+        n = distances.shape[0]
+        matrix = np.zeros((n, 12))
+        matrix[:, 0] = distances  # failure record value is 0
+        return HealthProfile("synthetic", np.arange(n), matrix, failed=True)
+
+    @pytest.mark.parametrize("exponent,window", [(1.0, 300), (2.0, 8),
+                                                 (3.0, 20)])
+    def test_recovers_canonical_order(self, exponent, window):
+        distances = synthetic_distances(window, exponent, noise=0.01,
+                                        plateau=60)
+        profile = self._profile_from_distances(distances)
+        signature = derive_signature(profile)
+        assert signature.best_canonical_order == int(exponent)
+
+    def test_free_fits_cover_orders(self):
+        distances = synthetic_distances(20, 2.0)
+        signature = derive_signature(self._profile_from_distances(distances))
+        assert [fit.order for fit in signature.polynomial_fits] == [1, 2, 3]
+        assert signature.best_fit.rmse == min(
+            fit.rmse for fit in signature.polynomial_fits
+        )
+
+    def test_window_size_exposed(self):
+        distances = synthetic_distances(15, 2.0)
+        signature = derive_signature(self._profile_from_distances(distances))
+        assert signature.window_size == signature.window.size

@@ -1,0 +1,82 @@
+"""Property-based tests of the degradation-window extractor.
+
+The extractor must recover planted windows across the paper's whole
+range of shapes (linear through cubic) and sizes (hours through weeks),
+under bounded noise — these properties pin the tool's behaviour far more
+broadly than the example-based tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signatures import extract_degradation_window
+
+
+def planted_series(window, exponent, plateau, level, noise, seed):
+    rng = np.random.default_rng(seed)
+    flat = level + rng.normal(0.0, noise, plateau)
+    t = np.arange(window, -1, -1, dtype=np.float64)
+    ramp = level * (t / window) ** exponent
+    return np.concatenate([flat, ramp[1:]])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    window=st.integers(3, 80),
+    exponent=st.sampled_from([1.0, 2.0, 3.0]),
+    plateau=st.integers(20, 150),
+    level=st.floats(0.5, 4.0),
+    seed=st.integers(0, 10_000),
+)
+def test_recovers_planted_window_with_mild_noise(window, exponent, plateau,
+                                                 level, seed):
+    distances = planted_series(window, exponent, plateau, level,
+                               noise=0.01 * level, seed=seed)
+    extracted = extract_degradation_window(distances)
+    assert abs(extracted.size - window) <= max(3, round(0.2 * window))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    window=st.integers(3, 60),
+    exponent=st.sampled_from([1.0, 2.0, 3.0]),
+    seed=st.integers(0, 10_000),
+)
+def test_window_never_exceeds_profile(window, exponent, seed):
+    distances = planted_series(window, exponent, plateau=10, level=2.0,
+                               noise=0.05, seed=seed)
+    extracted = extract_degradation_window(distances)
+    assert 1 <= extracted.size <= distances.shape[0] - 1
+    assert extracted.distances.shape == (extracted.size + 1,)
+    assert extracted.distances[-1] == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    window=st.integers(5, 60),
+    seed=st.integers(0, 10_000),
+)
+def test_degradation_values_normalized(window, seed):
+    distances = planted_series(window, 2.0, plateau=40, level=1.5,
+                               noise=0.02, seed=seed)
+    extracted = extract_degradation_window(distances)
+    t, s = extracted.degradation_values()
+    assert s[-1] == pytest.approx(-1.0)
+    assert s.max() == pytest.approx(0.0)
+    assert np.all(s >= -1.0 - 1e-12)
+    assert t[0] == extracted.size and t[-1] == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(scale=st.floats(0.1, 100.0), window=st.integers(5, 50),
+       seed=st.integers(0, 1000))
+def test_extraction_is_scale_invariant(scale, window, seed):
+    base = planted_series(window, 2.0, plateau=60, level=2.0, noise=0.02,
+                          seed=seed)
+    small = extract_degradation_window(base)
+    # Tolerances are absolute, so pure scaling should not change the
+    # window materially once the series dwarfs them.
+    scaled = extract_degradation_window(base * max(scale, 1.0))
+    assert abs(scaled.size - small.size) <= max(3, round(0.3 * window))

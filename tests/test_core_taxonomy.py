@@ -1,0 +1,85 @@
+"""Tests for the Table II taxonomy rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import FailureRecordSet
+from repro.core.taxonomy import FailureType, classify_groups
+from repro.errors import ReproError
+from repro.smart.attributes import CHARACTERIZATION_ATTRIBUTES
+
+
+def synthetic_records():
+    """Nine failure records: three per archetype.
+
+    Cluster 0 = logical (near-good), cluster 1 = bad sector (low RUE),
+    cluster 2 = head (high raw R-RSC).
+    """
+    n = 9
+    attribute_values = np.full((n, 12), 0.9)
+    rue = CHARACTERIZATION_ATTRIBUTES.index("RUE")
+    rrsc = CHARACTERIZATION_ATTRIBUTES.index("R-RSC")
+    attribute_values[:, rrsc] = -0.9
+    # Bad-sector rows: lowest RUE.
+    attribute_values[3:6, rue] = -0.95
+    # Head rows: saturated R-RSC.
+    attribute_values[6:9, rrsc] = 0.97
+    return FailureRecordSet(
+        features=np.zeros((n, 30)),
+        serials=tuple(f"d{i}" for i in range(n)),
+        feature_names=tuple(f"f{i}" for i in range(30)),
+        attribute_values=attribute_values,
+        attribute_names=CHARACTERIZATION_ATTRIBUTES,
+    )
+
+
+LABELS = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+
+
+def test_rules_assign_the_paper_types():
+    groups = classify_groups(synthetic_records(), LABELS)
+    assert groups[0].failure_type is FailureType.LOGICAL
+    assert groups[1].failure_type is FailureType.BAD_SECTOR
+    assert groups[2].failure_type is FailureType.HEAD
+
+
+def test_assignment_invariant_to_cluster_relabeling():
+    relabeled = np.array([2, 2, 2, 0, 0, 0, 1, 1, 1])
+    groups = classify_groups(synthetic_records(), relabeled)
+    assert groups[2].failure_type is FailureType.LOGICAL
+    assert groups[0].failure_type is FailureType.BAD_SECTOR
+    assert groups[1].failure_type is FailureType.HEAD
+
+
+def test_population_fractions():
+    groups = classify_groups(synthetic_records(), LABELS)
+    for group in groups.values():
+        assert group.population_fraction == pytest.approx(1 / 3)
+        assert group.n_records == 3
+
+
+def test_paper_group_numbers():
+    groups = classify_groups(synthetic_records(), LABELS)
+    numbers = {g.failure_type: g.paper_group_number for g in groups.values()}
+    assert numbers[FailureType.LOGICAL] == 1
+    assert numbers[FailureType.BAD_SECTOR] == 2
+    assert numbers[FailureType.HEAD] == 3
+
+
+def test_properties_text_present():
+    groups = classify_groups(synthetic_records(), LABELS)
+    assert "uncorrectable" in groups[1].properties
+    assert "high fly" in groups[2].properties
+
+
+def test_wrong_group_count_rejected():
+    records = synthetic_records()
+    with pytest.raises(ReproError):
+        classify_groups(records, np.zeros(9, dtype=int))
+    with pytest.raises(ReproError):
+        classify_groups(records, np.arange(9) % 4)
+
+
+def test_misaligned_labels_rejected():
+    with pytest.raises(ReproError):
+        classify_groups(synthetic_records(), LABELS[:-1])

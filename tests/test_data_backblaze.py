@@ -1,0 +1,90 @@
+"""Tests for the Backblaze drive-stats loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.backblaze import BACKBLAZE_COLUMN_MAP, load_backblaze_csv
+from repro.errors import DatasetError
+from repro.smart.attributes import CHARACTERIZATION_ATTRIBUTES
+
+HEADER = ("date,serial_number,model,capacity_bytes,failure,"
+          + ",".join(BACKBLAZE_COLUMN_MAP[s] for s in CHARACTERIZATION_ATTRIBUTES))
+
+
+def _row(day, serial, model="ST4000", failure=0, base=50.0):
+    values = ",".join(str(base + i) for i in range(12))
+    return f"2015-01-{day:02d},{serial},{model},4000,{failure},{values}"
+
+
+def write_days(tmp_path, rows_by_day):
+    paths = []
+    for day, rows in rows_by_day.items():
+        path = tmp_path / f"2015-01-{day:02d}.csv"
+        path.write_text("\n".join([HEADER, *rows]) + "\n")
+        paths.append(path)
+    return paths
+
+
+def test_profiles_assembled_across_days(tmp_path):
+    paths = write_days(tmp_path, {
+        1: [_row(1, "A"), _row(1, "B")],
+        2: [_row(2, "A"), _row(2, "B", failure=1)],
+    })
+    dataset = load_backblaze_csv(paths)
+    assert len(dataset) == 2
+    assert not dataset.get("A").failed
+    assert dataset.get("B").failed
+    # Daily samples timestamped in hours (24h apart).
+    np.testing.assert_array_equal(dataset.get("A").hours, [0, 24])
+
+
+def test_attribute_column_mapping(tmp_path):
+    paths = write_days(tmp_path, {1: [_row(1, "A", base=10.0)]})
+    dataset = load_backblaze_csv(paths)
+    profile = dataset.get("A")
+    # Columns follow CHARACTERIZATION_ATTRIBUTES order: base + position.
+    assert profile.column("RRER")[0] == 10.0
+    assert profile.column("TC")[0] == 21.0
+
+
+def test_model_filter(tmp_path):
+    paths = write_days(tmp_path, {
+        1: [_row(1, "A", model="ST4000"), _row(1, "B", model="WD40")],
+    })
+    dataset = load_backblaze_csv(paths, model="ST4000")
+    assert "A" in dataset
+    assert "B" not in dataset
+
+
+def test_no_matching_rows_raises(tmp_path):
+    paths = write_days(tmp_path, {1: [_row(1, "A")]})
+    with pytest.raises(DatasetError):
+        load_backblaze_csv(paths, model="NOPE")
+
+
+def test_missing_columns_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("date,model\n2015-01-01,X\n")
+    with pytest.raises(DatasetError, match="missing Backblaze columns"):
+        load_backblaze_csv([path])
+
+
+def test_policy_truncation(tmp_path):
+    rows_by_day = {
+        day: [_row(day, "A")] for day in range(1, 31)
+    }
+    paths = write_days(tmp_path, rows_by_day)
+    truncated = load_backblaze_csv(paths)
+    untruncated = load_backblaze_csv(paths, apply_policy=False)
+    assert len(untruncated.get("A")) == 30
+    assert len(truncated.get("A")) < 30  # 7-day good-drive policy
+
+
+def test_blank_smart_cells_become_zero(tmp_path):
+    path = tmp_path / "2015-01-01.csv"
+    values = ",".join([""] + [str(float(i)) for i in range(1, 12)])
+    path.write_text(
+        "\n".join([HEADER, f"2015-01-01,A,M,1,0,{values}"]) + "\n"
+    )
+    dataset = load_backblaze_csv([path])
+    assert dataset.get("A").column("RRER")[0] == 0.0

@@ -1,0 +1,50 @@
+"""Tests for the Backblaze-format exporter (round-trip with the loader)."""
+
+import numpy as np
+import pytest
+
+from repro.data.backblaze import load_backblaze_csv, save_backblaze_csv
+from repro.data.dataset import DiskDataset
+from repro.errors import DatasetError
+from repro.smart.profile import HealthProfile
+
+
+def test_round_trip_through_backblaze_format(tmp_path, small_dataset):
+    paths = save_backblaze_csv(small_dataset, tmp_path, model="TEST")
+    assert paths, "exporter wrote no files"
+    loaded = load_backblaze_csv(paths, model="TEST", apply_policy=False)
+    # Every drive survives with its failure label.
+    assert len(loaded) == len(small_dataset)
+    for profile in small_dataset.profiles:
+        restored = loaded.get(profile.serial)
+        assert restored.failed == profile.failed
+        # The final record (failure record for failed drives) is kept
+        # exactly by the downsampler.
+        np.testing.assert_allclose(restored.matrix[-1],
+                                   profile.failure_record()
+                                   if profile.failed else profile.matrix[-1])
+
+
+def test_daily_downsampling(tmp_path, small_dataset):
+    paths = save_backblaze_csv(small_dataset, tmp_path)
+    loaded = load_backblaze_csv(paths, apply_policy=False)
+    for profile in small_dataset.profiles:
+        restored = loaded.get(profile.serial)
+        expected = (len(profile) + 23) // 24
+        assert len(restored) == expected
+
+
+def test_unmapped_attributes_rejected(tmp_path):
+    profile = HealthProfile(
+        serial="x", hours=np.arange(5),
+        matrix=np.zeros((5, 2)), failed=False,
+        attributes=("CUSTOM1", "CUSTOM2"),
+    )
+    with pytest.raises(DatasetError, match="without Backblaze columns"):
+        save_backblaze_csv(DiskDataset([profile]), tmp_path)
+
+
+def test_export_creates_directory(tmp_path, small_dataset):
+    target = tmp_path / "nested" / "dir"
+    paths = save_backblaze_csv(small_dataset, target)
+    assert all(path.parent == target for path in paths)

@@ -1,0 +1,73 @@
+"""Tests for the native CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import load_csv, save_csv
+from repro.errors import DatasetError
+
+
+def test_round_trip_preserves_everything(tmp_path, small_dataset):
+    path = tmp_path / "fleet.csv"
+    save_csv(small_dataset, path)
+    loaded = load_csv(path)
+    assert len(loaded) == len(small_dataset)
+    assert loaded.attributes == small_dataset.attributes
+    for profile in small_dataset.profiles:
+        restored = loaded.get(profile.serial)
+        assert restored.failed == profile.failed
+        np.testing.assert_array_equal(restored.hours, profile.hours)
+        np.testing.assert_array_equal(restored.matrix, profile.matrix)
+
+
+def test_rows_sorted_by_hour_on_load(tmp_path):
+    path = tmp_path / "unsorted.csv"
+    path.write_text(
+        "serial,hour,failed,A,B\n"
+        "d1,5,1,5.0,50.0\n"
+        "d1,3,1,3.0,30.0\n"
+        "d1,4,1,4.0,40.0\n"
+    )
+    dataset = load_csv(path)
+    profile = dataset.get("d1")
+    np.testing.assert_array_equal(profile.hours, [3, 4, 5])
+    np.testing.assert_array_equal(profile.matrix[:, 0], [3.0, 4.0, 5.0])
+
+
+def test_missing_file_header_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(DatasetError):
+        load_csv(path)
+
+
+def test_wrong_header_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b,c,d\n")
+    with pytest.raises(DatasetError):
+        load_csv(path)
+
+
+def test_ragged_row_rejected(tmp_path):
+    path = tmp_path / "ragged.csv"
+    path.write_text("serial,hour,failed,A\nx,1,0\n")
+    with pytest.raises(DatasetError, match="expected 4 fields"):
+        load_csv(path)
+
+
+def test_inconsistent_failed_flag_rejected(tmp_path):
+    path = tmp_path / "flags.csv"
+    path.write_text(
+        "serial,hour,failed,A\n"
+        "d1,1,0,1.0\n"
+        "d1,2,1,2.0\n"
+    )
+    with pytest.raises(DatasetError, match="inconsistent"):
+        load_csv(path)
+
+
+def test_non_numeric_cell_rejected(tmp_path):
+    path = tmp_path / "nan.csv"
+    path.write_text("serial,hour,failed,A\nd1,1,0,oops\n")
+    with pytest.raises(DatasetError):
+        load_csv(path)

@@ -1,0 +1,69 @@
+"""Tests for train/test splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.splits import train_test_split
+from repro.errors import DatasetError
+
+
+def test_partition_is_disjoint_and_complete():
+    split = train_test_split(100, rng=np.random.default_rng(1))
+    combined = np.concatenate([split.train_indices, split.test_indices])
+    assert sorted(combined.tolist()) == list(range(100))
+
+
+def test_default_fraction_is_seventy_percent():
+    split = train_test_split(1000, rng=np.random.default_rng(1))
+    assert split.train_indices.shape[0] == 700
+
+
+def test_select_pairs_arrays():
+    features = np.arange(20).reshape(10, 2)
+    targets = np.arange(10)
+    split = train_test_split(10, rng=np.random.default_rng(1))
+    x_train, x_test, y_train, y_test = split.select(features, targets)
+    assert x_train.shape[0] == y_train.shape[0]
+    assert x_test.shape[0] == y_test.shape[0]
+    np.testing.assert_array_equal(x_train[:, 0] // 2, y_train)
+
+
+def test_group_split_keeps_groups_together():
+    groups = np.repeat(np.arange(10), 5)
+    split = train_test_split(50, groups=groups,
+                             rng=np.random.default_rng(2))
+    train_groups = set(groups[split.train_indices].tolist())
+    test_groups = set(groups[split.test_indices].tolist())
+    assert train_groups.isdisjoint(test_groups)
+
+
+def test_group_split_needs_two_groups():
+    with pytest.raises(DatasetError):
+        train_test_split(10, groups=np.zeros(10))
+
+
+def test_invalid_arguments():
+    with pytest.raises(DatasetError):
+        train_test_split(1)
+    with pytest.raises(DatasetError):
+        train_test_split(10, train_fraction=1.5)
+    with pytest.raises(DatasetError):
+        train_test_split(10, groups=np.zeros(5))
+
+
+def test_deterministic_given_rng():
+    a = train_test_split(50, rng=np.random.default_rng(9))
+    b = train_test_split(50, rng=np.random.default_rng(9))
+    np.testing.assert_array_equal(a.train_indices, b.train_indices)
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(2, 500), fraction=st.floats(0.05, 0.95))
+def test_both_sides_nonempty_for_any_fraction(n, fraction):
+    split = train_test_split(n, train_fraction=fraction,
+                             rng=np.random.default_rng(0))
+    assert split.train_indices.shape[0] >= 1
+    assert split.test_indices.shape[0] >= 1
+    assert split.train_indices.shape[0] + split.test_indices.shape[0] == n

@@ -1,0 +1,38 @@
+"""Tests for the observation-window policy."""
+
+import numpy as np
+
+from repro.data.windows import truncate_to_policy
+from repro.smart.profile import HealthProfile
+
+
+def make_profile(n, failed):
+    return HealthProfile(
+        serial="x", hours=np.arange(n),
+        matrix=np.arange(n * 12, dtype=np.float64).reshape(n, 12),
+        failed=failed,
+    )
+
+
+def test_failed_profiles_keep_480_final_samples():
+    profile = make_profile(700, failed=True)
+    truncated = truncate_to_policy(profile)
+    assert len(truncated) == 480
+    np.testing.assert_array_equal(truncated.failure_record(),
+                                  profile.failure_record())
+
+
+def test_good_profiles_keep_168_final_samples():
+    profile = make_profile(700, failed=False)
+    assert len(truncate_to_policy(profile)) == 168
+
+
+def test_short_profiles_untouched():
+    profile = make_profile(100, failed=True)
+    assert truncate_to_policy(profile) is profile
+
+
+def test_custom_limits():
+    profile = make_profile(100, failed=True)
+    truncated = truncate_to_policy(profile, failed_hours=10)
+    assert len(truncated) == 10

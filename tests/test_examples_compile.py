@@ -1,0 +1,31 @@
+"""The examples must at least parse and import cleanly.
+
+Running every example end to end is too slow for the unit suite (the
+benchmarks and EXPERIMENTS.md cover outcomes); this guard catches the
+cheap failure modes — syntax errors and broken imports after API
+changes.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_FILES) >= 3  # the deliverable's minimum
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # top level only; main() is guarded
+    assert callable(module.main)

@@ -1,0 +1,41 @@
+"""Tests for the extension experiments (prediction methods, generalization)."""
+
+import pytest
+
+from repro.experiments import generalization, prediction_methods
+from repro.sim.config import FleetConfig
+
+
+def test_prediction_methods_comparison(mid_report):
+    result = prediction_methods.run(mid_report)
+    errors = result.data["errors"]
+    assert set(errors) == {"group1", "group2", "group3"}
+    for group, methods in errors.items():
+        assert set(methods) == {"regression_tree", "knn_5", "ridge_linear"}
+        # Every method at least beats random guessing on a [-1, 1] target.
+        assert all(error < 0.5 for error in methods.values())
+    # Nonlinear methods beat the linear baseline on at least two groups:
+    # degradation targets are polynomial in time, not linear in attributes.
+    nonlinear_wins = sum(
+        min(m["regression_tree"], m["knn_5"]) <= m["ridge_linear"]
+        for m in errors.values()
+    )
+    assert nonlinear_wins >= 2
+
+
+def test_generalization_on_backup_fleet():
+    result = generalization.run(n_drives=1500, seed=11)
+    fractions = result.data["fractions"]
+    # The backup system flips the mix: bad-sector failures dominate.
+    assert fractions["BAD_SECTOR"] > 0.5
+    assert fractions["BAD_SECTOR"] > fractions["LOGICAL"]
+    assert fractions["BAD_SECTOR"] > fractions["HEAD"]
+    assert result.data["accuracy"] >= 0.9
+
+
+def test_backup_system_config_preset():
+    config = FleetConfig.backup_system(n_drives=100, seed=1)
+    assert config.mode_mixture.bad_sector == pytest.approx(0.60)
+    # Backup load is write-heavy.
+    assert config.mean_write_ops_per_hour > config.mean_read_ops_per_hour
+    assert config.failure_rate > 0.02

@@ -1,0 +1,29 @@
+"""Tests for the RAID-protection experiment."""
+
+from repro.experiments import raid_protection
+from repro.experiments.raid_protection import compute_warning_leads
+
+
+def test_raid_protection_shapes(mid_fleet, mid_report):
+    result = raid_protection.run(mid_fleet, mid_report, n_groups=4000,
+                                 seed=9)
+    rates = result.data["loss_rates"]
+    assert rates["reactive_RAID5"] > 0
+    assert rates["reactive_RAID6"] <= rates["reactive_RAID5"]
+    assert rates["proactive_RAID5"] < rates["reactive_RAID5"]
+
+
+def test_warning_leads_longest_for_bad_sector(mid_fleet, mid_report):
+    result = raid_protection.run(mid_fleet, mid_report, n_groups=1000,
+                                 seed=9)
+    leads = result.data["median_leads"]
+    # The long linear degradation gives the most warning; logical
+    # failures the least.
+    assert leads["group2"] >= leads["group1"]
+
+
+def test_compute_warning_leads_covers_most_failures(mid_fleet, mid_report):
+    leads = compute_warning_leads(mid_fleet, mid_report)
+    n_failed = len(mid_report.dataset.failed_profiles)
+    assert len(leads) >= 0.6 * n_failed
+    assert all(lead >= 0 for lead in leads.values())

@@ -1,0 +1,56 @@
+"""Tests for the thermal-mitigation experiment and its causal model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import thermal_mitigation
+from repro.sim.config import FleetConfig
+from repro.sim.failure_modes import FailureMode
+from repro.sim.fleet import FleetSimulator, simulate_fleet
+
+
+def count_mode(fleet, mode):
+    return sum(1 for m in fleet.true_modes.values() if m is mode)
+
+
+def test_reference_temperature_preserves_configured_mixture():
+    config = FleetConfig(n_drives=2000, seed=5)
+    simulator = FleetSimulator(config)
+    assert simulator.thermal_hazard_factor() == pytest.approx(1.0)
+    fleet = simulator.run()
+    assert len(fleet.dataset.failed_profiles) == config.n_failed
+
+
+def test_hotter_room_grows_logical_failures_only():
+    base = FleetConfig(n_drives=2000, seed=5)
+    cool = simulate_fleet(replace(base, inlet_temperature_c=20.0))
+    hot = simulate_fleet(replace(base, inlet_temperature_c=32.0))
+    assert count_mode(hot, FailureMode.LOGICAL) > count_mode(
+        cool, FailureMode.LOGICAL
+    )
+    assert count_mode(hot, FailureMode.BAD_SECTOR) == count_mode(
+        cool, FailureMode.BAD_SECTOR
+    )
+    assert count_mode(hot, FailureMode.HEAD) == count_mode(
+        cool, FailureMode.HEAD
+    )
+
+
+def test_sensitivity_zero_disables_the_causal_link():
+    base = FleetConfig(n_drives=1000, seed=5,
+                       thermal_failure_sensitivity=0.0)
+    cool = simulate_fleet(replace(base, inlet_temperature_c=20.0))
+    hot = simulate_fleet(replace(base, inlet_temperature_c=32.0))
+    assert (len(hot.dataset.failed_profiles)
+            == len(cool.dataset.failed_profiles))
+
+
+def test_experiment_shape():
+    result = thermal_mitigation.run(n_drives=1500, seed=5)
+    counts = result.data["counts_by_temp"]
+    totals = [sum(counts[t].values()) for t in sorted(counts)]
+    assert totals == sorted(totals)  # failures rise with temperature
+    logical = [counts[t]["logical"] for t in sorted(counts)]
+    assert logical[-1] > logical[0]
+    assert result.data["logical_reduction_at_coolest"] > 0.1

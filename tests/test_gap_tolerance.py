@@ -1,0 +1,92 @@
+"""Tests for gap-tolerant (hour-aware) degradation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CharacterizationPipeline
+from repro.core.signatures import extract_degradation_window
+from repro.core.taxonomy import FailureType
+from repro.core.validate import validate_categorization
+from repro.errors import SignatureError
+from repro.sim.config import FleetConfig
+from repro.sim.fleet import simulate_fleet
+
+
+def planted(window=40, exponent=2.0, plateau=80, level=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    flat = level + rng.normal(0.0, 0.02, plateau)
+    t = np.arange(window, -1, -1, dtype=np.float64)
+    ramp = level * (t / window) ** exponent
+    distances = np.concatenate([flat, ramp[1:]])
+    hours = np.arange(distances.shape[0], dtype=np.float64)
+    return distances, hours
+
+
+class TestHourAwareExtraction:
+    def test_contiguous_hours_match_index_based_result(self):
+        distances, hours = planted()
+        indexed = extract_degradation_window(distances)
+        houred = extract_degradation_window(distances, hours=hours)
+        assert houred.size == indexed.size
+        np.testing.assert_array_equal(houred.distances, indexed.distances)
+
+    def test_gaps_measured_in_hours_not_records(self):
+        distances, hours = planted(window=40)
+        # Lose 40% of the in-window samples (never the failure record).
+        rng = np.random.default_rng(3)
+        keep = rng.random(distances.shape[0]) >= 0.4
+        keep[-1] = True
+        keep[0] = True
+        gapped = extract_degradation_window(distances[keep],
+                                            hours=hours[keep])
+        # The window is still ~40 *hours* even though far fewer records
+        # survive inside it.
+        assert 28 <= gapped.size <= 52
+        assert gapped.n_records < gapped.size + 1
+
+    def test_degradation_values_use_true_lags(self):
+        distances, hours = planted(window=20)
+        keep = np.ones(distances.shape[0], dtype=bool)
+        keep[-5] = False  # one lost sample inside the window
+        window = extract_degradation_window(distances[keep],
+                                            hours=hours[keep])
+        t, s = window.degradation_values()
+        assert t[-1] == 0.0
+        assert np.all(np.diff(t) < 0)
+        # The lag axis skips the missing hour.
+        assert 4.0 not in t
+
+    def test_misaligned_hours_rejected(self):
+        distances, hours = planted()
+        with pytest.raises(SignatureError):
+            extract_degradation_window(distances, hours=hours[:-1])
+        with pytest.raises(SignatureError):
+            extract_degradation_window(distances,
+                                       hours=hours[::-1])
+
+
+class TestLossySimulation:
+    def test_lossy_profiles_have_gaps(self):
+        config = FleetConfig(n_drives=80, seed=4, sample_loss_rate=0.2)
+        fleet = simulate_fleet(config)
+        profile = fleet.dataset.failed_profiles[0]
+        spans = np.diff(profile.hours)
+        assert np.any(spans > 1)
+        # The failure record survives the losses.
+        assert profile.failure_hour == int(profile.hours[-1])
+
+    def test_pipeline_survives_lossy_collection(self):
+        config = FleetConfig(n_drives=1500, seed=4, sample_loss_rate=0.15)
+        fleet = simulate_fleet(config)
+        report = CharacterizationPipeline(run_prediction=False,
+                                          seed=4).run(fleet.dataset)
+        validation = validate_categorization(fleet, report.categorization)
+        assert validation.accuracy >= 0.9
+        # Signature shapes survive 15% sample loss.
+        assert report.group_summaries[FailureType.BAD_SECTOR] \
+            .consensus_order == 1
+
+    def test_invalid_loss_rate_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            FleetConfig(n_drives=10, sample_loss_rate=1.0)

@@ -1,0 +1,89 @@
+"""Tests for K-means and the elbow analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.kmeans import KMeans, elbow_analysis
+from repro.ml.metrics import cluster_purity
+
+
+def blobs(rng, centers, n_per=50, spread=0.3):
+    points = []
+    labels = []
+    for index, center in enumerate(centers):
+        points.append(rng.normal(center, spread, size=(n_per, len(center))))
+        labels.extend([index] * n_per)
+    return np.vstack(points), np.array(labels)
+
+
+def test_recovers_well_separated_blobs(rng):
+    data, truth = blobs(rng, [(0, 0), (10, 10), (-10, 10)])
+    model = KMeans(3, seed=0).fit(data)
+    assert cluster_purity(model.labels_, truth) == 1.0
+
+
+def test_predict_assigns_nearest_center(rng):
+    data, _ = blobs(rng, [(0, 0), (10, 10)])
+    model = KMeans(2, seed=0).fit(data)
+    prediction = model.predict(np.array([[9.5, 10.2]]))
+    center = model.centers_[prediction[0]]
+    np.testing.assert_allclose(center, [10, 10], atol=0.5)
+
+
+def test_inertia_decreases_with_k(rng):
+    data, _ = blobs(rng, [(0, 0), (8, 8), (-8, 8), (0, -8)])
+    inertias = []
+    for k in (1, 2, 4):
+        inertias.append(KMeans(k, seed=0).fit(data).inertia_)
+    assert inertias[0] > inertias[1] > inertias[2]
+
+
+def test_average_within_cluster_distance(rng):
+    data, _ = blobs(rng, [(0, 0), (10, 10)], spread=0.2)
+    model = KMeans(2, seed=0).fit(data)
+    assert model.average_within_cluster_distance(data) < 1.0
+
+
+def test_single_cluster_center_is_mean(rng):
+    data = rng.normal(size=(40, 3))
+    model = KMeans(1, seed=0).fit(data)
+    np.testing.assert_allclose(model.centers_[0], data.mean(axis=0),
+                               atol=1e-9)
+
+
+def test_more_clusters_than_samples_rejected():
+    with pytest.raises(ModelError):
+        KMeans(5).fit(np.zeros((3, 2)))
+
+
+def test_use_before_fit_raises():
+    with pytest.raises(ModelError):
+        KMeans(2).predict(np.zeros((2, 2)))
+
+
+def test_deterministic_given_seed(rng):
+    data, _ = blobs(rng, [(0, 0), (5, 5)])
+    a = KMeans(2, seed=3).fit(data)
+    b = KMeans(2, seed=3).fit(data)
+    np.testing.assert_array_equal(a.labels_, b.labels_)
+
+
+def test_duplicate_points_survive(rng):
+    data = np.ones((10, 2))
+    model = KMeans(2, seed=0).fit(data)
+    assert model.inertia_ == pytest.approx(0.0)
+
+
+def test_elbow_detects_true_cluster_count(rng):
+    data, _ = blobs(rng, [(0, 0), (12, 12), (-12, 12)], n_per=60)
+    analysis = elbow_analysis(data, max_clusters=8, seed=0)
+    assert analysis.best_k == 3
+    # The curve is non-increasing overall.
+    curve = np.array(analysis.average_distances)
+    assert curve[0] > curve[-1]
+
+
+def test_elbow_requires_reasonable_range(rng):
+    with pytest.raises(ModelError):
+        elbow_analysis(rng.normal(size=(30, 2)), max_clusters=2)

@@ -1,0 +1,94 @@
+"""Tests for the alternative regressors (k-NN, ridge linear)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.knn import KNNRegressor
+from repro.ml.linear import RidgeRegressor
+
+
+class TestKNNRegressor:
+    def test_exact_match_returns_training_target(self, rng):
+        features = rng.uniform(size=(100, 3))
+        targets = rng.uniform(size=100)
+        model = KNNRegressor(n_neighbors=3).fit(features, targets)
+        prediction = model.predict(features[7].reshape(1, -1))[0]
+        assert prediction == pytest.approx(targets[7], abs=0.05)
+
+    def test_learns_smooth_function(self, rng):
+        features = rng.uniform(-1, 1, size=(2000, 2))
+        targets = np.sin(3 * features[:, 0]) + features[:, 1] ** 2
+        model = KNNRegressor(n_neighbors=7).fit(features, targets)
+        probe = rng.uniform(-0.9, 0.9, size=(200, 2))
+        truth = np.sin(3 * probe[:, 0]) + probe[:, 1] ** 2
+        error = np.sqrt(np.mean((model.predict(probe) - truth) ** 2))
+        assert error < 0.15
+
+    def test_uniform_vs_weighted(self, rng):
+        features = np.array([[0.0], [1.0], [2.0]])
+        targets = np.array([0.0, 1.0, 2.0])
+        uniform = KNNRegressor(n_neighbors=2, weighted=False).fit(
+            features, targets
+        )
+        # Probe nearer to 0 than to 1: uniform average is 0.5.
+        assert uniform.predict(np.array([[0.1]]))[0] == pytest.approx(0.5)
+        weighted = KNNRegressor(n_neighbors=2, weighted=True).fit(
+            features, targets
+        )
+        assert weighted.predict(np.array([[0.1]]))[0] < 0.5
+
+    def test_chunked_prediction_consistent(self, rng):
+        features = rng.uniform(size=(500, 4))
+        targets = rng.uniform(size=500)
+        model = KNNRegressor(n_neighbors=5).fit(features, targets)
+        probe = rng.uniform(size=(600, 4))  # crosses the chunk boundary
+        full = model.predict(probe)
+        parts = np.concatenate([model.predict(probe[:300]),
+                                model.predict(probe[300:])])
+        np.testing.assert_allclose(full, parts)
+
+    def test_validation(self, rng):
+        with pytest.raises(ModelError):
+            KNNRegressor(n_neighbors=0)
+        with pytest.raises(ModelError):
+            KNNRegressor(n_neighbors=10).fit(rng.uniform(size=(3, 2)),
+                                             np.zeros(3))
+        model = KNNRegressor(n_neighbors=2).fit(rng.uniform(size=(5, 2)),
+                                                np.zeros(5))
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((1, 3)))
+        with pytest.raises(ModelError):
+            KNNRegressor().predict(np.zeros((1, 2)))
+
+
+class TestRidgeRegressor:
+    def test_recovers_linear_map(self, rng):
+        features = rng.normal(size=(500, 3))
+        targets = features @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = RidgeRegressor(ridge=1e-9).fit(features, targets)
+        np.testing.assert_allclose(model.coefficients_, [2.0, -1.0, 0.5],
+                                   atol=1e-6)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-6)
+
+    def test_survives_collinear_features(self, rng):
+        base = rng.normal(size=500)
+        features = np.column_stack([base, 2.0 * base])  # perfectly collinear
+        targets = base * 3.0
+        model = RidgeRegressor(ridge=1e-3).fit(features, targets)
+        prediction = model.predict(features)
+        assert np.sqrt(np.mean((prediction - targets) ** 2)) < 0.01
+
+    def test_prediction_shape(self, rng):
+        model = RidgeRegressor().fit(rng.normal(size=(50, 2)),
+                                     rng.normal(size=50))
+        assert model.predict(np.zeros(2)).shape == (1,)
+        assert model.predict(np.zeros((7, 2))).shape == (7,)
+
+    def test_validation(self, rng):
+        with pytest.raises(ModelError):
+            RidgeRegressor(ridge=-1.0)
+        with pytest.raises(ModelError):
+            RidgeRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ModelError):
+            RidgeRegressor().predict(np.zeros((1, 2)))

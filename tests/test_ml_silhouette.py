@@ -1,0 +1,68 @@
+"""Tests for the silhouette score."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.metrics import silhouette_score
+
+
+def blobs(rng, centers, n_per=30, spread=0.2):
+    points, labels = [], []
+    for index, center in enumerate(centers):
+        points.append(rng.normal(center, spread, size=(n_per, len(center))))
+        labels.extend([index] * n_per)
+    return np.vstack(points), np.array(labels)
+
+
+def test_well_separated_clusters_score_high(rng):
+    data, labels = blobs(rng, [(0, 0), (20, 20)])
+    assert silhouette_score(data, labels) > 0.9
+
+
+def test_overlapping_clusters_score_low(rng):
+    data, labels = blobs(rng, [(0, 0), (0.1, 0.1)], spread=1.0)
+    assert silhouette_score(data, labels) < 0.2
+
+
+def test_wrong_assignment_scores_below_right_one(rng):
+    data, truth = blobs(rng, [(0, 0), (10, 10)])
+    wrong = truth.copy()
+    wrong[:10] = 1 - wrong[:10]  # misassign ten points
+    assert silhouette_score(data, wrong) < silhouette_score(data, truth)
+
+
+def test_true_k_scores_best(rng):
+    from repro.ml.kmeans import KMeans
+    data, _ = blobs(rng, [(0, 0), (12, 0), (0, 12)])
+    scores = {}
+    for k in (2, 3, 4, 5):
+        labels = KMeans(k, seed=0).fit(data).labels_
+        scores[k] = silhouette_score(data, labels)
+    assert max(scores, key=lambda k: scores[k]) == 3
+
+
+def test_small_distinct_cluster_still_counts(rng):
+    """A 7% cluster shifts the silhouette even though the population-mean
+    distance barely notices it — the reason elbow selection uses it."""
+    data_big, labels_big = blobs(rng, [(0, 0), (30, 30)], n_per=100)
+    small = rng.normal((0, 30), 0.2, size=(15, 2))
+    data = np.vstack([data_big, small])
+    merged = np.concatenate([labels_big, np.ones(15, dtype=int)])
+    split = np.concatenate([labels_big, np.full(15, 2)])
+    assert silhouette_score(data, split) > silhouette_score(data, merged)
+
+
+def test_singleton_cluster_scores_zero():
+    data = np.array([[0.0, 0.0], [10.0, 10.0], [10.1, 10.0]])
+    labels = np.array([0, 1, 1])
+    score = silhouette_score(data, labels)
+    # The singleton contributes 0; the pair contributes ~1.
+    assert 0.5 < score < 0.75
+
+
+def test_validation():
+    with pytest.raises(ModelError):
+        silhouette_score(np.zeros((3, 2)), np.zeros(3))  # one cluster
+    with pytest.raises(ModelError):
+        silhouette_score(np.zeros((3, 2)), np.zeros(4))

@@ -1,0 +1,110 @@
+"""Tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.tree import RegressionTree
+
+
+def step_data(rng, n=400):
+    """Piecewise-constant target: ideal for a depth-2 tree."""
+    x = rng.uniform(0, 1, size=(n, 2))
+    y = np.where(x[:, 0] < 0.5,
+                 np.where(x[:, 1] < 0.5, 0.0, 1.0),
+                 np.where(x[:, 1] < 0.5, 2.0, 3.0))
+    return x, y
+
+
+def test_learns_piecewise_constant_function(rng):
+    x, y = step_data(rng)
+    tree = RegressionTree(max_depth=3, min_samples_leaf=5).fit(x, y)
+    predictions = tree.predict(x)
+    assert np.mean((predictions - y) ** 2) < 1e-6
+
+
+def test_generalizes_to_unseen_points(rng):
+    x, y = step_data(rng)
+    tree = RegressionTree(max_depth=3, min_samples_leaf=5).fit(x, y)
+    assert tree.predict(np.array([[0.1, 0.9]]))[0] == pytest.approx(1.0)
+    assert tree.predict(np.array([[0.9, 0.9]]))[0] == pytest.approx(3.0)
+
+
+def test_max_depth_limits_growth(rng):
+    x, y = step_data(rng)
+    tree = RegressionTree(max_depth=1, min_samples_leaf=5).fit(x, y)
+    assert tree.depth() <= 1
+    assert tree.n_leaves() <= 2
+
+
+def test_min_samples_leaf_respected(rng):
+    x = rng.uniform(size=(50, 1))
+    y = rng.normal(size=50)
+    tree = RegressionTree(max_depth=10, min_samples_leaf=20).fit(x, y)
+
+    def check(node):
+        if node.is_leaf:
+            assert node.n_samples >= 20
+        else:
+            check(node.left)
+            check(node.right)
+
+    check(tree.root_)
+
+
+def test_constant_target_yields_single_leaf(rng):
+    x = rng.uniform(size=(100, 3))
+    y = np.full(100, 5.0)
+    tree = RegressionTree().fit(x, y)
+    assert tree.n_leaves() == 1
+    assert tree.predict(x)[0] == 5.0
+
+
+def test_feature_importances_identify_relevant_feature(rng):
+    x = rng.uniform(size=(500, 3))
+    y = np.where(x[:, 1] < 0.5, 0.0, 1.0)  # only feature 1 matters
+    tree = RegressionTree(max_depth=4).fit(x, y)
+    importances = tree.feature_importances()
+    assert importances[1] > 0.9
+    assert importances.sum() == pytest.approx(1.0)
+
+
+def test_export_text_names_features(rng):
+    x, y = step_data(rng)
+    tree = RegressionTree(max_depth=2, min_samples_leaf=5).fit(
+        x, y, feature_names=("alpha", "beta")
+    )
+    text = tree.export_text()
+    assert "alpha" in text or "beta" in text
+    assert "%" in text
+
+
+def test_predict_validates_feature_count(rng):
+    x, y = step_data(rng)
+    tree = RegressionTree(max_depth=2).fit(x, y)
+    with pytest.raises(ModelError):
+        tree.predict(np.zeros((1, 5)))
+
+
+def test_use_before_fit_raises():
+    with pytest.raises(ModelError):
+        RegressionTree().predict(np.zeros((1, 2)))
+    with pytest.raises(ModelError):
+        RegressionTree().export_text()
+
+
+def test_fit_validates_shapes(rng):
+    with pytest.raises(ModelError):
+        RegressionTree().fit(np.zeros((5, 2)), np.zeros(4))
+    with pytest.raises(ModelError):
+        RegressionTree().fit(np.zeros((5, 2)), np.zeros(5),
+                             feature_names=("only-one",))
+
+
+def test_predictions_within_target_range(rng):
+    x = rng.uniform(size=(300, 2))
+    y = rng.uniform(-1.0, 1.0, size=300)
+    tree = RegressionTree(max_depth=6).fit(x, y)
+    predictions = tree.predict(rng.uniform(size=(100, 2)))
+    assert predictions.min() >= y.min()
+    assert predictions.max() <= y.max()

@@ -1,0 +1,94 @@
+"""Failure-injection tests: the pipeline degrades loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.core.categorize import FailureCategorizer
+from repro.core.pipeline import CharacterizationPipeline
+from repro.core.records import build_failure_records
+from repro.data.dataset import DiskDataset
+from repro.errors import DatasetError, ModelError, ReproError
+from repro.smart.profile import HealthProfile
+
+
+def make_profile(serial, failed, n=48, scale=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(0.0, 100.0, size=(n, 12)) * scale
+    return HealthProfile(serial, np.arange(n), matrix, failed=failed)
+
+
+def test_dataset_with_no_failures_fails_fast():
+    dataset = DiskDataset([make_profile(f"g{i}", False, seed=i)
+                           for i in range(5)])
+    with pytest.raises(DatasetError, match="no failed drives"):
+        build_failure_records(dataset.normalize())
+
+
+def test_too_few_failures_for_three_clusters():
+    profiles = [make_profile("f1", True), make_profile("f2", True, seed=1),
+                make_profile("g1", False, seed=2)]
+    records = build_failure_records(DiskDataset(profiles).normalize())
+    with pytest.raises(ModelError):
+        FailureCategorizer(n_clusters=3).categorize(records)
+
+
+def test_two_sample_profiles_survive_the_pipeline():
+    """Drives with minimal histories are categorized but unsigned."""
+    rng = np.random.default_rng(3)
+    profiles = []
+    for i in range(12):
+        n = 2 if i < 3 else 48
+        matrix = rng.uniform(0.0, 100.0, size=(n, 12))
+        profiles.append(HealthProfile(f"f{i}", np.arange(n), matrix,
+                                      failed=True))
+    profiles.append(make_profile("g", False, seed=9))
+    pipeline = CharacterizationPipeline(run_prediction=False, seed=1)
+    report = pipeline.run(DiskDataset(profiles))
+    assert report.categorization.n_groups == 3
+    # Signatures exist for the drives whose windows could be extracted.
+    assert len(report.signatures) >= 1
+
+
+def test_identical_failure_records_rejected_by_svc_sweep():
+    matrix = np.full((48, 12), 42.0)
+    profiles = [
+        HealthProfile(f"f{i}", np.arange(48), matrix.copy(), failed=True)
+        for i in range(6)
+    ]
+    dataset = DiskDataset(profiles)
+    records = build_failure_records(dataset)
+    with pytest.raises(ModelError, match="identical"):
+        FailureCategorizer(n_clusters=3, method="svc").categorize(records)
+
+
+def test_non_finite_values_rejected_at_normalization():
+    matrix = np.full((10, 12), 1.0)
+    matrix[3, 4] = np.inf
+    dataset = DiskDataset([
+        HealthProfile("bad", np.arange(10), matrix, failed=True)
+    ])
+    from repro.errors import NormalizationError
+    with pytest.raises(NormalizationError):
+        dataset.normalize()
+
+
+def test_monitor_survives_unseen_attribute_scales(mid_fleet, mid_report):
+    """Raw records far outside the fitted range are clipped, not crashed."""
+    from repro.core.monitor import DegradationMonitor
+    from repro.core.prediction import DegradationPredictor
+    predictor = DegradationPredictor(seed=7)
+    predictor.evaluate_all(mid_report.dataset, mid_report.categorization)
+    monitor = DegradationMonitor(predictor,
+                                 mid_fleet.dataset.fit_normalizer())
+    wild = np.full(12, 1.0e9)
+    alert = monitor.observe("alien", 0, wild)
+    assert np.isfinite(alert.stage)
+
+
+def test_validate_rejects_foreign_serials(mid_fleet, mid_report):
+    from repro.core.validate import validate_categorization
+    from repro.sim.config import FleetConfig
+    from repro.sim.fleet import simulate_fleet
+    other = simulate_fleet(FleetConfig(n_drives=300, seed=1234))
+    with pytest.raises(ReproError):
+        validate_categorization(other, mid_report.categorization)

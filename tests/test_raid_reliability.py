@@ -1,0 +1,100 @@
+"""Tests for fleet-level RAID reliability analysis."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.raid.array import DriveState, RaidLevel
+from repro.raid.reliability import (
+    RaidReliabilityAnalysis,
+    drive_states_from_fleet,
+)
+
+
+def synthetic_drives(n_good=500, n_failing=20, n_latent=100, lead=48.0):
+    drives = [DriveState(serial=f"g{i}") for i in range(n_good)]
+    drives += [DriveState(serial=f"l{i}", has_latent_errors=True)
+               for i in range(n_latent)]
+    drives += [
+        DriveState(serial=f"f{i}", failure_hour=100 + 40 * i,
+                   warning_lead_hours=lead)
+        for i in range(n_failing)
+    ]
+    return drives
+
+
+def test_raid6_never_worse_than_raid5():
+    analysis = RaidReliabilityAnalysis(synthetic_drives(), n_groups=3000,
+                                       seed=1)
+    raid5 = analysis.evaluate(RaidLevel.RAID5)
+    raid6 = analysis.evaluate(RaidLevel.RAID6)
+    assert raid6.loss_rate <= raid5.loss_rate
+    assert raid5.loss_rate > 0  # failures + latent drives guarantee losses
+
+
+def test_proactive_reduces_losses():
+    analysis = RaidReliabilityAnalysis(synthetic_drives(), n_groups=3000,
+                                       seed=1)
+    reactive = analysis.evaluate(RaidLevel.RAID5, proactive=False)
+    proactive = analysis.evaluate(RaidLevel.RAID5, proactive=True)
+    assert proactive.n_losses < reactive.n_losses
+    assert proactive.n_proactive_migrations > 0
+
+
+def test_unwarned_failures_unprotected():
+    drives = synthetic_drives(lead=None)
+    analysis = RaidReliabilityAnalysis(drives, n_groups=2000, seed=2)
+    reactive = analysis.evaluate(RaidLevel.RAID5, proactive=False)
+    proactive = analysis.evaluate(RaidLevel.RAID5, proactive=True)
+    assert proactive.n_losses == reactive.n_losses
+    assert proactive.n_proactive_migrations == 0
+
+
+def test_deterministic_given_seed():
+    drives = synthetic_drives()
+    a = RaidReliabilityAnalysis(drives, n_groups=1000, seed=3).evaluate(
+        RaidLevel.RAID5
+    )
+    b = RaidReliabilityAnalysis(drives, n_groups=1000, seed=3).evaluate(
+        RaidLevel.RAID5
+    )
+    assert a.n_losses == b.n_losses
+
+
+def test_loss_rate_property():
+    analysis = RaidReliabilityAnalysis(synthetic_drives(), n_groups=500,
+                                       seed=4)
+    result = analysis.evaluate(RaidLevel.RAID5)
+    assert result.loss_rate == pytest.approx(result.n_losses / 500)
+    assert (result.n_double_failure_losses + result.n_latent_error_losses
+            == result.n_losses)
+
+
+def test_validation():
+    drives = synthetic_drives(n_good=5, n_failing=0, n_latent=0)
+    with pytest.raises(ReproError):
+        RaidReliabilityAnalysis(drives, group_size=2)
+    with pytest.raises(ReproError):
+        RaidReliabilityAnalysis(drives, group_size=10)
+    with pytest.raises(ReproError):
+        RaidReliabilityAnalysis(drives, group_size=4, n_groups=0)
+
+
+def test_drive_states_from_fleet(small_fleet):
+    states = drive_states_from_fleet(small_fleet)
+    assert len(states) == len(small_fleet.dataset)
+    failing = [s for s in states if s.fails]
+    assert len(failing) == len(small_fleet.dataset.failed_profiles)
+    # Bad-sector failures always carry latent errors at the end.
+    from repro.sim.failure_modes import FailureMode
+    bad_serials = set(small_fleet.failed_serials(FailureMode.BAD_SECTOR))
+    for state in states:
+        if state.serial in bad_serials:
+            assert state.has_latent_errors
+
+
+def test_drive_states_carry_warning_leads(small_fleet):
+    serial = small_fleet.dataset.failed_profiles[0].serial
+    states = drive_states_from_fleet(small_fleet,
+                                     warning_leads={serial: 72.0})
+    state = next(s for s in states if s.serial == serial)
+    assert state.warning_lead_hours == 72.0

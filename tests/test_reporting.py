@@ -1,0 +1,102 @@
+"""Tests for ASCII table/figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.reporting.figures import (
+    ascii_histogram,
+    ascii_scatter,
+    ascii_series,
+    render_box_rows,
+)
+from repro.reporting.tables import ascii_table, format_float
+from repro.stats.summary import box_summary
+
+
+class TestTables:
+    def test_table_contains_headers_and_cells(self):
+        text = ascii_table(("name", "value"), [("alpha", 1.25), ("beta", 2)])
+        assert "name" in text and "alpha" in text
+        assert "+1.250" in text
+
+    def test_title_rendered(self):
+        text = ascii_table(("a",), [(1,)], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_row_width_validated(self):
+        with pytest.raises(ReproError):
+            ascii_table(("a", "b"), [(1,)])
+        with pytest.raises(ReproError):
+            ascii_table((), [])
+
+    def test_rows_align(self):
+        text = ascii_table(("col",), [("x",), ("longer",)])
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1
+
+    def test_format_float(self):
+        assert format_float(0.5) == "+0.500"
+        assert format_float(-12.3456) == "-12.346"
+        assert format_float(float("nan")) == "nan"
+
+
+class TestFigures:
+    def test_histogram_bars_reflect_counts(self):
+        values = np.concatenate([np.zeros(30), np.ones(10)])
+        text = ascii_histogram(values, n_bins=2, width=30)
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "30" in lines[0] and "10" in lines[1]
+
+    def test_histogram_requires_data(self):
+        with pytest.raises(ReproError):
+            ascii_histogram(np.array([]))
+
+    def test_series_renders_grid_and_legend(self):
+        x = np.arange(10.0)
+        text = ascii_series(x, {"up": x, "down": -x}, height=8, width=40)
+        assert "legend:" in text
+        assert "U=up" in text and "D=down" in text
+
+    def test_series_skips_nan(self):
+        x = np.arange(5.0)
+        y = np.array([0.0, np.nan, 2.0, np.nan, 4.0])
+        text = ascii_series(x, {"y": y})
+        assert "Y" in text
+
+    def test_series_validates_alignment(self):
+        with pytest.raises(ReproError):
+            ascii_series(np.arange(3.0), {"y": np.arange(4.0)})
+        with pytest.raises(ReproError):
+            ascii_series(np.arange(3.0), {})
+
+    def test_scatter_places_all_groups(self):
+        text = ascii_scatter({
+            "alpha": (np.array([0.0]), np.array([0.0])),
+            "beta": (np.array([1.0]), np.array([1.0])),
+        })
+        assert "A=alpha" in text and "B=beta" in text
+
+    def test_scatter_duplicate_initials_get_distinct_markers(self):
+        text = ascii_scatter({
+            "group1": (np.array([0.0]), np.array([0.0])),
+            "group2": (np.array([1.0]), np.array([1.0])),
+        })
+        legend = text.splitlines()[-1]
+        markers = [part.split("=")[0].strip() for part in legend
+                   .removeprefix("legend: ").split(", ")]
+        assert len(set(markers)) == 2
+
+    def test_box_rows_render_each_attribute(self):
+        summaries = {
+            "RRER": box_summary(np.array([-1.0, 0.0, 1.0])),
+            "TC": box_summary(np.array([-0.5, 0.0, 0.5])),
+        }
+        text = render_box_rows(summaries)
+        assert "RRER" in text and "TC" in text
+        assert "=" in text and "|" in text
+
+    def test_box_rows_need_input(self):
+        with pytest.raises(ReproError):
+            render_box_rows({})

@@ -1,0 +1,58 @@
+"""Tests for aggregate result rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.common import (
+    ExperimentResult,
+    configure_default_fleet,
+    default_config,
+)
+from repro.reporting.report import render_results, save_results
+
+
+def make_result(experiment_id):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"Title {experiment_id}",
+        paper_reference="ref",
+        rendered=f"body of {experiment_id}",
+    )
+
+
+def test_render_joins_sections():
+    text = render_results([make_result("a"), make_result("b")])
+    assert "body of a" in text and "body of b" in text
+    assert text.index("body of a") < text.index("body of b")
+
+
+def test_render_with_title():
+    text = render_results([make_result("a")], title="Reproduction run")
+    assert text.startswith("=")
+    assert "Reproduction run" in text
+
+
+def test_render_requires_results():
+    with pytest.raises(ReproError):
+        render_results([])
+
+
+def test_save_results(tmp_path):
+    path = tmp_path / "report.txt"
+    save_results([make_result("x")], path, title="T")
+    content = path.read_text()
+    assert "body of x" in content and content.endswith("\n")
+
+
+def test_configure_default_fleet_overrides_scale():
+    original = default_config()
+    try:
+        configure_default_fleet(n_drives=123, seed=9)
+        overridden = default_config()
+        assert overridden.n_drives == 123
+        assert overridden.seed == 9
+        # Explicit arguments still win over the override.
+        assert default_config(n_drives=50).n_drives == 50
+    finally:
+        configure_default_fleet(n_drives=original.n_drives,
+                                seed=original.seed)

@@ -1,0 +1,117 @@
+"""Tests for single-drive simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.config import FleetConfig
+from repro.sim.drive import DriveSpec, simulate_drive
+from repro.sim.failure_modes import FailureMode
+from repro.smart.attributes import CHARACTERIZATION_ATTRIBUTES, attribute_index
+
+CONFIG = FleetConfig(n_drives=100, seed=11)
+
+
+def failed_spec(mode=FailureMode.LOGICAL, failure_hour=600, serial="F-1"):
+    start = max(0, failure_hour - (CONFIG.failed_observation_hours - 1))
+    return DriveSpec(serial=serial, mode=mode, start_hour=start,
+                     n_samples=failure_hour - start + 1,
+                     failure_hour=failure_hour)
+
+
+def good_spec(serial="G-1"):
+    return DriveSpec(serial=serial, mode=FailureMode.GOOD,
+                     start_hour=100, n_samples=168)
+
+
+class TestDriveSpec:
+    def test_failed_spec_requires_failure_hour(self):
+        with pytest.raises(SimulationError):
+            DriveSpec("F", FailureMode.HEAD, 0, 100)
+
+    def test_failure_hour_must_be_final_sample(self):
+        with pytest.raises(SimulationError):
+            DriveSpec("F", FailureMode.HEAD, 0, 100, failure_hour=50)
+
+    def test_good_spec_rejects_failure_hour(self):
+        with pytest.raises(SimulationError):
+            DriveSpec("G", FailureMode.GOOD, 0, 100, failure_hour=99)
+
+    def test_hours_span_the_observation(self):
+        spec = failed_spec(failure_hour=600)
+        assert spec.hours[0] == 600 - 479
+        assert spec.hours[-1] == 600
+
+
+class TestSimulatedProfiles:
+    def test_profile_shape_matches_table_one(self):
+        profile = simulate_drive(good_spec(), CONFIG)
+        assert profile.matrix.shape == (168, 12)
+        assert profile.attributes == CHARACTERIZATION_ATTRIBUTES
+        assert not profile.failed
+
+    def test_simulation_is_deterministic(self):
+        a = simulate_drive(good_spec(), CONFIG)
+        b = simulate_drive(good_spec(), CONFIG)
+        np.testing.assert_array_equal(a.matrix, b.matrix)
+
+    def test_different_serials_different_profiles(self):
+        a = simulate_drive(good_spec("G-1"), CONFIG)
+        b = simulate_drive(good_spec("G-2"), CONFIG)
+        assert not np.array_equal(a.matrix, b.matrix)
+
+    def test_health_values_within_vendor_range(self):
+        profile = simulate_drive(failed_spec(mode=FailureMode.BAD_SECTOR),
+                                 CONFIG)
+        for symbol in ("RRER", "RSC", "SER", "RUE", "HFW", "HER", "CPSC",
+                       "SUT", "POH"):
+            column = profile.column(symbol)
+            assert np.all(column >= 1.0), symbol
+            assert np.all(column <= 100.0), symbol
+
+    def test_raw_counters_monotone_nondecreasing(self):
+        profile = simulate_drive(failed_spec(mode=FailureMode.HEAD), CONFIG)
+        rrsc = profile.column("R-RSC")
+        assert np.all(np.diff(rrsc) >= 0)
+
+    def test_head_failure_exhausts_spare_pool(self):
+        profile = simulate_drive(failed_spec(mode=FailureMode.HEAD), CONFIG)
+        final = profile.failure_record()[attribute_index("R-RSC")]
+        assert final >= 0.9 * CONFIG.spare_sectors
+
+    def test_bad_sector_failure_accumulates_uncorrectables(self):
+        profile = simulate_drive(failed_spec(mode=FailureMode.BAD_SECTOR),
+                                 CONFIG)
+        rue = profile.column("RUE")
+        assert rue[-1] < rue[0]  # health value degrades
+        assert rue[-1] < 70.0
+
+    def test_logical_failure_stays_smart_quiet_until_the_end(self):
+        profile = simulate_drive(failed_spec(mode=FailureMode.LOGICAL),
+                                 CONFIG)
+        rrsc = profile.column("R-RSC")
+        rue = profile.column("RUE")
+        assert rrsc[-1] < 100.0          # few reallocations
+        assert rue[-1] > 95.0            # almost no uncorrectables
+
+    def test_logical_failure_runs_hot(self):
+        logical = simulate_drive(failed_spec(mode=FailureMode.LOGICAL,
+                                             serial="F-hot"), CONFIG)
+        good = simulate_drive(good_spec("G-cool"), CONFIG)
+        # TC health value = 100 - temperature: hot drives score lower.
+        assert logical.column("TC").mean() < good.column("TC").mean()
+
+    def test_good_drive_has_negligible_errors(self):
+        profile = simulate_drive(good_spec(), CONFIG)
+        assert profile.column("RUE").min() >= 99.0
+        assert profile.column("RSC").min() >= 99.0
+
+    def test_truncated_bad_sector_profile_warm_starts_rue(self):
+        """A drive failing early in the period already shows degradation."""
+        spec = failed_spec(mode=FailureMode.BAD_SECTOR, failure_hour=100,
+                           serial="F-early")
+        profile = simulate_drive(spec, CONFIG)
+        assert len(profile) == 101
+        # Degradation started before observation: RUE is already reduced
+        # at the very first sample.
+        assert profile.column("RUE")[0] < 100.0

@@ -1,0 +1,129 @@
+"""Tests for failure-mode profiles and ramp machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.config import FleetConfig
+from repro.sim.failure_modes import (
+    FailureMode,
+    ModeProfile,
+    RampSpec,
+    cumulative_ramp_increments,
+    mode_profile,
+    ramp_progress,
+)
+from repro.sim.rng import child_rng
+
+CONFIG = FleetConfig(n_drives=100)
+
+
+class TestRampProgress:
+    def test_zero_before_window_one_at_failure(self):
+        t = np.array([100.0, 12.0, 6.0, 0.0])
+        progress = ramp_progress(t, window=12, exponent=2.0)
+        assert progress[0] == 0.0
+        assert progress[1] == 0.0
+        assert progress[3] == 1.0
+        assert 0.0 < progress[2] < 1.0
+
+    def test_exponent_shapes_displacement(self):
+        t = np.array([6.0])
+        quad = ramp_progress(t, 12, 2.0)[0]
+        cubic = ramp_progress(t, 12, 3.0)[0]
+        linear = ramp_progress(t, 12, 1.0)[0]
+        # Displacement (1 - progress) = (t/d)^p shrinks with p at t<d.
+        assert (1 - linear) > (1 - quad) > (1 - cubic)
+
+    def test_monotone_in_time(self):
+        t = np.arange(30.0, -1.0, -1.0)
+        progress = ramp_progress(t, 12, 3.0)
+        assert np.all(np.diff(progress) >= 0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(SimulationError):
+            ramp_progress(np.array([1.0]), 0, 2.0)
+
+
+class TestCumulativeRampIncrements:
+    def test_increments_sum_to_total(self):
+        t = np.arange(20.0, -1.0, -1.0)  # profile spans the whole window
+        increments, pre_mass = cumulative_ramp_increments(t, 20, 3.0, 500.0)
+        assert pre_mass == pytest.approx(0.0)
+        assert increments.sum() == pytest.approx(500.0, rel=1e-9)
+
+    def test_truncated_window_reports_pre_mass(self):
+        # Profile starts mid-window: mass accrued before is reported.
+        t = np.arange(10.0, -1.0, -1.0)
+        increments, pre_mass = cumulative_ramp_increments(t, 20, 1.0, 400.0)
+        assert pre_mass > 0.0
+        assert pre_mass + increments.sum() == pytest.approx(400.0, rel=1e-9)
+
+    def test_linear_ramp_has_constant_increments(self):
+        t = np.arange(50.0, -1.0, -1.0)
+        increments, _ = cumulative_ramp_increments(t, 50, 1.0, 100.0)
+        inside = increments[1:]
+        assert np.allclose(inside, inside[0])
+
+    def test_increments_non_negative(self):
+        t = np.arange(30.0, -1.0, -1.0)
+        increments, _ = cumulative_ramp_increments(t, 15, 3.0, 100.0)
+        assert np.all(increments >= 0)
+
+
+class TestModeProfiles:
+    def test_every_mode_has_a_profile(self):
+        for mode in FailureMode:
+            profile = mode_profile(mode, CONFIG)
+            assert profile.mode is mode
+
+    def test_logical_runs_hottest(self):
+        logical = mode_profile(FailureMode.LOGICAL, CONFIG)
+        bad = mode_profile(FailureMode.BAD_SECTOR, CONFIG)
+        head = mode_profile(FailureMode.HEAD, CONFIG)
+        assert logical.temp_offset_c > bad.temp_offset_c
+        assert logical.temp_offset_c > head.temp_offset_c
+
+    def test_head_failures_hit_old_drives(self):
+        head = mode_profile(FailureMode.HEAD, CONFIG)
+        others = [mode_profile(m, CONFIG) for m in
+                  (FailureMode.LOGICAL, FailureMode.BAD_SECTOR)]
+        assert all(head.age_bias > other.age_bias for other in others)
+
+    def test_window_sampling_respects_range(self):
+        profile = mode_profile(FailureMode.HEAD, CONFIG)
+        rng = child_rng(1, "w")
+        windows = [profile.sample_window(rng) for _ in range(100)]
+        low, high = CONFIG.head_window
+        assert all(low <= w <= high for w in windows)
+
+    def test_exponents_match_config(self):
+        assert mode_profile(FailureMode.LOGICAL, CONFIG).exponent == 2.0
+        assert mode_profile(FailureMode.BAD_SECTOR, CONFIG).exponent == 1.0
+        assert mode_profile(FailureMode.HEAD, CONFIG).exponent == 3.0
+
+    def test_chronic_sampling_within_bounds(self):
+        profile = mode_profile(FailureMode.BAD_SECTOR, CONFIG)
+        rng = child_rng(2, "c")
+        for _ in range(50):
+            multipliers = profile.sample_chronic(rng)
+            for channel, (low, high) in profile.chronic.items():
+                assert low <= multipliers[channel] <= high
+
+    def test_initial_reallocated_within_bounds(self):
+        profile = mode_profile(FailureMode.BAD_SECTOR, CONFIG)
+        rng = child_rng(3, "i")
+        values = [profile.sample_initial_reallocated(rng) for _ in range(50)]
+        low, high = profile.initial_reallocated
+        assert all(low <= v <= high for v in values)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(SimulationError):
+            RampSpec("warp_drive", 1.0, 2.0)
+        bad_profile = ModeProfile(
+            mode=FailureMode.LOGICAL, window_range=(1, 2), exponent=1.0,
+            temp_offset_c=0.0, age_bias=1.0,
+            chronic={"warp_drive": (1.0, 2.0)},
+        )
+        with pytest.raises(SimulationError):
+            bad_profile.sample_chronic(child_rng(0, "x"))

@@ -1,0 +1,94 @@
+"""Tests for fleet orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import FleetConfig
+from repro.sim.failure_modes import FailureMode
+from repro.sim.fleet import FleetSimulator, simulate_fleet
+
+
+def test_population_counts(small_fleet):
+    summary = small_fleet.dataset.summary()
+    config = small_fleet.config
+    assert summary.n_drives == config.n_drives
+    assert summary.n_failed == config.n_failed
+    assert summary.n_good == config.n_good
+
+
+def test_mode_mixture_respected(small_fleet):
+    modes = [m for m in small_fleet.true_modes.values() if m.is_failure]
+    counts = {mode: modes.count(mode) for mode in set(modes)}
+    # Largest-remainder allocation: logical most common, bad-sector least.
+    assert counts[FailureMode.LOGICAL] > counts[FailureMode.HEAD]
+    assert counts[FailureMode.HEAD] > counts.get(FailureMode.BAD_SECTOR, 0)
+
+
+def test_every_failed_drive_labeled(small_fleet):
+    for profile in small_fleet.dataset.failed_profiles:
+        assert small_fleet.true_modes[profile.serial].is_failure
+    for profile in small_fleet.dataset.good_profiles:
+        assert small_fleet.true_modes[profile.serial] is FailureMode.GOOD
+
+
+def test_observation_policy(small_fleet):
+    config = small_fleet.config
+    for profile in small_fleet.dataset.failed_profiles:
+        assert len(profile) <= config.failed_observation_hours
+    for profile in small_fleet.dataset.good_profiles:
+        assert len(profile) <= config.good_observation_hours
+        assert len(profile) >= 24
+
+
+def test_failure_hours_within_period(small_fleet):
+    period = small_fleet.config.period_hours
+    for profile in small_fleet.dataset.failed_profiles:
+        assert 24 <= profile.failure_hour < period
+
+
+def test_failed_serials_filter(small_fleet):
+    all_failed = small_fleet.failed_serials()
+    logical = small_fleet.failed_serials(FailureMode.LOGICAL)
+    assert set(logical) <= set(all_failed)
+    assert 0 < len(logical) < len(all_failed)
+
+
+def test_simulation_is_reproducible():
+    config = FleetConfig(n_drives=60, seed=5)
+    a = simulate_fleet(config)
+    b = simulate_fleet(config)
+    assert a.true_modes == b.true_modes
+    for profile_a, profile_b in zip(a.dataset.profiles, b.dataset.profiles):
+        np.testing.assert_array_equal(profile_a.matrix, profile_b.matrix)
+
+
+def test_different_seeds_differ():
+    a = simulate_fleet(FleetConfig(n_drives=60, seed=5))
+    b = simulate_fleet(FleetConfig(n_drives=60, seed=6))
+    assert a.true_modes != b.true_modes or not np.array_equal(
+        a.dataset.profiles[0].matrix, b.dataset.profiles[0].matrix
+    )
+
+
+def test_build_specs_without_simulation():
+    simulator = FleetSimulator(FleetConfig(n_drives=60, seed=5))
+    specs = simulator.build_specs()
+    assert len(specs) == 60
+    serials = {spec.serial for spec in specs}
+    assert len(serials) == 60
+
+
+def test_profile_duration_mix_matches_figure_one():
+    """At scale, most failed profiles exceed 10 days, ~half reach 20."""
+    fleet = simulate_fleet(FleetConfig(n_drives=6000, seed=3))
+    durations = np.array([len(p) for p in fleet.dataset.failed_profiles])
+    over_10_days = np.mean(durations > 240)
+    full_20_days = np.mean(durations >= 480)
+    assert 0.6 < over_10_days < 0.95      # paper: 78.5%
+    assert 0.35 < full_20_days < 0.7      # paper: 51.3%
+
+
+@pytest.mark.parametrize("n_drives", [50, 137])
+def test_arbitrary_fleet_sizes(n_drives):
+    fleet = simulate_fleet(FleetConfig(n_drives=n_drives, seed=2))
+    assert len(fleet.dataset) == n_drives

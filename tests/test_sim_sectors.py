@@ -1,0 +1,107 @@
+"""Tests for the sector-pool dynamics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SimulationError
+from repro.sim.sectors import SectorPool
+
+
+def test_reallocations_accumulate_write_errors():
+    pool = SectorPool(spare_sectors=100)
+    history = pool.simulate(np.array([1.0, 2.0, 0.0, 3.0]), np.zeros(4))
+    np.testing.assert_allclose(history.reallocated, [1.0, 3.0, 3.0, 6.0])
+
+
+def test_reallocations_cap_at_spare_pool():
+    pool = SectorPool(spare_sectors=5)
+    history = pool.simulate(np.full(10, 2.0), np.zeros(10))
+    assert history.reallocated[-1] == 5.0
+    assert np.all(np.diff(history.reallocated) >= 0)
+
+
+def test_initial_reallocated_offsets_the_counter():
+    pool = SectorPool(spare_sectors=100)
+    history = pool.simulate(np.array([1.0, 1.0]), np.zeros(2),
+                            initial_reallocated=10.0)
+    np.testing.assert_allclose(history.reallocated, [11.0, 12.0])
+
+
+def test_pending_reaches_steady_state_under_constant_arrivals():
+    pool = SectorPool(spare_sectors=100, recover_prob=0.02,
+                      uncorrectable_prob=0.015)
+    arrivals = np.full(2000, 1.0)
+    history = pool.simulate(np.zeros(2000), arrivals)
+    steady = 1.0 / (pool.recover_prob + pool.uncorrectable_prob)
+    assert history.pending[-1] == pytest.approx(steady, rel=0.01)
+
+
+def test_uncorrectable_grows_linearly_in_steady_state():
+    pool = SectorPool(spare_sectors=100)
+    arrivals = np.full(2000, 1.0)
+    history = pool.simulate(np.zeros(2000), arrivals)
+    late = history.uncorrectable[-500:]
+    slopes = np.diff(late)
+    assert np.allclose(slopes, slopes[0], rtol=0.01)
+
+
+def test_initial_pending_decays_without_arrivals():
+    pool = SectorPool(spare_sectors=100, recover_prob=0.2,
+                      uncorrectable_prob=0.1)
+    history = pool.simulate(np.zeros(50), np.zeros(50),
+                            initial_pending=100.0)
+    assert history.pending[0] == pytest.approx(70.0)
+    assert history.pending[-1] < 1.0
+    # The decayed sectors escalate at the configured fraction.
+    assert history.uncorrectable[-1] == pytest.approx(
+        100.0 * pool.uncorrectable_prob
+        / (pool.uncorrectable_prob + pool.recover_prob),
+        rel=0.01,
+    )
+
+
+def test_initial_uncorrectable_offsets_the_counter():
+    pool = SectorPool(spare_sectors=10)
+    history = pool.simulate(np.zeros(3), np.zeros(3),
+                            initial_uncorrectable=7.0)
+    np.testing.assert_allclose(history.uncorrectable, [7.0, 7.0, 7.0])
+
+
+def test_mismatched_series_rejected():
+    pool = SectorPool(spare_sectors=10)
+    with pytest.raises(SimulationError):
+        pool.simulate(np.zeros(3), np.zeros(4))
+
+
+def test_negative_counts_rejected():
+    pool = SectorPool(spare_sectors=10)
+    with pytest.raises(SimulationError):
+        pool.simulate(np.array([-1.0]), np.array([0.0]))
+
+
+def test_invalid_probabilities_rejected():
+    with pytest.raises(SimulationError):
+        SectorPool(spare_sectors=10, recover_prob=0.8, uncorrectable_prob=0.5)
+    with pytest.raises(SimulationError):
+        SectorPool(spare_sectors=0)
+    with pytest.raises(SimulationError):
+        SectorPool(spare_sectors=10, recover_prob=-0.1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    write_errors=hnp.arrays(np.float64, 30, elements=st.floats(0, 10)),
+    scans=hnp.arrays(np.float64, 30, elements=st.floats(0, 10)),
+)
+def test_invariants_under_arbitrary_event_streams(write_errors, scans):
+    pool = SectorPool(spare_sectors=50)
+    history = pool.simulate(write_errors, scans)
+    assert np.all(history.pending >= -1e-9)
+    assert np.all(np.diff(history.reallocated) >= -1e-9)
+    assert np.all(np.diff(history.uncorrectable) >= -1e-9)
+    assert np.all(history.reallocated <= 50.0 + 1e-9)
+    # Escalated errors can never exceed what ever arrived.
+    assert history.uncorrectable[-1] <= scans.sum() + 1e-9

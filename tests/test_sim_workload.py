@@ -1,0 +1,59 @@
+"""Tests for the workload generator."""
+
+import numpy as np
+
+from repro.sim.config import FleetConfig
+from repro.sim.rng import child_rng
+from repro.sim.workload import WorkloadGenerator
+
+
+def generate(hours=None, seed_key="d1"):
+    config = FleetConfig(n_drives=100)
+    hours = hours if hours is not None else np.arange(0, 168)
+    rng = child_rng(3, seed_key, "workload")
+    return WorkloadGenerator(config).generate(hours, rng)
+
+
+def test_series_align_with_hours():
+    workload = generate()
+    assert workload.read_ops.shape == (168,)
+    assert workload.write_ops.shape == (168,)
+    assert workload.utilization.shape == (168,)
+
+
+def test_ops_are_positive():
+    workload = generate()
+    assert np.all(workload.read_ops > 0)
+    assert np.all(workload.write_ops > 0)
+
+
+def test_utilization_bounded():
+    workload = generate()
+    assert np.all(workload.utilization >= 0.0)
+    assert np.all(workload.utilization <= 1.0)
+
+
+def test_reads_exceed_writes_on_average():
+    workload = generate()
+    assert workload.read_ops.mean() > workload.write_ops.mean()
+
+
+def test_diurnal_pattern_present():
+    """Hour-of-day averages should swing around the mean."""
+    hours = np.arange(0, 24 * 14)
+    workload = generate(hours=hours)
+    by_hour = workload.read_ops.reshape(14, 24).mean(axis=0)
+    swing = (by_hour.max() - by_hour.min()) / by_hour.mean()
+    assert swing > 0.15
+
+
+def test_deterministic_given_stream():
+    a = generate(seed_key="dX")
+    b = generate(seed_key="dX")
+    np.testing.assert_array_equal(a.read_ops, b.read_ops)
+
+
+def test_drives_have_distinct_demand_levels():
+    a = generate(seed_key="dA")
+    b = generate(seed_key="dB")
+    assert abs(a.read_ops.mean() - b.read_ops.mean()) > 1.0

@@ -1,0 +1,112 @@
+"""Tests for vendor curves and the Eq. (1) min-max normalizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import NormalizationError
+from repro.smart.attributes import get_attribute
+from repro.smart.normalization import (
+    MinMaxNormalizer,
+    VendorCurve,
+    vendor_curve_for,
+)
+
+
+class TestVendorCurve:
+    def test_health_at_zero_raw_is_best(self):
+        curve = VendorCurve(best=100.0, worst=1.0, raw_scale=500.0)
+        assert curve.health_value(0.0) == pytest.approx(100.0)
+
+    def test_health_saturates_at_worst(self):
+        curve = VendorCurve(best=100.0, worst=1.0, raw_scale=500.0)
+        assert curve.health_value(500.0) == pytest.approx(1.0)
+        assert curve.health_value(5000.0) == pytest.approx(1.0)
+
+    def test_health_is_monotone_decreasing(self):
+        curve = VendorCurve(raw_scale=100.0, shape=1.5)
+        raws = np.linspace(0.0, 150.0, 40)
+        healths = curve.health_value(raws)
+        assert np.all(np.diff(healths) <= 0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            VendorCurve(raw_scale=0.0)
+        with pytest.raises(ValueError):
+            VendorCurve(shape=-1.0)
+        with pytest.raises(ValueError):
+            VendorCurve(best=1.0, worst=10.0)
+
+    def test_vendor_curve_for_registry_attributes(self):
+        for symbol in ("RRER", "R-RSC", "TC"):
+            curve = vendor_curve_for(get_attribute(symbol))
+            assert curve.health_value(0.0) > curve.health_value(1.0e12)
+
+
+class TestMinMaxNormalizer:
+    def test_eq1_maps_extremes_to_unit_interval(self):
+        data = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        scaled = MinMaxNormalizer().fit_transform(data)
+        np.testing.assert_allclose(scaled[:, 0], [-1.0, 0.0, 1.0])
+        np.testing.assert_allclose(scaled[:, 1], [-1.0, 0.0, 1.0])
+
+    def test_constant_column_maps_to_zero_and_is_reported(self):
+        data = np.array([[1.0, 7.0], [2.0, 7.0]])
+        normalizer = MinMaxNormalizer().fit(data)
+        scaled = normalizer.transform(data)
+        np.testing.assert_allclose(scaled[:, 1], [0.0, 0.0])
+        np.testing.assert_array_equal(normalizer.constant_columns,
+                                      [False, True])
+
+    def test_transform_clips_out_of_range_values(self):
+        normalizer = MinMaxNormalizer().fit(np.array([[0.0], [10.0]]))
+        scaled = normalizer.transform(np.array([[-5.0], [15.0]]))
+        np.testing.assert_allclose(scaled.ravel(), [-1.0, 1.0])
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(NormalizationError):
+            MinMaxNormalizer().transform(np.zeros((2, 2)))
+
+    def test_fit_rejects_non_finite(self):
+        with pytest.raises(NormalizationError):
+            MinMaxNormalizer().fit(np.array([[np.nan, 1.0]]))
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(NormalizationError):
+            MinMaxNormalizer().fit(np.empty((0, 3)))
+
+    def test_column_count_mismatch_raises(self):
+        normalizer = MinMaxNormalizer().fit(np.zeros((2, 3)))
+        with pytest.raises(NormalizationError):
+            normalizer.transform(np.zeros((2, 2)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(hnp.arrays(np.float64, (7, 4),
+                      elements=st.floats(-1e6, 1e6, allow_nan=False)))
+    def test_output_always_within_unit_interval(self, data):
+        scaled = MinMaxNormalizer().fit_transform(data)
+        assert np.all(scaled >= -1.0) and np.all(scaled <= 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(hnp.arrays(np.float64, (6, 3),
+                      elements=st.floats(-1e6, 1e6, allow_nan=False)))
+    def test_inverse_transform_round_trips(self, data):
+        normalizer = MinMaxNormalizer().fit(data)
+        restored = normalizer.inverse_transform(normalizer.transform(data))
+        # Constant columns are restored to their single fitted value.
+        np.testing.assert_allclose(restored, data, atol=1e-6, rtol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(hnp.arrays(np.float64, (5, 2),
+                      elements=st.floats(-100, 100, allow_nan=False)))
+    def test_scaling_is_weakly_monotone(self, data):
+        scaled = MinMaxNormalizer().fit_transform(data)
+        for column in range(data.shape[1]):
+            original = data[:, column]
+            rescaled = scaled[:, column]
+            for i in range(original.shape[0]):
+                for j in range(original.shape[0]):
+                    if original[i] < original[j]:
+                        assert rescaled[i] <= rescaled[j]

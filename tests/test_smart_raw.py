@@ -1,0 +1,108 @@
+"""Tests for the SMART raw-value codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.smart.raw import (
+    RAW48_MAX,
+    decode_power_on_hours,
+    decode_raw48,
+    decode_seagate_error_rate,
+    decode_temperature,
+    encode_raw48,
+    encode_seagate_error_rate,
+    encode_temperature,
+)
+
+
+class TestRaw48:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, RAW48_MAX))
+    def test_round_trip(self, value):
+        assert decode_raw48(encode_raw48(value)) == value
+
+    def test_little_endian_layout(self):
+        assert encode_raw48(0x0102) == bytes([0x02, 0x01, 0, 0, 0, 0])
+
+    def test_range_validation(self):
+        with pytest.raises(ReproError):
+            encode_raw48(-1)
+        with pytest.raises(ReproError):
+            encode_raw48(RAW48_MAX + 1)
+        with pytest.raises(ReproError):
+            decode_raw48(b"\x00" * 5)
+
+
+class TestTemperature:
+    def test_decode_packed_extremes(self):
+        raw = 38 | (21 << 16) | (52 << 32)
+        reading = decode_temperature(raw)
+        assert reading.current_c == 38
+        assert reading.lifetime_min_c == 21
+        assert reading.lifetime_max_c == 52
+
+    def test_plain_firmware_reports_current_only(self):
+        reading = decode_temperature(34)
+        assert reading.current_c == 34
+        assert reading.lifetime_min_c == 34
+        assert reading.lifetime_max_c == 34
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 90), st.integers(0, 30), st.integers(0, 70))
+    def test_round_trip(self, current, below, above):
+        minimum = max(0, current - below)
+        maximum = min(255, current + above)
+        raw = encode_temperature(current, minimum, maximum)
+        reading = decode_temperature(raw)
+        assert (reading.current_c, reading.lifetime_min_c,
+                reading.lifetime_max_c) == (current, minimum, maximum)
+
+    def test_extremes_must_bracket_current(self):
+        with pytest.raises(ReproError):
+            encode_temperature(30, lifetime_min_c=40, lifetime_max_c=50)
+        with pytest.raises(ReproError):
+            encode_temperature(300)
+
+
+class TestSeagateErrorRate:
+    def test_fresh_counter_decodes_to_zero_errors(self):
+        decoded = decode_seagate_error_rate(123_456_789)
+        assert decoded.errors == 0
+        assert decoded.operations == 123_456_789
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFFFFFF))
+    def test_round_trip(self, errors, operations):
+        raw = encode_seagate_error_rate(errors, operations)
+        decoded = decode_seagate_error_rate(raw)
+        assert (decoded.errors, decoded.operations) == (errors, operations)
+
+    def test_errors_per_million(self):
+        raw = encode_seagate_error_rate(5, 1_000_000)
+        assert decode_seagate_error_rate(raw).errors_per_million == 5.0
+        assert decode_seagate_error_rate(0).errors_per_million == 0.0
+
+    def test_range_validation(self):
+        with pytest.raises(ReproError):
+            encode_seagate_error_rate(0x10000, 0)
+        with pytest.raises(ReproError):
+            encode_seagate_error_rate(0, 0x1_0000_0000)
+
+
+class TestPowerOnHours:
+    def test_hours_passthrough(self):
+        assert decode_power_on_hours(17_520) == 17_520.0
+
+    def test_minutes_and_seconds_firmware(self):
+        assert decode_power_on_hours(120, unit="minutes") == 2.0
+        assert decode_power_on_hours(7200, unit="seconds") == 2.0
+
+    def test_high_word_remainder_ignored(self):
+        raw = 100 | (999 << 32)
+        assert decode_power_on_hours(raw) == 100.0
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ReproError):
+            decode_power_on_hours(1, unit="fortnights")

@@ -1,0 +1,59 @@
+"""Tests for SmartRecord."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownAttributeError
+from repro.smart.attributes import CHARACTERIZATION_ATTRIBUTES
+from repro.smart.record import SmartRecord
+
+
+def _values():
+    return tuple(float(i) for i in range(12))
+
+
+def test_record_round_trip_through_dict():
+    record = SmartRecord("drive-1", 7, _values())
+    rebuilt = SmartRecord.from_mapping("drive-1", 7, record.as_dict())
+    assert rebuilt == record
+
+
+def test_getitem_by_symbol():
+    record = SmartRecord("drive-1", 0, _values())
+    assert record["RRER"] == 0.0
+    assert record["TC"] == 11.0
+
+
+def test_getitem_unknown_symbol_raises():
+    record = SmartRecord("drive-1", 0, _values())
+    with pytest.raises(UnknownAttributeError):
+        record["NOPE"]
+
+
+def test_as_array_matches_values():
+    record = SmartRecord("drive-1", 0, _values())
+    np.testing.assert_array_equal(record.as_array(), np.arange(12.0))
+
+
+def test_mismatched_value_count_rejected():
+    with pytest.raises(ValueError):
+        SmartRecord("drive-1", 0, (1.0, 2.0))
+
+
+def test_from_mapping_requires_every_attribute():
+    partial = {s: 1.0 for s in CHARACTERIZATION_ATTRIBUTES[:-1]}
+    with pytest.raises(ValueError, match="missing"):
+        SmartRecord.from_mapping("drive-1", 0, partial)
+
+
+def test_from_mapping_rejects_unknown_keys():
+    full = {s: 1.0 for s in CHARACTERIZATION_ATTRIBUTES}
+    full["EXTRA"] = 2.0
+    with pytest.raises(UnknownAttributeError):
+        SmartRecord.from_mapping("drive-1", 0, full)
+
+
+def test_from_mapping_orders_values_by_table_one():
+    values = {s: float(i * 10) for i, s in enumerate(CHARACTERIZATION_ATTRIBUTES)}
+    record = SmartRecord.from_mapping("d", 3, values)
+    assert record.values == tuple(float(i * 10) for i in range(12))

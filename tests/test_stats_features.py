@@ -1,0 +1,55 @@
+"""Tests for feature statistics (rolling std, change rate, POH smoothing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.stats.features import change_rate, rolling_std, smooth_poh
+
+
+def test_rolling_std_uses_trailing_window():
+    series = np.concatenate([np.random.default_rng(0).normal(0, 5, 100),
+                             np.full(24, 7.0)])
+    assert rolling_std(series, window=24) == 0.0
+
+
+def test_rolling_std_of_short_series():
+    assert rolling_std(np.array([3.0]), window=24) == 0.0
+
+
+def test_change_rate_of_linear_series():
+    series = 2.5 * np.arange(48.0)
+    assert change_rate(series, window=24) == pytest.approx(2.5)
+
+
+def test_change_rate_of_flat_series_is_zero():
+    assert change_rate(np.full(30, 9.0)) == 0.0
+
+
+def test_change_rate_robust_to_one_outlier():
+    series = np.zeros(24)
+    series[-1] = 10.0  # one spiked endpoint
+    naive_rate = 10.0 / 23.0
+    assert change_rate(series, window=24) < naive_rate * 1.5
+
+
+def test_change_rate_single_sample():
+    assert change_rate(np.array([1.0])) == 0.0
+
+
+def test_smooth_poh_breaks_plateaus():
+    poh = np.full(10, 88.0)
+    hours = np.arange(100, 110)
+    smoothed = smooth_poh(poh, hours)
+    assert np.all(np.diff(smoothed) > 0)
+    assert smoothed[0] == 88.0
+
+
+def test_smooth_poh_alignment_required():
+    with pytest.raises(ReproError):
+        smooth_poh(np.zeros(5), np.arange(4))
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ReproError):
+        rolling_std(np.array([]))

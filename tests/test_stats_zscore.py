@@ -1,0 +1,70 @@
+"""Tests for the Eq. (7) z-score and its temporal extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.smart.profile import HealthProfile
+from repro.stats.zscore import temporal_z_scores, two_population_z
+
+
+def test_identical_populations_score_zero(rng):
+    sample = rng.normal(size=500)
+    assert abs(two_population_z(sample, sample)) < 1e-9
+
+
+def test_sign_follows_mean_difference(rng):
+    low = rng.normal(0.0, 1.0, 500)
+    high = rng.normal(5.0, 1.0, 500)
+    assert two_population_z(high, low) > 0
+    assert two_population_z(low, high) < 0
+
+
+def test_magnitude_grows_with_sample_size(rng):
+    small_failed = rng.normal(1.0, 1.0, 20)
+    large_failed = rng.normal(1.0, 1.0, 2000)
+    good = rng.normal(0.0, 1.0, 5000)
+    assert abs(two_population_z(large_failed, good)) > abs(
+        two_population_z(small_failed, good)
+    )
+
+
+def test_degenerate_variance():
+    same = np.full(10, 2.0)
+    assert two_population_z(same, np.full(20, 2.0)) == 0.0
+    assert two_population_z(np.full(10, 3.0), same) == np.inf
+
+
+def test_needs_two_values():
+    with pytest.raises(ReproError):
+        two_population_z(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+def make_failed_profile(serial, n, tc_value):
+    matrix = np.full((n, 12), 50.0)
+    matrix[:, 11] = tc_value  # TC column
+    return HealthProfile(serial=serial, hours=np.arange(n), matrix=matrix,
+                         failed=True)
+
+
+def test_temporal_z_scores_detect_hot_group(rng):
+    hot = [make_failed_profile(f"h{i}", 100, 60.0) for i in range(5)]
+    good_values = rng.normal(75.0, 2.0, 5000)
+    lags, z_scores = temporal_z_scores(hot, good_values, "TC",
+                                       max_lag_hours=96, step_hours=8)
+    finite = z_scores[np.isfinite(z_scores)]
+    assert finite.shape[0] > 5
+    assert np.all(finite < 0)  # hot drives have lower TC health value
+
+
+def test_temporal_lags_beyond_profiles_are_nan(rng):
+    short = [make_failed_profile("s", 10, 60.0)]
+    good_values = rng.normal(75.0, 2.0, 1000)
+    lags, z_scores = temporal_z_scores(short, good_values, "TC",
+                                       max_lag_hours=480, step_hours=8)
+    assert np.isnan(z_scores[-1])
+
+
+def test_temporal_requires_profiles(rng):
+    with pytest.raises(ReproError):
+        temporal_z_scores([], rng.normal(size=100), "TC")
