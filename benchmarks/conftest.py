@@ -5,6 +5,13 @@ default experiment fleet (~4,000 drives, seed-pinned — a scaled-down
 version of the paper's 23,395-drive population) and writes the rendered
 artifact to ``benchmarks/output/`` for inspection.
 
+The session is instrumented: a :class:`~repro.obs.TelemetryObserver` is
+installed before the first fleet/report build, so the one expensive
+pipeline construction of the session is traced per-stage and its
+metrics collected.  Both are written to ``benchmarks/output/telemetry.json``
+at session end, letting ``BENCH_*.json`` trajectories be cut per-stage
+rather than only end-to-end.
+
 Run with::
 
    pytest benchmarks/ --benchmark-only
@@ -16,9 +23,42 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.common import default_fleet, default_report
+from repro.core.serialize import canonical_json_dumps
+from repro.experiments.common import (
+    default_fleet,
+    default_report,
+    set_pipeline_observer,
+)
+from repro.obs import TelemetryObserver
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Session-wide telemetry sink; installed before any fleet is built so
+#: the memoized pipeline run is the one that gets traced.
+_TELEMETRY = TelemetryObserver()
+
+
+def pytest_configure(config):
+    set_pipeline_observer(_TELEMETRY)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    set_pipeline_observer(None)
+    if not _TELEMETRY.tracer.roots and not len(_TELEMETRY.metrics):
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "stage_timings": _TELEMETRY.tracer.stage_timings(),
+        "metrics": _TELEMETRY.metrics.snapshot(),
+        "trace": _TELEMETRY.tracer.to_dict(),
+    }
+    (OUTPUT_DIR / "telemetry.json").write_text(canonical_json_dumps(payload))
+
+
+@pytest.fixture(scope="session")
+def bench_observer() -> TelemetryObserver:
+    """The session's telemetry sink (tracer + metrics registry)."""
+    return _TELEMETRY
 
 
 @pytest.fixture(scope="session")

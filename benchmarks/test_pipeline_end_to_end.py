@@ -2,14 +2,19 @@
 
 Not a paper artifact — these time the two heavyweight stages so
 performance regressions in the simulator or the analysis pipeline are
-visible alongside the reproduction benches.
+visible alongside the reproduction benches.  The instrumented pipeline
+bench runs with a live observer so its per-stage span timings land in
+``benchmarks/output/telemetry.json``.
 """
+
+import pytest
 
 from repro.core.pipeline import CharacterizationPipeline
 from repro.sim.config import FleetConfig
 from repro.sim.fleet import simulate_fleet
 
 
+@pytest.mark.tier2
 def test_simulate_fleet_1000_drives(benchmark):
     config = FleetConfig(n_drives=1000, seed=13)
     result = benchmark.pedantic(simulate_fleet, args=(config,),
@@ -17,6 +22,7 @@ def test_simulate_fleet_1000_drives(benchmark):
     assert len(result.dataset) == 1000
 
 
+@pytest.mark.tier2
 def test_full_pipeline_1000_drives(benchmark):
     fleet = simulate_fleet(FleetConfig(n_drives=1000, seed=13))
 
@@ -25,3 +31,19 @@ def test_full_pipeline_1000_drives(benchmark):
 
     report = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
     assert report.categorization.n_groups == 3
+
+
+@pytest.mark.tier2
+def test_full_pipeline_1000_drives_instrumented(benchmark, bench_observer):
+    """Same pipeline with live telemetry — quantifies observer overhead
+    and feeds per-stage timings into the session telemetry artifact."""
+    fleet = simulate_fleet(FleetConfig(n_drives=1000, seed=13))
+
+    def run_pipeline():
+        return CharacterizationPipeline(
+            seed=13, observer=bench_observer
+        ).run(fleet.dataset)
+
+    report = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    assert report.categorization.n_groups == 3
+    assert bench_observer.tracer.find("cluster") is not None

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Lint: library code must log, not print.
+
+Walks ``src/repro`` and flags every call to the ``print`` builtin
+outside the allowlisted operator-facing modules (the two CLI entry
+points and the rendering layer).  Docstrings mentioning ``print`` are
+fine — the check is AST-based, so only real calls count.
+
+Run from the repository root::
+
+   python scripts/check_no_print.py
+
+Exits 1 listing ``path:line`` for each violation, 0 when clean.  The
+test suite runs this as a regression gate (``tests/test_no_print_lint.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Paths (relative to ``src/repro``) where printing is the module's job:
+#: the CLI entry points and the ASCII-rendering layer.
+ALLOWED_PREFIXES = (
+    "cli.py",
+    "reporting/",
+    "experiments/registry.py",
+    "experiments/__main__.py",
+)
+
+
+def find_print_calls(path: Path) -> list[int]:
+    """Line numbers of ``print(...)`` calls in one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        relative = path.relative_to(SRC_ROOT).as_posix()
+        if relative.startswith(ALLOWED_PREFIXES):
+            continue
+        for line in find_print_calls(path):
+            violations.append(f"src/repro/{relative}:{line}")
+    if violations:
+        print("bare print() calls found — use repro.obs.logging instead:",
+              file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ Examples::
    repro-characterize --simulate 4000 --seed 42
    repro-characterize --csv fleet.csv --json report.json
    repro-characterize --backblaze 'data_Q1_2015/*.csv' --model ST4000DM000
+   repro-characterize --simulate 500 -v --trace trace.json --metrics metrics.json
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from __future__ import annotations
 import argparse
 import glob
 import sys
+from pathlib import Path
 
 from repro.core.pipeline import CharacterizationPipeline, CharacterizationReport
 from repro.core.serialize import save_report_json
@@ -26,6 +28,12 @@ from repro.data.backblaze import load_backblaze_csv
 from repro.data.dataset import DiskDataset
 from repro.data.loader import load_csv
 from repro.errors import ReproError
+from repro.obs import logging as obs_logging
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    PipelineObserver,
+    TelemetryObserver,
+)
 from repro.reporting.tables import ascii_table
 from repro.sim.config import FleetConfig
 from repro.sim.fleet import simulate_fleet
@@ -54,20 +62,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the Table III predictors")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the machine-readable report here")
+    telemetry = parser.add_argument_group("telemetry")
+    telemetry.add_argument("-v", "--verbose", action="count", default=0,
+                           help="log pipeline progress (-vv for debug)")
+    telemetry.add_argument("--log-json", action="store_true",
+                           help="emit log records as JSON lines")
+    telemetry.add_argument("--trace", metavar="PATH", default=None,
+                           help="write the stage span tree here as JSON")
+    telemetry.add_argument("--metrics", metavar="PATH", default=None,
+                           help="write the metrics snapshot here as JSON")
     return parser
 
 
-def load_dataset(args: argparse.Namespace) -> DiskDataset:
+def load_dataset(args: argparse.Namespace,
+                 observer: PipelineObserver) -> DiskDataset:
     if args.simulate is not None:
         fleet = simulate_fleet(FleetConfig(n_drives=args.simulate,
-                                           seed=args.seed))
+                                           seed=args.seed),
+                               observer=observer)
         return fleet.dataset
     if args.csv is not None:
-        return load_csv(args.csv)
+        return load_csv(args.csv, observer=observer)
     paths = sorted(glob.glob(args.backblaze))
     if not paths:
         raise ReproError(f"no files match {args.backblaze!r}")
-    return load_backblaze_csv(paths, model=args.model)
+    return load_backblaze_csv(paths, model=args.model, observer=observer)
 
 
 def render_report(report: CharacterizationReport) -> str:
@@ -106,36 +125,52 @@ def render_report(report: CharacterizationReport) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point: any library or I/O failure exits 2 with one line."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        dataset = load_dataset(args)
+        return run(args)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return 2
+
+
+def run(args: argparse.Namespace) -> int:
+    obs_logging.configure(
+        level=obs_logging.verbosity_to_level(args.verbose),
+        json_mode=args.log_json,
+    )
+    collect_telemetry = bool(args.verbose or args.log_json
+                             or args.trace or args.metrics)
+    observer = TelemetryObserver() if collect_telemetry else NULL_OBSERVER
+
+    dataset = load_dataset(args, observer)
     summary = dataset.summary()
     print(f"loaded {summary.n_drives} drives "
           f"({summary.n_failed} failed, {summary.n_good} good)")
     if summary.n_failed < 3:
-        print("error: need at least 3 failed drives to categorize",
-              file=sys.stderr)
-        return 1
+        raise ReproError("need at least 3 failed drives to categorize")
 
     pipeline = CharacterizationPipeline(
         n_clusters=args.clusters if args.clusters > 0 else None,
         run_prediction=not args.no_prediction,
         seed=args.seed,
+        observer=observer,
     )
-    try:
-        report = pipeline.run(dataset)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    report = pipeline.run(dataset)
     print()
     print(render_report(report))
     if args.json:
-        save_report_json(report, args.json)
+        telemetry = (observer.telemetry_section()
+                     if isinstance(observer, TelemetryObserver) else None)
+        save_report_json(report, args.json, telemetry=telemetry)
         print(f"\nreport written to {args.json}")
+    if args.trace:
+        observer.tracer.save_json(args.trace)
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        Path(args.metrics).write_text(observer.metrics.to_json())
+        print(f"metrics written to {args.metrics}")
     return 0
 
 

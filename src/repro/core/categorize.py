@@ -19,6 +19,7 @@ from repro.core.taxonomy import FailureType, GroupProperties, classify_groups
 from repro.errors import ModelError, ReproError
 from repro.ml.kmeans import ElbowAnalysis, KMeans, elbow_analysis
 from repro.ml.svc import SupportVectorClustering
+from repro.obs.observer import PipelineObserver, resolve_observer
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,11 +75,14 @@ class FailureCategorizer:
         ``"kmeans"`` (default) or ``"svc"``.
     seed:
         Random seed for the clustering engine.
+    observer:
+        Telemetry sink for spans and metrics (default: no-op).
     """
 
     def __init__(self, *, n_clusters: int | None = None,
                  method: str = "kmeans", seed: int = 0,
-                 max_clusters: int = 10) -> None:
+                 max_clusters: int = 10,
+                 observer: PipelineObserver | None = None) -> None:
         if method not in ("kmeans", "svc"):
             raise ModelError(f"unknown clustering method {method!r}")
         if n_clusters is not None and n_clusters < 2:
@@ -87,22 +91,28 @@ class FailureCategorizer:
         self._method = method
         self._seed = seed
         self._max_clusters = max_clusters
+        self._observer = resolve_observer(observer)
 
     def categorize(self, records: FailureRecordSet) -> CategorizationResult:
         """Cluster ``records`` and derive the failure types."""
-        elbow: ElbowAnalysis | None = None
-        if self._n_clusters is None:
-            elbow = elbow_analysis(
-                records.features, max_clusters=self._max_clusters,
-                seed=self._seed,
-            )
-            n_clusters = elbow.best_k
-        else:
-            n_clusters = self._n_clusters
+        obs = self._observer
+        with obs.span("cluster", method=self._method,
+                      n_records=records.n_records):
+            elbow: ElbowAnalysis | None = None
+            if self._n_clusters is None:
+                with obs.span("elbow", max_clusters=self._max_clusters):
+                    elbow = elbow_analysis(
+                        records.features, max_clusters=self._max_clusters,
+                        seed=self._seed,
+                    )
+                n_clusters = elbow.best_k
+            else:
+                n_clusters = self._n_clusters
 
-        labels = self._cluster(records.features, n_clusters)
-        groups = classify_groups(records, labels)
-        centroids = _centroid_serials(records, labels)
+            labels = self._cluster(records.features, n_clusters)
+            groups = classify_groups(records, labels)
+            centroids = _centroid_serials(records, labels)
+        obs.gauge("clusters_found", n_clusters)
         return CategorizationResult(
             records=records,
             labels=labels,

@@ -29,6 +29,7 @@ from repro.core.signatures import (
 from repro.core.taxonomy import FailureType
 from repro.data.dataset import DiskDataset
 from repro.errors import ReproError, SignatureError
+from repro.obs.observer import PipelineObserver, resolve_observer
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,15 +85,21 @@ class CharacterizationPipeline:
         stage; disable for categorization-only runs).
     seed:
         Seed shared by clustering, sampling and splitting.
+    observer:
+        Telemetry sink for stage spans, metrics and progress events
+        (default: a no-op observer — uninstrumented runs pay nothing).
     """
 
     def __init__(self, *, n_clusters: int | None = 3,
                  window_params: WindowParams | None = None,
                  run_prediction: bool = True,
                  clustering_method: str = "kmeans",
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 observer: PipelineObserver | None = None) -> None:
+        self._observer = resolve_observer(observer)
         self._categorizer = FailureCategorizer(
-            n_clusters=n_clusters, method=clustering_method, seed=seed
+            n_clusters=n_clusters, method=clustering_method, seed=seed,
+            observer=self._observer,
         )
         self._window_params = window_params or WindowParams()
         self._run_prediction = run_prediction
@@ -100,36 +107,60 @@ class CharacterizationPipeline:
 
     def run(self, dataset: DiskDataset) -> CharacterizationReport:
         """Analyze ``dataset`` (raw or already normalized)."""
-        normalized = dataset if dataset.is_normalized else dataset.normalize()
-        records = build_failure_records(normalized)
-        categorization = self._categorizer.categorize(records)
+        obs = self._observer
+        with obs.span("pipeline", n_drives=len(dataset.profiles)):
+            with obs.span("normalize"):
+                normalized = (dataset if dataset.is_normalized
+                              else dataset.normalize())
+            obs.count("drives_processed", len(normalized.profiles))
+            obs.gauge("drives_failed", len(normalized.failed_profiles))
 
-        signatures: dict[str, DegradationSignature] = {}
-        for profile in normalized.failed_profiles:
-            try:
-                signatures[profile.serial] = derive_signature(
-                    profile, params=self._window_params
+            with obs.span("failure-records"):
+                records = build_failure_records(normalized)
+            obs.gauge("failure_records", records.n_records)
+
+            categorization = self._categorizer.categorize(records)
+
+            signatures: dict[str, DegradationSignature] = {}
+            with obs.span("signatures",
+                          n_failed=len(normalized.failed_profiles)):
+                for profile in normalized.failed_profiles:
+                    try:
+                        signatures[profile.serial] = derive_signature(
+                            profile, params=self._window_params,
+                            observer=obs,
+                        )
+                    except SignatureError:
+                        # Degenerate profiles (e.g. two records) carry no
+                        # signature; they stay categorized but unsigned.
+                        obs.count("signatures_skipped")
+                        continue
+            obs.event("signatures derived",
+                      derived=len(signatures),
+                      skipped=len(normalized.failed_profiles) - len(signatures))
+
+            with obs.span("influence"):
+                summaries = self._summarize_groups(
+                    normalized, categorization, signatures
                 )
-            except SignatureError:
-                # Degenerate profiles (e.g. two records) carry no signature;
-                # they stay categorized but unsigned.
-                continue
 
-        summaries = self._summarize_groups(normalized, categorization, signatures)
+            predictions: dict[FailureType, PredictionReport] = {}
+            if self._run_prediction:
+                predictor = DegradationPredictor(seed=self._seed,
+                                                 observer=obs)
+                with obs.span("predict"):
+                    predictions = predictor.evaluate_all(
+                        normalized, categorization
+                    )
 
-        predictions: dict[FailureType, PredictionReport] = {}
-        if self._run_prediction:
-            predictor = DegradationPredictor(seed=self._seed)
-            predictions = predictor.evaluate_all(normalized, categorization)
-
-        return CharacterizationReport(
-            dataset=normalized,
-            records=records,
-            categorization=categorization,
-            signatures=signatures,
-            group_summaries=summaries,
-            predictions=predictions,
-        )
+            return CharacterizationReport(
+                dataset=normalized,
+                records=records,
+                categorization=categorization,
+                signatures=signatures,
+                group_summaries=summaries,
+                predictions=predictions,
+            )
 
     def _summarize_groups(self, dataset: DiskDataset,
                           categorization: CategorizationResult,

@@ -31,6 +31,7 @@ from repro.data.splits import train_test_split
 from repro.errors import ReproError
 from repro.ml.metrics import rmse
 from repro.ml.tree import RegressionTree
+from repro.obs.observer import PipelineObserver, resolve_observer
 
 #: Target range of the degradation values, used for the error rate: the
 #: paper's percentages are RMSE / 2 (targets span [-1, 1]).
@@ -75,14 +76,18 @@ class DegradationPredictor:
         Training share of the random split (paper: 0.7).
     seed:
         Seed for sampling good drives and splitting.
+    observer:
+        Telemetry sink for spans and metrics (default: no-op).
     """
 
     def __init__(self, *, max_depth: int = 8, min_samples_leaf: int = 10,
-                 train_fraction: float = 0.7, seed: int = 17) -> None:
+                 train_fraction: float = 0.7, seed: int = 17,
+                 observer: PipelineObserver | None = None) -> None:
         self._max_depth = max_depth
         self._min_samples_leaf = min_samples_leaf
         self._train_fraction = train_fraction
         self._seed = seed
+        self._observer = resolve_observer(observer)
         self.trees_: dict[FailureType, RegressionTree] = {}
 
     def build_training_set(self, dataset: DiskDataset,
@@ -132,26 +137,31 @@ class DegradationPredictor:
                        failure_type: FailureType, *,
                        window: int | None = None) -> PredictionReport:
         """Train on the 70% split, score on the 30% split."""
+        obs = self._observer
         if window is None:
             window = PREDICTION_WINDOW_BY_TYPE[failure_type]
-        training_set = self.build_training_set(
-            dataset, categorization, failure_type, window=window
-        )
-        split = train_test_split(
-            training_set.targets.shape[0],
-            train_fraction=self._train_fraction,
-            rng=np.random.default_rng(self._seed),
-        )
-        x_train, x_test, y_train, y_test = split.select(
-            training_set.features, training_set.targets
-        )
-        tree = RegressionTree(
-            max_depth=self._max_depth,
-            min_samples_leaf=self._min_samples_leaf,
-        ).fit(x_train, y_train, feature_names=training_set.feature_names)
-        self.trees_[failure_type] = tree
-        predictions = tree.predict(x_test)
-        model_rmse = rmse(y_test, predictions)
+        with obs.span("predict-group", group=failure_type.name,
+                      window=window):
+            training_set = self.build_training_set(
+                dataset, categorization, failure_type, window=window
+            )
+            split = train_test_split(
+                training_set.targets.shape[0],
+                train_fraction=self._train_fraction,
+                rng=np.random.default_rng(self._seed),
+            )
+            x_train, x_test, y_train, y_test = split.select(
+                training_set.features, training_set.targets
+            )
+            tree = RegressionTree(
+                max_depth=self._max_depth,
+                min_samples_leaf=self._min_samples_leaf,
+            ).fit(x_train, y_train, feature_names=training_set.feature_names)
+            self.trees_[failure_type] = tree
+            predictions = tree.predict(x_test)
+            model_rmse = rmse(y_test, predictions)
+        obs.count("prediction_samples", training_set.targets.shape[0])
+        obs.observe("prediction_rmse", model_rmse)
         importances = dict(
             zip(training_set.feature_names,
                 (float(v) for v in tree.feature_importances()))

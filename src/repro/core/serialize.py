@@ -12,8 +12,11 @@ for that); the summary references drives by serial.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any
+
+import numpy as np
 
 from repro.core.pipeline import CharacterizationReport
 from repro.core.taxonomy import FailureType
@@ -22,9 +25,54 @@ from repro.errors import ReproError
 #: Schema version written into every artifact; bump on breaking changes.
 SCHEMA_VERSION = 1
 
+#: Significant digits kept for floats in canonical JSON.  12 digits is
+#: far beyond the reproduction's numeric fidelity but short of the
+#: platform-noise tail of a float64 repr, so artifacts diff cleanly.
+_FLOAT_DIGITS = 12
 
-def report_to_dict(report: CharacterizationReport) -> dict[str, Any]:
-    """Flatten a report into JSON-serializable types."""
+
+def _jsonify(value: Any) -> Any:
+    """Coerce a payload into deterministic, JSON-clean plain types.
+
+    NumPy scalars become Python numbers, tuples become lists, floats are
+    rounded to :data:`_FLOAT_DIGITS` significant digits and non-finite
+    floats become ``None`` — JSON has no NaN/Infinity.
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return None
+        return float(f"{value:.{_FLOAT_DIGITS}g}")
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonify(item) for item in value.tolist()]
+    raise ReproError(
+        f"cannot serialize {type(value).__name__!r} value {value!r}"
+    )
+
+
+def canonical_json_dumps(payload: Any) -> str:
+    """Render ``payload`` as byte-stable JSON: sorted keys, indented,
+    floats normalized — two runs producing equal payloads produce equal
+    bytes, so report/trace diffs are reviewable."""
+    return json.dumps(_jsonify(payload), indent=2, sort_keys=True,
+                      allow_nan=False) + "\n"
+
+
+def report_to_dict(report: CharacterizationReport, *,
+                   telemetry: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Flatten a report into JSON-serializable types.
+
+    ``telemetry`` (optional) is embedded verbatim under a ``"telemetry"``
+    key — the CLI passes stage timings and the metric snapshot of the
+    run that produced the report.
+    """
     groups = {}
     for cluster_id, group in report.categorization.groups.items():
         groups[str(cluster_id)] = {
@@ -78,7 +126,7 @@ def report_to_dict(report: CharacterizationReport) -> dict[str, Any]:
         serial: report.categorization.type_of_serial(serial).name
         for serial in report.records.serials
     }
-    return {
+    payload: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "n_failed_drives": report.records.n_records,
         "groups": groups,
@@ -87,14 +135,22 @@ def report_to_dict(report: CharacterizationReport) -> dict[str, Any]:
         "group_summaries": summaries,
         "predictions": predictions,
     }
+    if telemetry is not None:
+        payload["telemetry"] = telemetry
+    return payload
 
 
-def save_report_json(report: CharacterizationReport,
-                     path: str | Path) -> None:
-    """Write the report summary to ``path`` as indented JSON."""
+def save_report_json(report: CharacterizationReport, path: str | Path, *,
+                     telemetry: dict[str, Any] | None = None) -> None:
+    """Write the report summary to ``path`` as canonical JSON.
+
+    Output is deterministic for equal reports — keys sorted, floats
+    normalized — so artifacts from repeated runs diff cleanly.
+    """
     path = Path(path)
-    path.write_text(json.dumps(report_to_dict(report), indent=2,
-                               sort_keys=True) + "\n")
+    path.write_text(
+        canonical_json_dumps(report_to_dict(report, telemetry=telemetry))
+    )
 
 
 def load_report_summary(path: str | Path) -> dict[str, Any]:

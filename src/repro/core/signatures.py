@@ -34,6 +34,7 @@ from repro.core.taxonomy import FailureType
 from repro.errors import SignatureError
 from repro.ml.distance import MahalanobisDistance, euclidean_to_reference
 from repro.ml.polyfit import PolynomialFit, fit_polynomial_family
+from repro.obs.observer import PipelineObserver, resolve_observer
 from repro.smart.profile import HealthProfile
 
 
@@ -207,13 +208,17 @@ def derive_signature(profile: HealthProfile, *,
                      max_order: int = 3,
                      metric: str = "euclidean",
                      mahalanobis: MahalanobisDistance | None = None,
+                     observer: PipelineObserver | None = None,
                      ) -> DegradationSignature:
     """Run the paper's signature tool on one failed drive.
 
     Extracts the degradation window, fits free polynomials of order
     1..``max_order`` (Figure 8), evaluates the canonical constrained
-    forms and reports the best of each family by RMSE.
+    forms and reports the best of each family by RMSE.  ``observer``
+    (optional) receives ``window_length`` / ``signature_fit_rmse``
+    histogram observations and a ``signatures_derived`` count.
     """
+    obs = resolve_observer(observer)
     distances = distance_to_failure(profile, metric=metric,
                                     mahalanobis=mahalanobis)
     window = extract_degradation_window(distances, params,
@@ -232,6 +237,9 @@ def derive_signature(profile: HealthProfile, *,
         model = (t / float(window.size)) ** order - 1.0
         canonical_rmse[order] = float(np.sqrt(np.mean((s - model) ** 2)))
     best_canonical = min(canonical_rmse, key=lambda k: canonical_rmse[k])
+    obs.count("signatures_derived")
+    obs.observe("window_length", float(window.size))
+    obs.observe("signature_fit_rmse", best_fit.rmse)
     return DegradationSignature(
         serial=profile.serial,
         window=window,

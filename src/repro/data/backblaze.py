@@ -27,6 +27,7 @@ import numpy as np
 from repro.data.dataset import DiskDataset
 from repro.data.windows import truncate_to_policy
 from repro.errors import DatasetError
+from repro.obs.observer import PipelineObserver, resolve_observer
 from repro.smart.attributes import CHARACTERIZATION_ATTRIBUTES
 from repro.smart.profile import (
     FAILED_OBSERVATION_HOURS,
@@ -55,7 +56,8 @@ _HOURS_PER_SAMPLE = 24  # Backblaze reports one sample per day
 
 def load_backblaze_csv(paths: Iterable[str | Path], *,
                        model: str | None = None,
-                       apply_policy: bool = True) -> DiskDataset:
+                       apply_policy: bool = True,
+                       observer: PipelineObserver | None = None) -> DiskDataset:
     """Load one or more Backblaze daily CSV files into a dataset.
 
     Parameters
@@ -70,14 +72,24 @@ def load_backblaze_csv(paths: Iterable[str | Path], *,
         Truncate profiles to the paper's observation policy (20 days
         failed / 7 days good).  Backblaze publishes much longer histories;
         truncation makes results comparable.
+    observer:
+        Telemetry sink; rows with entirely missing SMART payloads are
+        counted under ``records_dropped``.
     """
+    obs = resolve_observer(observer)
     samples: dict[str, list[tuple[int, bool, list[float]]]] = defaultdict(list)
     day_zero: date | None = None
-    for path in sorted(Path(p) for p in paths):
-        day_zero = _ingest_file(path, model, samples, day_zero)
-    if not samples:
-        raise DatasetError("no Backblaze rows matched the requested model")
+    with obs.span("load-backblaze", model=model or "*"):
+        for path in sorted(Path(p) for p in paths):
+            day_zero = _ingest_file(path, model, samples, day_zero, obs)
+        if not samples:
+            raise DatasetError("no Backblaze rows matched the requested model")
+        return _assemble_profiles(samples, apply_policy, obs)
 
+
+def _assemble_profiles(samples: dict[str, list[tuple[int, bool, list[float]]]],
+                       apply_policy: bool,
+                       obs: PipelineObserver) -> DiskDataset:
     profiles = []
     for serial, rows in samples.items():
         rows.sort(key=lambda item: item[0])
@@ -104,6 +116,9 @@ def load_backblaze_csv(paths: Iterable[str | Path], *,
                 good_hours=GOOD_OBSERVATION_HOURS // _HOURS_PER_SAMPLE,
             )
         profiles.append(profile)
+    obs.count("rows_loaded", sum(len(rows) for rows in samples.values()))
+    obs.gauge("profiles_loaded", len(profiles))
+    obs.event("backblaze dataset loaded", profiles=len(profiles))
     return DiskDataset(profiles)
 
 
@@ -158,7 +173,8 @@ def save_backblaze_csv(dataset: DiskDataset, directory: str | Path, *,
 
 def _ingest_file(path: Path, model: str | None,
                  samples: dict[str, list[tuple[int, bool, list[float]]]],
-                 day_zero: date | None) -> date | None:
+                 day_zero: date | None,
+                 obs: PipelineObserver) -> date | None:
     """Parse one daily CSV into ``samples``; returns the epoch day."""
     with path.open(newline="") as handle:
         reader = csv.DictReader(handle)
@@ -184,6 +200,7 @@ def _ingest_file(path: Path, model: str | None,
             # Rows with entirely missing SMART payloads are dropped; partially
             # missing values are forward-filled later by profile assembly.
             if all(np.isnan(v) for v in values):
+                obs.count("records_dropped")
                 continue
             values = [0.0 if np.isnan(v) else v for v in values]
             samples[row["serial_number"]].append(

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.data.dataset import DiskDataset
 from repro.errors import DatasetError
+from repro.obs.observer import PipelineObserver, resolve_observer
 from repro.smart.profile import HealthProfile
 
 
@@ -36,9 +37,16 @@ def save_csv(dataset: DiskDataset, path: str | Path) -> None:
                 )
 
 
-def load_csv(path: str | Path) -> DiskDataset:
+def load_csv(path: str | Path,
+             observer: PipelineObserver | None = None) -> DiskDataset:
     """Load a dataset written by :func:`save_csv`."""
+    obs = resolve_observer(observer)
     path = Path(path)
+    with obs.span("load-csv", path=str(path)):
+        return _load_csv(path, obs)
+
+
+def _load_csv(path: Path, obs: PipelineObserver) -> DiskDataset:
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         try:
@@ -88,4 +96,7 @@ def load_csv(path: str | Path) -> DiskDataset:
                 attributes=attributes,
             )
         )
+    obs.count("rows_loaded", sum(len(rows) for rows in rows_by_serial.values()))
+    obs.gauge("profiles_loaded", len(profiles))
+    obs.event("dataset loaded", path=str(path), profiles=len(profiles))
     return DiskDataset(profiles)

@@ -49,3 +49,7 @@ class SignatureError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with invalid parameters."""
+
+
+class ObservabilityError(ReproError):
+    """The instrumentation layer was misused (e.g. metric kind clash)."""

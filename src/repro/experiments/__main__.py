@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` — alias for the registry CLI."""
+
+from repro.experiments.registry import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

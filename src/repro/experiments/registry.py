@@ -47,6 +47,7 @@ from repro.experiments import (
     table3_prediction,
 )
 from repro.experiments.common import ExperimentResult
+from repro.obs.timing import format_duration, timeit
 
 #: Registry of experiment ids to (runner, description).
 EXPERIMENTS: dict[str, tuple[Callable[[], ExperimentResult], str]] = {
@@ -142,12 +143,14 @@ def main(argv: list[str] | None = None) -> int:
     results = []
     for experiment_id in ids:
         try:
-            result = run_experiment(experiment_id)
+            with timeit(experiment_id) as timer:
+                result = run_experiment(experiment_id)
         except ExperimentError as error:
             print(error, file=sys.stderr)
             return 1
         results.append(result)
         print(result)
+        print(f"[{timer.label}] finished in {format_duration(timer.wall_s)}")
         print()
     if args.output:
         from repro.reporting.report import save_results

@@ -1,0 +1,53 @@
+"""repro.obs — instrumentation substrate for the characterization pipeline.
+
+The package gives the analyzer the telemetry production disk-health
+systems expect of their own tooling:
+
+* :mod:`repro.obs.tracing` — nestable stage spans with wall/CPU time,
+  exportable as a JSON trace tree;
+* :mod:`repro.obs.metrics` — counters, gauges and histograms behind a
+  :class:`MetricsRegistry` with text/JSON snapshots;
+* :mod:`repro.obs.logging` — one-call structured logging setup with
+  per-module loggers and an optional JSON line format;
+* :mod:`repro.obs.observer` — the :class:`PipelineObserver` seam the
+  pipeline emits through (no-op by default, so uninstrumented runs pay
+  nothing);
+* :mod:`repro.obs.timing` — standalone ``timeit`` helpers.
+
+See ``docs/observability.md`` for the operator-facing walkthrough.
+"""
+
+from repro.obs.logging import configure as configure_logging
+from repro.obs.logging import get_logger, verbosity_to_level
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    NoopObserver,
+    PipelineObserver,
+    TelemetryObserver,
+    instrumented,
+    resolve_observer,
+)
+from repro.obs.timing import TimeitResult, format_duration, timeit
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "verbosity_to_level",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NoopObserver",
+    "PipelineObserver",
+    "TelemetryObserver",
+    "instrumented",
+    "resolve_observer",
+    "TimeitResult",
+    "format_duration",
+    "timeit",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,196 @@
+"""Counters, gauges and histograms for the analysis pipeline.
+
+A :class:`MetricsRegistry` hands out named metrics on first use and
+renders the whole set as a JSON snapshot or an aligned text block::
+
+    registry = MetricsRegistry()
+    registry.counter("drives_processed").inc(4000)
+    registry.histogram("window_length").observe(382.0)
+    print(registry.render_text())
+
+Metric kinds follow the conventional trio: a :class:`Counter` only ever
+accumulates, a :class:`Gauge` holds the latest value, and a
+:class:`Histogram` keeps every observation so exact quantiles can be
+computed at snapshot time (pipeline runs observe thousands of values,
+not millions, so exact retention beats bucketing here).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.errors import ObservabilityError
+
+#: Quantiles reported in every histogram snapshot.
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Distribution of observed values with exact quantiles."""
+
+    __slots__ = ("name", "_values")
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ObservabilityError(
+                f"histogram {self.name!r} observed non-finite value {value!r}"
+            )
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile with linear interpolation between order stats."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile {q} outside [0, 1]")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = q * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def snapshot(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"kind": self.kind, "count": self.count}
+        if self._values:
+            payload.update(
+                min=min(self._values),
+                max=max(self._values),
+                mean=self.mean,
+            )
+            for q in SNAPSHOT_QUANTILES:
+                payload[f"p{int(q * 100)}"] = self.quantile(q)
+        return payload
+
+
+class MetricsRegistry:
+    """Named metrics, created on first access.
+
+    Re-requesting a name returns the same instance; requesting it as a
+    different kind raises :class:`ObservabilityError` — a metric name
+    means one thing for the life of the registry.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def _get_or_create(self, name: str, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested as {factory.kind}"
+            )
+        return metric
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All metrics as a name-sorted JSON-serializable mapping."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    def to_json(self) -> str:
+        """The snapshot as indented, key-sorted JSON text."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+
+    def render_text(self) -> str:
+        """Aligned one-line-per-metric text block for terminals."""
+        lines = []
+        width = max((len(name) for name in self._metrics), default=0)
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                snap = metric.snapshot()
+                if metric.count:
+                    detail = (
+                        f"count={snap['count']} mean={snap['mean']:.4g} "
+                        f"p50={snap['p50']:.4g} p99={snap['p99']:.4g}"
+                    )
+                else:
+                    detail = "count=0"
+                lines.append(f"{name:<{width}}  histogram  {detail}")
+            else:
+                lines.append(
+                    f"{name:<{width}}  {metric.kind:<9}  {metric.value:g}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""The observer seam between the pipeline and the instrumentation.
+
+Pipeline stages never talk to a tracer or a metrics registry directly;
+they call the tiny :class:`PipelineObserver` surface — ``span``,
+``count``, ``gauge``, ``observe``, ``event`` — and callers decide what
+backs it.  The default is :data:`NULL_OBSERVER`, whose every operation
+is a no-op cheap enough to leave in hot paths, so uninstrumented runs
+behave exactly as before.  :class:`TelemetryObserver` is the real
+implementation bundling a :class:`~repro.obs.tracing.Tracer`, a
+:class:`~repro.obs.metrics.MetricsRegistry` and a logger.
+
+The :func:`instrumented` decorator wraps a function or method in a span
+named after it, resolving the observer from an ``observer`` keyword
+argument or from the bound instance's ``_observer`` attribute.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, ContextManager, Protocol, TypeVar, runtime_checkable
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+@runtime_checkable
+class PipelineObserver(Protocol):
+    """What an instrumented stage may emit."""
+
+    def span(self, name: str, **attributes: Any) -> ContextManager[Any]:
+        """Open a nested timed region named ``name``."""
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increase the named counter."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+
+    def event(self, message: str, **fields: Any) -> None:
+        """Emit a progress event (a structured log line)."""
+
+
+class _NullSpan:
+    """Reusable do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NoopObserver:
+    """Observer that discards everything (the default everywhere)."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, message: str, **fields: Any) -> None:
+        pass
+
+
+#: Shared no-op instance; stages default to this.
+NULL_OBSERVER = NoopObserver()
+
+
+def resolve_observer(observer: PipelineObserver | None) -> PipelineObserver:
+    """``observer`` if given, else the shared no-op."""
+    return observer if observer is not None else NULL_OBSERVER
+
+
+class TelemetryObserver:
+    """Observer backed by a tracer, a metrics registry and a logger."""
+
+    def __init__(self, *, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 logger=None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.logger = logger if logger is not None else get_logger("pipeline")
+
+    def span(self, name: str, **attributes: Any) -> ContextManager[Any]:
+        self.logger.debug("stage %s started", name)
+        return self.tracer.span(name, **attributes)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    def event(self, message: str, **fields: Any) -> None:
+        self.logger.info(message, extra={"fields": fields})
+
+    def telemetry_section(self) -> dict[str, Any]:
+        """Stage timings + metric snapshot, for report embedding."""
+        return {
+            "stage_timings": self.tracer.stage_timings(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+def instrumented(stage: str | None = None, *,
+                 observer_attr: str = "_observer") -> Callable[[_F], _F]:
+    """Wrap a callable in a span named ``stage`` (default: its name).
+
+    The observer is taken from the call's ``observer`` keyword argument
+    when present (without consuming it), else from ``observer_attr`` on
+    the first positional argument (``self`` for methods), else the
+    no-op.  Functions stay usable completely uninstrumented.
+    """
+
+    def decorate(func: _F) -> _F:
+        span_name = stage if stage is not None else func.__name__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            observer = kwargs.get("observer")
+            if observer is None and args:
+                observer = getattr(args[0], observer_attr, None)
+            observer = resolve_observer(observer)
+            with observer.span(span_name):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,63 @@
+"""Small timing helpers shared by the CLIs and the experiment harness.
+
+:func:`timeit` measures a block's wall and CPU time without requiring a
+tracer; it is what the experiment registry uses to print per-experiment
+duration lines::
+
+    with timeit("fig8") as timer:
+        run_experiment("fig8")
+    print(f"[{timer.label}] {format_duration(timer.wall_s)}")
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class TimeitResult:
+    """Filled in when the :func:`timeit` block exits."""
+
+    label: str = ""
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Alias for ``wall_s``."""
+        return self.wall_s
+
+
+@contextmanager
+def timeit(label: str = "") -> Iterator[TimeitResult]:
+    """Measure the wall and CPU time of the enclosed block.
+
+    The yielded :class:`TimeitResult` is populated on exit — including
+    when the block raises, so cleanup code can still report the time
+    spent before the failure.
+    """
+    result = TimeitResult(label=label)
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        yield result
+    finally:
+        result.wall_s = time.perf_counter() - wall_start
+        result.cpu_s = time.process_time() - cpu_start
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration: ``431 ms``, ``2.41 s``, ``3 min 12 s``."""
+    if seconds < 0:
+        return f"-{format_duration(-seconds)}"
+    if seconds < 0.001:
+        return f"{seconds * 1_000_000.0:.0f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1000.0:.0f} ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f} s"
+    minutes, remainder = divmod(seconds, 60.0)
+    return f"{int(minutes)} min {remainder:.0f} s"

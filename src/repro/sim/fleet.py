@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import DiskDataset
+from repro.obs.observer import PipelineObserver, resolve_observer
 from repro.sim.config import FleetConfig
 from repro.sim.drive import DriveSpec, simulate_drive
 from repro.sim.failure_modes import FailureMode
@@ -66,8 +67,10 @@ class FleetResult:
 class FleetSimulator:
     """Deterministic simulator for one fleet configuration."""
 
-    def __init__(self, config: FleetConfig) -> None:
+    def __init__(self, config: FleetConfig,
+                 observer: PipelineObserver | None = None) -> None:
         self._config = config
+        self._observer = resolve_observer(observer)
 
     @property
     def config(self) -> FleetConfig:
@@ -122,9 +125,15 @@ class FleetSimulator:
 
     def run(self) -> FleetResult:
         """Simulate every drive and return the labeled dataset."""
-        specs = self.build_specs()
-        profiles = [simulate_drive(spec, self._config) for spec in specs]
-        dataset = DiskDataset(profiles)
+        obs = self._observer
+        with obs.span("simulate-fleet", n_drives=self._config.n_drives,
+                      seed=self._config.seed):
+            specs = self.build_specs()
+            profiles = [simulate_drive(spec, self._config) for spec in specs]
+            dataset = DiskDataset(profiles)
+        obs.count("drives_simulated", len(specs))
+        n_failed = sum(1 for spec in specs if spec.mode.is_failure)
+        obs.event("fleet simulated", drives=len(specs), failed=n_failed)
         true_modes = {spec.serial: spec.mode for spec in specs}
         return FleetResult(dataset=dataset, true_modes=true_modes,
                            config=self._config)
@@ -168,6 +177,8 @@ class FleetSimulator:
         return int(rng.integers(horizon, config.period_hours))
 
 
-def simulate_fleet(config: FleetConfig | None = None) -> FleetResult:
+def simulate_fleet(config: FleetConfig | None = None,
+                   observer: PipelineObserver | None = None) -> FleetResult:
     """Simulate a fleet with ``config`` (default configuration if omitted)."""
-    return FleetSimulator(config if config is not None else FleetConfig()).run()
+    return FleetSimulator(config if config is not None else FleetConfig(),
+                          observer=observer).run()

@@ -37,13 +37,29 @@ def test_prediction_table_included(capsys):
 
 
 def test_missing_csv_errors(tmp_path, capsys):
-    assert main(["--csv", str(tmp_path / "nope.csv")]) == 1
+    assert main(["--csv", str(tmp_path / "nope.csv")]) == 2
     assert "error:" in capsys.readouterr().err
 
 
 def test_backblaze_glob_without_matches_errors(tmp_path, capsys):
-    assert main(["--backblaze", str(tmp_path / "*.csv")]) == 1
+    assert main(["--backblaze", str(tmp_path / "*.csv")]) == 2
     assert "no files match" in capsys.readouterr().err
+
+
+def test_repro_error_exits_2_without_traceback(tmp_path, capsys, monkeypatch):
+    """Any ReproError from the pipeline surfaces as a clean one-liner."""
+    from repro.errors import ReproError
+
+    def exploding_run(self, dataset):
+        raise ReproError("synthetic pipeline failure")
+
+    monkeypatch.setattr(
+        "repro.core.pipeline.CharacterizationPipeline.run", exploding_run
+    )
+    assert main(["--simulate", "1200", "--seed", "7"]) == 2
+    err = capsys.readouterr().err
+    assert "error: synthetic pipeline failure" in err
+    assert "Traceback" not in err
 
 
 def test_backblaze_path(tmp_path, small_dataset, capsys):
@@ -66,10 +82,65 @@ def test_too_few_failures_rejected(tmp_path, capsys):
     ]
     path = tmp_path / "tiny.csv"
     save_csv(DiskDataset(profiles), path)
-    assert main(["--csv", str(path)]) == 1
+    assert main(["--csv", str(path)]) == 2
     assert "at least 3 failed drives" in capsys.readouterr().err
 
 
 def test_requires_a_source():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_trace_and_metrics_flags_write_telemetry(tmp_path, capsys):
+    """The acceptance scenario: ≥6 named stages, ≥8 distinct metrics."""
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["--simulate", "500", "--trace", str(trace_path),
+                 "--metrics", str(metrics_path), "-v"]) == 0
+
+    trace = json.loads(trace_path.read_text())
+    names: set[str] = set()
+
+    def collect(spans):
+        for span in spans:
+            names.add(span["name"])
+            assert span["wall_s"] > 0
+            collect(span.get("children", []))
+
+    collect(trace["spans"])
+    assert {"normalize", "failure-records", "cluster", "signatures",
+            "influence", "predict"} <= names
+
+    metrics = json.loads(metrics_path.read_text())
+    assert len(metrics) >= 8
+
+
+def test_obs_flags_do_not_change_the_report(tmp_path, capsys):
+    """Same seed with and without telemetry: identical analytic output."""
+    plain_json = tmp_path / "plain.json"
+    traced_json = tmp_path / "traced.json"
+    assert main(["--simulate", "500", "--no-prediction",
+                 "--json", str(plain_json)]) == 0
+    plain_out = capsys.readouterr().out
+    assert main(["--simulate", "500", "--no-prediction",
+                 "--json", str(traced_json),
+                 "--trace", str(tmp_path / "t.json"),
+                 "--metrics", str(tmp_path / "m.json"), "-v"]) == 0
+    traced_out = capsys.readouterr().out
+
+    def report_table(text):
+        return text[text.index("Failure taxonomy"):text.index("report written")]
+
+    assert report_table(plain_out) == report_table(traced_out)
+    plain = json.loads(plain_json.read_text())
+    traced = json.loads(traced_json.read_text())
+    telemetry = traced.pop("telemetry")
+    assert plain == traced  # telemetry section is purely additive
+    assert telemetry["stage_timings"]["cluster"] > 0
+
+
+def test_default_run_embeds_no_telemetry(tmp_path, capsys):
+    json_path = tmp_path / "report.json"
+    assert main(["--simulate", "500", "--no-prediction",
+                 "--json", str(json_path)]) == 0
+    assert "telemetry" not in json.loads(json_path.read_text())

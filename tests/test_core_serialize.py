@@ -1,16 +1,21 @@
 """Tests for report JSON serialization."""
 
 import json
+from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.core.serialize import (
     SCHEMA_VERSION,
+    canonical_json_dumps,
     load_report_summary,
     report_to_dict,
     save_report_json,
 )
 from repro.errors import ReproError
+
+GOLDEN_DIR = Path(__file__).parent / "data"
 
 
 def test_round_trip(tmp_path, mid_report):
@@ -67,6 +72,52 @@ def test_load_rejects_missing_sections(tmp_path):
     path.write_text(json.dumps({"schema_version": SCHEMA_VERSION}))
     with pytest.raises(ReproError, match="missing key"):
         load_report_summary(path)
+
+
+def test_save_is_deterministic(tmp_path, mid_report):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    save_report_json(mid_report, first)
+    save_report_json(mid_report, second)
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_telemetry_section_embedded_and_optional(tmp_path, mid_report):
+    path = tmp_path / "report.json"
+    telemetry = {"stage_timings": {"cluster": 0.25},
+                 "metrics": {"drives_processed":
+                             {"kind": "counter", "value": 40.0}}}
+    save_report_json(mid_report, path, telemetry=telemetry)
+    payload = load_report_summary(path)  # still validates with telemetry
+    assert payload["telemetry"] == telemetry
+    save_report_json(mid_report, path)
+    assert "telemetry" not in json.loads(path.read_text())
+
+
+def test_canonical_dumps_matches_golden_file():
+    """Pin the canonical rendering so formatting drift is an explicit diff."""
+    payload = {
+        "zulu": np.float64(0.1) + np.float64(0.2),  # 0.30000000000000004
+        "alpha": {"nested": [1, 2.5, np.int64(3)]},
+        "flags": [True, False, None],
+        "count": np.int32(433),
+        "tuple_becomes_list": (1.0, 2.0),
+        "array": np.array([0.5, 1.5]),
+        "non_finite": [float("nan"), float("inf")],
+        "text": "ST4000DM000",
+    }
+    golden = (GOLDEN_DIR / "golden_canonical.json").read_text()
+    assert canonical_json_dumps(payload) == golden
+
+
+def test_canonical_dumps_normalizes_float_noise():
+    text = canonical_json_dumps({"x": 0.1 + 0.2})
+    assert json.loads(text)["x"] == 0.3
+
+
+def test_canonical_dumps_rejects_unserializable_values():
+    with pytest.raises(ReproError, match="cannot serialize"):
+        canonical_json_dumps({"bad": object()})
 
 
 def test_load_rejects_unknown_types(tmp_path):

@@ -222,3 +222,19 @@ class TestRegistry:
         result = run_experiment("table1")
         text = str(result)
         assert "table1" in text and "paper:" in text
+
+    def test_cli_prints_duration_line_per_experiment(self, capsys):
+        from repro.experiments.registry import main
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "[table1] finished in" in out
+
+    def test_package_is_runnable_as_module(self):
+        import subprocess
+        import sys
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "--list"],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0
+        assert "fig8" in result.stdout

@@ -1,0 +1,45 @@
+"""Regression gate: library code logs, it does not print.
+
+Runs ``scripts/check_no_print.py`` the way CI would, and unit-tests the
+checker itself so a silently broken lint cannot pass the gate.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_no_print.py"
+
+sys.path.insert(0, str(SCRIPT.parent))
+from check_no_print import find_print_calls  # noqa: E402
+
+
+def test_src_repro_is_print_free():
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"bare print() calls crept into src/repro:\n{result.stderr}"
+    )
+
+
+def test_checker_finds_real_print_calls(tmp_path):
+    offender = tmp_path / "module.py"
+    offender.write_text(
+        'def run():\n'
+        '    print("status")\n'
+        '    log("ok")\n'
+    )
+    assert find_print_calls(offender) == [2]
+
+
+def test_checker_ignores_docstrings_and_methods(tmp_path):
+    clean = tmp_path / "module.py"
+    clean.write_text(
+        '"""Example::\n\n    print(x)\n"""\n'
+        'def run(printer):\n'
+        '    printer.print("not the builtin")\n'
+    )
+    assert find_print_calls(clean) == []

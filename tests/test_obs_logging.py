@@ -1,0 +1,82 @@
+"""Tests for the structured logging setup."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import logging as obs_logging
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    yield
+    # Leave the library logger as other tests expect it: no handlers.
+    logger = logging.getLogger(obs_logging.ROOT_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True
+
+
+def test_text_mode_writes_formatted_lines():
+    stream = io.StringIO()
+    obs_logging.configure(level="INFO", stream=stream)
+    obs_logging.get_logger("pipeline").info("fleet simulated",
+                                            extra={"fields": {"drives": 42}})
+    line = stream.getvalue().strip()
+    assert "repro.pipeline" in line
+    assert "fleet simulated" in line
+    assert "[drives=42]" in line
+
+
+def test_json_mode_emits_one_object_per_line():
+    stream = io.StringIO()
+    obs_logging.configure(level="DEBUG", json_mode=True, stream=stream)
+    obs_logging.get_logger("data").info("dataset loaded",
+                                        extra={"fields": {"profiles": 3}})
+    payload = json.loads(stream.getvalue())
+    assert payload["level"] == "INFO"
+    assert payload["logger"] == "repro.data"
+    assert payload["message"] == "dataset loaded"
+    assert payload["fields"] == {"profiles": 3}
+    assert isinstance(payload["ts"], float)
+
+
+def test_configure_replaces_previous_handler():
+    first, second = io.StringIO(), io.StringIO()
+    obs_logging.configure(level="INFO", stream=first)
+    obs_logging.configure(level="INFO", stream=second)
+    obs_logging.get_logger("x").info("hello")
+    assert first.getvalue() == ""
+    assert "hello" in second.getvalue()
+    logger = logging.getLogger(obs_logging.ROOT_LOGGER_NAME)
+    ours = [h for h in logger.handlers
+            if getattr(h, "_repro_obs_handler", False)]
+    assert len(ours) == 1
+
+
+def test_level_filters_records():
+    stream = io.StringIO()
+    obs_logging.configure(level="WARNING", stream=stream)
+    log = obs_logging.get_logger("quiet")
+    log.info("not shown")
+    log.warning("shown")
+    output = stream.getvalue()
+    assert "not shown" not in output
+    assert "shown" in output
+
+
+def test_get_logger_namespaces_under_repro():
+    assert obs_logging.get_logger("sim.fleet").name == "repro.sim.fleet"
+    assert obs_logging.get_logger("repro.core").name == "repro.core"
+    assert obs_logging.get_logger("repro").name == "repro"
+
+
+def test_verbosity_to_level():
+    assert obs_logging.verbosity_to_level(0) == logging.WARNING
+    assert obs_logging.verbosity_to_level(1) == logging.INFO
+    assert obs_logging.verbosity_to_level(2) == logging.DEBUG
+    assert obs_logging.verbosity_to_level(5) == logging.DEBUG

@@ -1,0 +1,108 @@
+"""Tests for the metrics registry: kinds, quantiles, snapshots."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    counter = registry.counter("drives_processed")
+    counter.inc()
+    counter.inc(41)
+    assert registry.counter("drives_processed").value == 42
+
+
+def test_counter_rejects_negative_increment():
+    with pytest.raises(ObservabilityError, match="cannot decrease"):
+        MetricsRegistry().counter("c").inc(-1)
+
+
+def test_gauge_is_last_write_wins():
+    registry = MetricsRegistry()
+    registry.gauge("clusters_found").set(5)
+    registry.gauge("clusters_found").set(3)
+    assert registry.gauge("clusters_found").value == 3.0
+
+
+def test_same_name_returns_same_instance():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+
+
+def test_kind_clash_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ObservabilityError, match="already registered"):
+        registry.gauge("x")
+
+
+def test_histogram_quantiles_exact_on_known_data():
+    histogram = Histogram("window_length")
+    for value in range(1, 101):  # 1..100
+        histogram.observe(float(value))
+    assert histogram.count == 100
+    assert histogram.mean == pytest.approx(50.5)
+    assert histogram.quantile(0.0) == 1.0
+    assert histogram.quantile(1.0) == 100.0
+    assert histogram.quantile(0.5) == pytest.approx(50.5)
+    assert histogram.quantile(0.9) == pytest.approx(90.1)
+
+
+def test_histogram_single_value():
+    histogram = Histogram("h")
+    histogram.observe(7.0)
+    assert histogram.quantile(0.5) == 7.0
+    snap = histogram.snapshot()
+    assert snap["min"] == snap["max"] == snap["p99"] == 7.0
+
+
+def test_histogram_rejects_non_finite():
+    with pytest.raises(ObservabilityError, match="non-finite"):
+        Histogram("h").observe(float("nan"))
+
+
+def test_histogram_rejects_quantile_out_of_range():
+    with pytest.raises(ObservabilityError, match="outside"):
+        Histogram("h").quantile(1.5)
+
+
+def test_empty_histogram_snapshot_has_count_only():
+    assert Histogram("h").snapshot() == {"kind": "histogram", "count": 0}
+
+
+def test_snapshot_is_sorted_and_json_serializable():
+    registry = MetricsRegistry()
+    registry.counter("zeta").inc()
+    registry.gauge("alpha").set(1.5)
+    registry.histogram("mid").observe(2.0)
+    snapshot = registry.snapshot()
+    assert list(snapshot) == ["alpha", "mid", "zeta"]
+    assert snapshot["alpha"] == {"kind": "gauge", "value": 1.5}
+    parsed = json.loads(registry.to_json())
+    assert parsed["mid"]["count"] == 1
+
+
+def test_render_text_lists_every_metric():
+    registry = MetricsRegistry()
+    registry.counter("drives_processed").inc(500)
+    registry.histogram("window_length").observe(12.0)
+    registry.histogram("empty")
+    text = registry.render_text()
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert "drives_processed" in text
+    assert "count=1" in text
+    assert "count=0" in text
+
+
+def test_registry_len_and_contains():
+    registry = MetricsRegistry()
+    assert "x" not in registry
+    registry.counter("x")
+    assert "x" in registry
+    assert len(registry) == 1
+    assert registry.names() == ("x",)

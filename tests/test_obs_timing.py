@@ -1,0 +1,33 @@
+"""Tests for the standalone timing helpers."""
+
+import pytest
+
+from repro.obs.timing import TimeitResult, format_duration, timeit
+
+
+def test_timeit_measures_elapsed_time():
+    with timeit("label") as timer:
+        sum(range(10_000))
+    assert timer.label == "label"
+    assert timer.wall_s > 0
+    assert timer.cpu_s >= 0
+    assert timer.elapsed == timer.wall_s
+
+
+def test_timeit_populates_on_exception():
+    timer_ref: TimeitResult | None = None
+    with pytest.raises(RuntimeError):
+        with timeit() as timer:
+            timer_ref = timer
+            raise RuntimeError
+    assert timer_ref is not None
+    assert timer_ref.wall_s > 0
+
+
+def test_format_duration_ranges():
+    assert format_duration(0.0002) == "200 µs"
+    assert format_duration(0.042) == "42 ms"
+    assert format_duration(0.431) == "431 ms"
+    assert format_duration(2.412) == "2.41 s"
+    assert format_duration(192.0) == "3 min 12 s"
+    assert format_duration(-0.431) == "-431 ms"
