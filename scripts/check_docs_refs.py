@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Lint: every public module must be indexed in ``docs/api.md``.
+
+Walks ``src/repro`` and collects the dotted name of every public module
+— packages (directories with an ``__init__.py``) and non-underscore
+``.py`` files — then checks that each name appears verbatim somewhere
+in ``docs/api.md``.  Modules whose file name starts with ``_`` are
+implementation details and exempt.
+
+Run from the repository root::
+
+   python scripts/check_docs_refs.py
+
+Exits 1 listing each undocumented module, 0 when clean.  The test suite
+runs this as a regression gate (``tests/test_docs_refs_lint.py``), so a
+new module cannot ship without at least an API-index entry.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+API_DOC = REPO_ROOT / "docs" / "api.md"
+
+
+def public_modules(src_root: Path = SRC_ROOT) -> list[str]:
+    """Dotted names of every public module under ``src_root``.
+
+    The root package itself is excluded (documenting ``repro`` says
+    nothing); subpackages count once, via their ``__init__.py``.
+    """
+    names: set[str] = set()
+    for path in src_root.rglob("*.py"):
+        relative = path.relative_to(src_root)
+        if any(part.startswith("_") and part != "__init__.py"
+               for part in relative.parts):
+            continue
+        if relative.name == "__init__.py":
+            parts = relative.parts[:-1]
+            if not parts:  # the repro/__init__.py root package
+                continue
+        else:
+            parts = relative.parts[:-1] + (relative.stem,)
+        names.add(".".join(("repro",) + parts))
+    return sorted(names)
+
+
+def undocumented_modules(doc_path: Path = API_DOC) -> list[str]:
+    """Public modules whose dotted name never appears in the API doc."""
+    try:
+        text = doc_path.read_text()
+    except OSError:
+        return public_modules()
+    return [name for name in public_modules() if name not in text]
+
+
+def main() -> int:
+    missing = undocumented_modules()
+    if missing:
+        print("public modules missing from docs/api.md:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

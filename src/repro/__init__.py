@@ -30,7 +30,14 @@ from repro.core import (
     distance_to_failure,
     extract_degradation_window,
 )
-from repro.data import DiskDataset, load_backblaze_csv, load_csv, save_csv
+from repro.data import (
+    DatasetCache,
+    DiskDataset,
+    load_backblaze_csv,
+    load_csv,
+    save_csv,
+)
+from repro.parallel import ParallelConfig, map_drives
 from repro.sim import FleetConfig, FleetSimulator, simulate_fleet
 from repro.smart import (
     ATTRIBUTE_REGISTRY,
@@ -54,10 +61,13 @@ __all__ = [
     "derive_signature",
     "distance_to_failure",
     "extract_degradation_window",
+    "DatasetCache",
     "DiskDataset",
     "load_backblaze_csv",
     "load_csv",
     "save_csv",
+    "ParallelConfig",
+    "map_drives",
     "FleetConfig",
     "FleetSimulator",
     "simulate_fleet",

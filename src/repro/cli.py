@@ -12,6 +12,7 @@ Examples::
    repro-characterize --csv fleet.csv --json report.json
    repro-characterize --backblaze 'data_Q1_2015/*.csv' --model ST4000DM000
    repro-characterize --simulate 500 -v --trace trace.json --metrics metrics.json
+   repro-characterize --csv fleet.csv --jobs 4 --cache-dir /tmp/repro-cache
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from repro.core.pipeline import CharacterizationPipeline, CharacterizationReport
 from repro.core.serialize import save_report_json
 from repro.core.taxonomy import FailureType
 from repro.data.backblaze import load_backblaze_csv
+from repro.data.cache import DatasetCache
 from repro.data.dataset import DiskDataset
 from repro.data.loader import load_csv
 from repro.errors import ReproError
@@ -62,6 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the Table III predictors")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the machine-readable report here")
+    performance = parser.add_argument_group("performance")
+    performance.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="workers for per-drive stages "
+                                  "(1 = serial, 0 = all CPUs); any value "
+                                  "produces byte-identical reports")
+    performance.add_argument("--no-cache", action="store_true",
+                             help="skip the on-disk dataset cache")
+    performance.add_argument("--cache-dir", metavar="PATH", default=None,
+                             help="dataset cache directory (default: "
+                                  "$REPRO_CACHE_DIR or ~/.cache/repro)")
     telemetry = parser.add_argument_group("telemetry")
     telemetry.add_argument("-v", "--verbose", action="count", default=0,
                            help="log pipeline progress (-vv for debug)")
@@ -79,7 +91,8 @@ def load_dataset(args: argparse.Namespace,
     if args.simulate is not None:
         fleet = simulate_fleet(FleetConfig(n_drives=args.simulate,
                                            seed=args.seed),
-                               observer=observer)
+                               observer=observer,
+                               n_jobs=getattr(args, "jobs", 1))
         return fleet.dataset
     if args.csv is not None:
         return load_csv(args.csv, observer=observer)
@@ -151,10 +164,15 @@ def run(args: argparse.Namespace) -> int:
     if summary.n_failed < 3:
         raise ReproError("need at least 3 failed drives to categorize")
 
+    cache = None
+    if not args.no_cache:
+        cache = DatasetCache(args.cache_dir, observer=observer)
     pipeline = CharacterizationPipeline(
         n_clusters=args.clusters if args.clusters > 0 else None,
         run_prediction=not args.no_prediction,
         seed=args.seed,
+        n_jobs=args.jobs,
+        cache=cache,
         observer=observer,
     )
     report = pipeline.run(dataset)

@@ -20,16 +20,24 @@ from repro.core.influence import (
     top_correlated_attributes,
 )
 from repro.core.prediction import DegradationPredictor, PredictionReport
-from repro.core.records import FailureRecordSet, build_failure_records
+from repro.core.records import (
+    FailureRecordSet,
+    build_failure_records,
+    failure_records_from_arrays,
+    failure_records_to_arrays,
+)
 from repro.core.signatures import (
     DegradationSignature,
     WindowParams,
     derive_signature,
 )
 from repro.core.taxonomy import FailureType
+from repro.data.cache import DatasetCache
 from repro.data.dataset import DiskDataset
 from repro.errors import ReproError, SignatureError
 from repro.obs.observer import PipelineObserver, resolve_observer
+from repro.parallel import ParallelConfig, map_drives
+from repro.smart.profile import HealthProfile
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,6 +79,25 @@ class CharacterizationReport:
         return self.categorization.type_of_serial(serial)
 
 
+@dataclass(frozen=True, slots=True)
+class _SignatureTask:
+    """Picklable per-drive worker of the signature fan-out.
+
+    Runs uninstrumented (observers do not cross process boundaries); the
+    pipeline replays the per-signature metrics when results merge back.
+    Returns ``None`` for degenerate profiles instead of raising, so one
+    drive's bad telemetry never aborts a whole chunk.
+    """
+
+    params: WindowParams
+
+    def __call__(self, profile: HealthProfile) -> DegradationSignature | None:
+        try:
+            return derive_signature(profile, params=self.params)
+        except SignatureError:
+            return None
+
+
 class CharacterizationPipeline:
     """Configure and run the full analysis.
 
@@ -85,6 +112,18 @@ class CharacterizationPipeline:
         stage; disable for categorization-only runs).
     seed:
         Seed shared by clustering, sampling and splitting.
+    n_jobs:
+        Workers for the per-drive signature fan-out (``1`` = serial,
+        ``0`` = one per available CPU).  A pure performance knob: any
+        job count produces byte-identical reports.
+    parallel_backend:
+        ``"process"`` (default; sidesteps the GIL) or ``"thread"``.
+    cache:
+        Optional :class:`~repro.data.cache.DatasetCache` memoizing the
+        normalized dataset and failure-record matrix between runs.
+        Only raw input datasets are cached (already-normalized inputs
+        bypass the cache); a hit restores bit-exact arrays, so cached
+        and uncached runs produce byte-identical reports.
     observer:
         Telemetry sink for stage spans, metrics and progress events
         (default: a no-op observer — uninstrumented runs pay nothing).
@@ -95,6 +134,9 @@ class CharacterizationPipeline:
                  run_prediction: bool = True,
                  clustering_method: str = "kmeans",
                  seed: int = 0,
+                 n_jobs: int = 1,
+                 parallel_backend: str = "process",
+                 cache: DatasetCache | None = None,
                  observer: PipelineObserver | None = None) -> None:
         self._observer = resolve_observer(observer)
         self._categorizer = FailureCategorizer(
@@ -104,40 +146,48 @@ class CharacterizationPipeline:
         self._window_params = window_params or WindowParams()
         self._run_prediction = run_prediction
         self._seed = seed
+        self._parallel = ParallelConfig(n_jobs=n_jobs,
+                                        backend=parallel_backend)
+        self._cache = cache
 
     def run(self, dataset: DiskDataset) -> CharacterizationReport:
         """Analyze ``dataset`` (raw or already normalized)."""
         obs = self._observer
         with obs.span("pipeline", n_drives=len(dataset.profiles)):
-            with obs.span("normalize"):
-                normalized = (dataset if dataset.is_normalized
-                              else dataset.normalize())
+            normalized, records = self._prepare(dataset)
             obs.count("drives_processed", len(normalized.profiles))
             obs.gauge("drives_failed", len(normalized.failed_profiles))
-
-            with obs.span("failure-records"):
-                records = build_failure_records(normalized)
             obs.gauge("failure_records", records.n_records)
 
             categorization = self._categorizer.categorize(records)
 
+            failed_profiles = normalized.failed_profiles
             signatures: dict[str, DegradationSignature] = {}
-            with obs.span("signatures",
-                          n_failed=len(normalized.failed_profiles)):
-                for profile in normalized.failed_profiles:
-                    try:
-                        signatures[profile.serial] = derive_signature(
-                            profile, params=self._window_params,
-                            observer=obs,
-                        )
-                    except SignatureError:
+            with obs.span("signatures", n_failed=len(failed_profiles)):
+                derived = map_drives(
+                    _SignatureTask(self._window_params), failed_profiles,
+                    self._parallel, observer=obs, label="signature-fanout",
+                )
+                for profile, signature in zip(failed_profiles, derived):
+                    if signature is None:
                         # Degenerate profiles (e.g. two records) carry no
                         # signature; they stay categorized but unsigned.
                         obs.count("signatures_skipped")
                         continue
+                    signatures[profile.serial] = signature
+                    obs.count("signatures_derived")
+                    obs.observe("window_length", float(signature.window_size))
+                    obs.observe("signature_fit_rmse", signature.best_fit.rmse)
             obs.event("signatures derived",
                       derived=len(signatures),
-                      skipped=len(normalized.failed_profiles) - len(signatures))
+                      skipped=len(failed_profiles) - len(signatures))
+            if failed_profiles and not signatures:
+                raise SignatureError(
+                    "no degradation signature could be derived: every "
+                    f"failed profile ({len(failed_profiles)}) has an empty "
+                    "or degenerate degradation window — the telemetry "
+                    "carries no pre-failure change to characterize"
+                )
 
             with obs.span("influence"):
                 summaries = self._summarize_groups(
@@ -161,6 +211,43 @@ class CharacterizationPipeline:
                 group_summaries=summaries,
                 predictions=predictions,
             )
+
+    def _prepare(self, dataset: DiskDataset
+                 ) -> tuple[DiskDataset, FailureRecordSet]:
+        """Normalize ``dataset`` and build its failure records, through
+        the cache when one is configured and the input is raw."""
+        obs = self._observer
+        cache = self._cache
+        key: str | None = None
+        cached = None
+        if cache is not None and not dataset.is_normalized:
+            key = cache.key_for(dataset)
+            cached = cache.load(key)
+        if cached is not None:
+            try:
+                restored = failure_records_from_arrays(cached.extras)
+            except ReproError:
+                # Entry predates the record codec (or lost its extras);
+                # drop it and recompute below.
+                assert cache is not None and key is not None
+                cache.invalidate(key)
+                cached = None
+        if cached is not None:
+            with obs.span("normalize", cache_hit=True):
+                normalized = cached.dataset
+            with obs.span("failure-records", cache_hit=True):
+                records = restored
+            return normalized, records
+
+        with obs.span("normalize", cache_hit=False if key else None):
+            normalized = (dataset if dataset.is_normalized
+                          else dataset.normalize())
+        with obs.span("failure-records"):
+            records = build_failure_records(normalized)
+        if cache is not None and key is not None:
+            cache.store(key, normalized,
+                        extras=failure_records_to_arrays(records))
+        return normalized, records
 
     def _summarize_groups(self, dataset: DiskDataset,
                           categorization: CategorizationResult,

@@ -122,3 +122,44 @@ def build_failure_records(dataset: DiskDataset, *,
         attribute_values=np.vstack(attribute_rows),
         attribute_names=dataset.attributes,
     )
+
+
+#: Array names used by the cache codec below (and expected back).
+_RECORD_ARRAY_KEYS = ("record_features", "record_serials",
+                      "record_feature_names", "record_attribute_values",
+                      "record_attribute_names")
+
+
+def failure_records_to_arrays(records: FailureRecordSet
+                              ) -> dict[str, np.ndarray]:
+    """Flatten a record set into named plain arrays.
+
+    The codec the pipeline uses to memoize failure records through the
+    :class:`repro.data.cache.DatasetCache` ``extras`` channel (the cache
+    lives in the data layer and cannot know this core-layer type).
+    """
+    return {
+        "record_features": records.features,
+        "record_serials": np.asarray(records.serials),
+        "record_feature_names": np.asarray(records.feature_names),
+        "record_attribute_values": records.attribute_values,
+        "record_attribute_names": np.asarray(records.attribute_names),
+    }
+
+
+def failure_records_from_arrays(arrays: dict[str, np.ndarray]
+                                ) -> FailureRecordSet:
+    """Rebuild a record set from :func:`failure_records_to_arrays` output."""
+    missing = [key for key in _RECORD_ARRAY_KEYS if key not in arrays]
+    if missing:
+        raise DatasetError(f"record arrays incomplete, missing {missing}")
+    return FailureRecordSet(
+        features=np.asarray(arrays["record_features"], dtype=np.float64),
+        serials=tuple(str(s) for s in arrays["record_serials"]),
+        feature_names=tuple(str(s) for s in arrays["record_feature_names"]),
+        attribute_values=np.asarray(arrays["record_attribute_values"],
+                                    dtype=np.float64),
+        attribute_names=tuple(
+            str(s) for s in arrays["record_attribute_names"]
+        ),
+    )

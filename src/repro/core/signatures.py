@@ -232,10 +232,15 @@ def derive_signature(profile: HealthProfile, *,
     fits = tuple(fit_polynomial_family(t, s, max_order=orders[-1]))
     best_fit = min(fits, key=lambda fit: fit.rmse)
 
-    canonical_rmse: dict[int, float] = {}
-    for order in range(1, max_order + 1):
-        model = (t / float(window.size)) ** order - 1.0
-        canonical_rmse[order] = float(np.sqrt(np.mean((s - model) ** 2)))
+    # All canonical orders in one broadcasted pass: rows are the
+    # (t/d)^p - 1 model curves, reduced to per-order RMSEs together.
+    order_range = np.arange(1, max_order + 1)
+    models = (t / float(window.size))[None, :] ** order_range[:, None] - 1.0
+    rmse_per_order = np.sqrt(np.mean((s[None, :] - models) ** 2, axis=1))
+    canonical_rmse: dict[int, float] = {
+        int(order): float(value)
+        for order, value in zip(order_range, rmse_per_order)
+    }
     best_canonical = min(canonical_rmse, key=lambda k: canonical_rmse[k])
     obs.count("signatures_derived")
     obs.observe("window_length", float(window.size))
@@ -274,17 +279,19 @@ def _ratchet_scan(reversed_series: np.ndarray, dip_tolerance: float) -> int:
     Returns the last accepted index of the (reversed) series.  Width-3
     median filtering removes single-sample flickers so an isolated noisy
     record does not truncate a long monotone run.
+
+    The scan is one NumPy pass: sample ``i`` violates the ratchet when
+    its filtered value drops more than ``dip_tolerance`` below the
+    running maximum of the samples before it (a prefix-maximum), and the
+    accepted stretch ends just before the first violation.
     """
     filtered = medfilt(reversed_series, 3) if reversed_series.shape[0] >= 3 \
         else reversed_series
-    running_max = filtered[0]
-    accepted = reversed_series.shape[0] - 1
-    for index in range(1, reversed_series.shape[0]):
-        if filtered[index] < running_max - dip_tolerance:
-            accepted = index - 1
-            break
-        running_max = max(running_max, filtered[index])
-    return accepted
+    prior_max = np.maximum.accumulate(filtered[:-1])
+    violations = np.flatnonzero(filtered[1:] < prior_max - dip_tolerance)
+    if violations.shape[0] == 0:
+        return reversed_series.shape[0] - 1
+    return int(violations[0])
 
 
 def _trim_to_plateau(reversed_segment: np.ndarray,

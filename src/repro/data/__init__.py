@@ -13,6 +13,7 @@ from repro.data.backblaze import (
     load_backblaze_csv,
     save_backblaze_csv,
 )
+from repro.data.cache import CachedDataset, DatasetCache, default_cache_dir
 from repro.data.dataset import DatasetSummary, DiskDataset
 from repro.data.loader import load_csv, save_csv
 from repro.data.splits import train_test_split
@@ -22,6 +23,9 @@ __all__ = [
     "BACKBLAZE_COLUMN_MAP",
     "load_backblaze_csv",
     "save_backblaze_csv",
+    "CachedDataset",
+    "DatasetCache",
+    "default_cache_dir",
     "DatasetSummary",
     "DiskDataset",
     "load_csv",

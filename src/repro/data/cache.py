@@ -1,0 +1,280 @@
+"""On-disk memoization of the pipeline's dataset-preparation work.
+
+Normalizing a fleet and building its failure-record matrix are pure
+functions of the raw dataset, yet the pipeline recomputed both on every
+run.  :class:`DatasetCache` memoizes them between runs (and between
+processes) under a content-addressed key:
+
+``key = sha256(schema tag · attributes · per-profile serial/flag/hours/
+matrix bytes · normalization params)``
+
+so any change to the input data, the attribute set, the normalization
+parameters or the cache schema yields a *different* key — stale entries
+are never returned, they are simply never looked up again (an explicit
+:meth:`clear` / :meth:`invalidate` reclaims the disk space).
+
+Entries are single ``.npz`` files holding the normalized matrices (exact
+``float64`` bytes — a cache hit is byte-identical to a recompute), the
+fitted Eq. (1) extrema, and any *extra* named arrays the caller wants
+memoized alongside (the pipeline stores the failure-record matrices this
+way; see :func:`repro.core.records.failure_records_to_arrays`).  Keeping
+the extras opaque keeps this module in the data layer — it never imports
+from ``repro.core``.  Corrupt or truncated entries are treated as misses
+and deleted.
+
+Telemetry: ``cache_hits`` / ``cache_misses`` counters and
+``cache-load`` / ``cache-store`` spans on the supplied observer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import DiskDataset
+from repro.errors import CacheError
+from repro.obs.observer import PipelineObserver, resolve_observer
+from repro.smart.normalization import MinMaxNormalizer
+from repro.smart.profile import HealthProfile
+
+#: Bump whenever the stored layout or the normalization algorithm
+#: changes; old entries then key differently and are never reused.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+DEFAULT_CACHE_ENV = "REPRO_CACHE_DIR"
+
+_ENTRY_SUFFIX = ".npz"
+_EXTRA_PREFIX = "extra__"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(DEFAULT_CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass(frozen=True, slots=True)
+class CachedDataset:
+    """What one cache entry restores: the normalized dataset view plus
+    the caller's extra arrays (e.g. the failure-record matrices)."""
+
+    dataset: DiskDataset
+    extras: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class DatasetCache:
+    """Content-addressed store for normalized datasets.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created on first use.  One file per entry.
+    observer:
+        Telemetry sink for hit/miss counters and load/store spans.
+    """
+
+    def __init__(self, directory: str | Path | None = None, *,
+                 observer: PipelineObserver | None = None) -> None:
+        self._dir = Path(directory) if directory is not None \
+            else default_cache_dir()
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise CacheError(
+                f"cannot create cache directory {self._dir}: {error}"
+            ) from error
+        self._observer = resolve_observer(observer)
+        self._hits = 0
+        self._misses = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def hits(self) -> int:
+        """Cache hits served by this instance."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups this instance could not serve."""
+        return self._misses
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._dir.glob(f"*{_ENTRY_SUFFIX}"))
+
+    def path_for(self, key: str) -> Path:
+        return self._dir / f"{key}{_ENTRY_SUFFIX}"
+
+    # -- keying ----------------------------------------------------------
+
+    def key_for(self, dataset: DiskDataset, *,
+                normalizer: MinMaxNormalizer | None = None) -> str:
+        """Content hash of ``dataset`` + the normalization parameters.
+
+        ``normalizer`` names a pre-fitted scaler (its extrema enter the
+        key); ``None`` means fit-on-self, the pipeline's default — the
+        extrema are then implied by the content and need no extra bytes.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"repro-dataset-cache-v{CACHE_SCHEMA_VERSION}".encode())
+        digest.update("\x1f".join(dataset.attributes).encode())
+        for profile in dataset.profiles:
+            digest.update(profile.serial.encode())
+            digest.update(b"\x01" if profile.failed else b"\x00")
+            digest.update(np.ascontiguousarray(profile.hours).tobytes())
+            digest.update(np.ascontiguousarray(profile.matrix).tobytes())
+        if normalizer is not None and normalizer.is_fitted:
+            digest.update(np.ascontiguousarray(normalizer.minima).tobytes())
+            digest.update(np.ascontiguousarray(normalizer.maxima).tobytes())
+        else:
+            digest.update(b"fit-on-self")
+        return digest.hexdigest()
+
+    # -- load / store ----------------------------------------------------
+
+    def load(self, key: str) -> CachedDataset | None:
+        """Return the entry under ``key``, or ``None`` on a miss.
+
+        Unreadable entries (truncated writes, foreign files) count as
+        misses and are removed so they cannot shadow a future store.
+        """
+        obs = self._observer
+        path = self.path_for(key)
+        with obs.span("cache-load", key=key[:12]):
+            if not path.exists():
+                self._misses += 1
+                obs.count("cache_misses")
+                return None
+            try:
+                entry = self._read_entry(path)
+            except (OSError, KeyError, ValueError, CacheError) as error:
+                path.unlink(missing_ok=True)
+                self._misses += 1
+                obs.count("cache_misses")
+                obs.event("cache entry unreadable, discarded",
+                          key=key[:12], error=str(error))
+                return None
+        self._hits += 1
+        obs.count("cache_hits")
+        return entry
+
+    def store(self, key: str, dataset: DiskDataset, *,
+              extras: dict[str, np.ndarray] | None = None) -> Path:
+        """Persist a normalized dataset (+ extras) under ``key``.
+
+        The write goes through a temporary file and an atomic rename so
+        a crashed run never leaves a half-written entry behind.
+        """
+        if not dataset.is_normalized:
+            raise CacheError("only normalized datasets are cached")
+        normalizer = dataset.normalizer
+        if normalizer is None or not normalizer.is_fitted:
+            raise CacheError("cached datasets must carry their normalizer")
+        profiles = dataset.profiles
+        payload: dict[str, np.ndarray] = {
+            "schema_version": np.asarray([CACHE_SCHEMA_VERSION]),
+            "attributes": np.asarray(dataset.attributes),
+            "serials": np.asarray([p.serial for p in profiles]),
+            "failed": np.asarray([p.failed for p in profiles], dtype=bool),
+            "row_counts": np.asarray([len(p) for p in profiles],
+                                     dtype=np.int64),
+            "hours": np.concatenate([p.hours for p in profiles]),
+            "matrix": np.vstack([p.matrix for p in profiles]),
+            "norm_minima": normalizer.minima,
+            "norm_maxima": normalizer.maxima,
+        }
+        for name, value in (extras or {}).items():
+            array = np.asarray(value)
+            if array.dtype == object:
+                raise CacheError(f"extra {name!r} is not a plain array")
+            payload[f"{_EXTRA_PREFIX}{name}"] = array
+        path = self.path_for(key)
+        with self._observer.span("cache-store", key=key[:12]):
+            handle, temp_name = tempfile.mkstemp(
+                dir=self._dir, suffix=_ENTRY_SUFFIX
+            )
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    np.savez(stream, **payload)
+                os.replace(temp_name, path)
+            except BaseException:
+                Path(temp_name).unlink(missing_ok=True)
+                raise
+        self._observer.event("cache entry stored", key=key[:12],
+                             n_drives=len(profiles))
+        return path
+
+    # -- invalidation ----------------------------------------------------
+
+    def invalidate(self, key: str) -> bool:
+        """Drop the entry under ``key``; returns whether one existed."""
+        path = self.path_for(key)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self._dir.glob(f"*{_ENTRY_SUFFIX}"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    # -- entry codec -----------------------------------------------------
+
+    @staticmethod
+    def _read_entry(path: Path) -> CachedDataset:
+        with np.load(path, allow_pickle=False) as archive:
+            version = int(archive["schema_version"][0])
+            if version != CACHE_SCHEMA_VERSION:
+                raise CacheError(
+                    f"cache schema {version}, expected {CACHE_SCHEMA_VERSION}"
+                )
+            attributes = tuple(str(s) for s in archive["attributes"])
+            serials = [str(s) for s in archive["serials"]]
+            failed = archive["failed"]
+            row_counts = archive["row_counts"]
+            hours = archive["hours"]
+            matrix = archive["matrix"]
+            normalizer = MinMaxNormalizer.from_extrema(
+                archive["norm_minima"], archive["norm_maxima"]
+            )
+            extras = {
+                name[len(_EXTRA_PREFIX):]: archive[name]
+                for name in archive.files
+                if name.startswith(_EXTRA_PREFIX)
+            }
+        if int(row_counts.sum()) != matrix.shape[0]:
+            raise CacheError("row counts do not cover the stored matrix")
+        profiles: list[HealthProfile] = []
+        offset = 0
+        for serial, is_failed, rows in zip(serials, failed, row_counts):
+            rows = int(rows)
+            profiles.append(HealthProfile(
+                serial=serial,
+                hours=hours[offset:offset + rows].copy(),
+                matrix=matrix[offset:offset + rows].copy(),
+                failed=bool(is_failed),
+                attributes=attributes,
+            ))
+            offset += rows
+        dataset = DiskDataset(profiles, normalized=True,
+                              normalizer=normalizer)
+        return CachedDataset(dataset=dataset, extras=extras)

@@ -53,3 +53,11 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """The instrumentation layer was misused (e.g. metric kind clash)."""
+
+
+class ParallelError(ReproError):
+    """The fan-out layer was misconfigured (bad job count or backend)."""
+
+
+class CacheError(ReproError):
+    """The on-disk dataset cache was misused or its directory is unusable."""

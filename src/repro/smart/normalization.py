@@ -99,6 +99,32 @@ class MinMaxNormalizer:
         self._minima: np.ndarray | None = None
         self._maxima: np.ndarray | None = None
 
+    @classmethod
+    def from_extrema(cls, minima: np.ndarray,
+                     maxima: np.ndarray) -> "MinMaxNormalizer":
+        """Reconstruct a fitted scaler from stored extrema.
+
+        The round-trip counterpart of :attr:`minima` / :attr:`maxima`,
+        used by the on-disk dataset cache to restore the exact scaler a
+        cached normalized dataset was produced with.
+        """
+        minima = np.asarray(minima, dtype=np.float64).ravel()
+        maxima = np.asarray(maxima, dtype=np.float64).ravel()
+        if minima.shape != maxima.shape:
+            raise NormalizationError(
+                f"extrema misaligned: {minima.shape} vs {maxima.shape}"
+            )
+        if minima.shape[0] == 0:
+            raise NormalizationError("extrema must cover at least one column")
+        if not (np.all(np.isfinite(minima)) and np.all(np.isfinite(maxima))):
+            raise NormalizationError("extrema contain non-finite values")
+        if np.any(maxima < minima):
+            raise NormalizationError("maxima must not be below minima")
+        scaler = cls()
+        scaler._minima = minima.copy()
+        scaler._maxima = maxima.copy()
+        return scaler
+
     @property
     def is_fitted(self) -> bool:
         return self._minima is not None

@@ -44,6 +44,12 @@ def mid_report(mid_fleet):
     return pipeline.run(mid_fleet.dataset)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Keep CLI runs from touching the user's real ~/.cache/repro."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(12345)

@@ -144,3 +144,73 @@ def test_default_run_embeds_no_telemetry(tmp_path, capsys):
     assert main(["--simulate", "500", "--no-prediction",
                  "--json", str(json_path)]) == 0
     assert "telemetry" not in json.loads(json_path.read_text())
+
+
+def test_jobs_flag_produces_byte_identical_report(tmp_path, small_dataset,
+                                                  capsys):
+    csv_path = tmp_path / "fleet.csv"
+    save_csv(small_dataset, csv_path)
+    serial_json = tmp_path / "serial.json"
+    parallel_json = tmp_path / "parallel.json"
+    assert main(["--csv", str(csv_path), "--no-prediction", "--no-cache",
+                 "--json", str(serial_json)]) == 0
+    assert main(["--csv", str(csv_path), "--no-prediction", "--no-cache",
+                 "--jobs", "4", "--json", str(parallel_json)]) == 0
+    assert serial_json.read_bytes() == parallel_json.read_bytes()
+
+
+def test_cache_dir_flag_populates_and_reuses_cache(tmp_path, small_dataset,
+                                                   capsys):
+    csv_path = tmp_path / "fleet.csv"
+    save_csv(small_dataset, csv_path)
+    cache_dir = tmp_path / "cache"
+    cold_json = tmp_path / "cold.json"
+    warm_json = tmp_path / "warm.json"
+    args = ["--csv", str(csv_path), "--no-prediction",
+            "--cache-dir", str(cache_dir)]
+    assert main([*args, "--json", str(cold_json)]) == 0
+    entries = list(cache_dir.glob("*.npz"))
+    assert len(entries) == 1
+    mtime = entries[0].stat().st_mtime_ns
+    assert main([*args, "--json", str(warm_json)]) == 0
+    assert cold_json.read_bytes() == warm_json.read_bytes()
+    # The warm run reused the entry instead of rewriting it.
+    assert entries[0].stat().st_mtime_ns == mtime
+
+
+def test_no_cache_flag_leaves_no_entries(tmp_path, small_dataset, capsys,
+                                         monkeypatch):
+    cache_dir = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    csv_path = tmp_path / "fleet.csv"
+    save_csv(small_dataset, csv_path)
+    assert main(["--csv", str(csv_path), "--no-prediction",
+                 "--no-cache"]) == 0
+    assert not cache_dir.exists() or not list(cache_dir.glob("*.npz"))
+
+
+def test_degenerate_telemetry_exits_2_with_clear_message(tmp_path, capsys):
+    """Flat-lined failed drives have no degradation window; the CLI must
+    fail with exit code 2 and a one-line explanation, not a traceback."""
+    import numpy as np
+    from repro.data.dataset import DiskDataset
+    from repro.smart.profile import HealthProfile
+    rng = np.random.default_rng(5)
+    profiles = [
+        HealthProfile(f"dead-{i}", np.arange(30),
+                      np.tile(np.full(12, 0.2 + 0.1 * i), (30, 1)),
+                      failed=True)
+        for i in range(5)
+    ]
+    profiles += [
+        HealthProfile(f"good-{i}", np.arange(30),
+                      rng.uniform(size=(30, 12)), failed=False)
+        for i in range(12)
+    ]
+    path = tmp_path / "flat.csv"
+    save_csv(DiskDataset(profiles), path)
+    assert main(["--csv", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "degradation window" in err
+    assert "Traceback" not in err

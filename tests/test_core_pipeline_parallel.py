@@ -1,0 +1,127 @@
+"""Determinism of the parallel pipeline and the empty-window guard.
+
+The ``n_jobs`` knob must be *purely* a performance knob: any job count
+and either backend has to produce a byte-for-byte identical canonical
+report.  These tests pin that property, the canonical rendering it
+relies on (via the golden file), and the pipeline's behaviour when
+profiles carry no degradation signal at all.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import CharacterizationPipeline
+from repro.core.serialize import canonical_json_dumps, report_to_dict
+from repro.data.dataset import DiskDataset
+from repro.errors import ReproError, SignatureError
+from repro.obs.observer import TelemetryObserver
+from repro.smart.profile import HealthProfile
+
+GOLDEN = Path(__file__).parent / "data" / "golden_canonical.json"
+
+
+def _report_json(dataset, **kwargs) -> str:
+    pipeline = CharacterizationPipeline(seed=3, run_prediction=False,
+                                        **kwargs)
+    return canonical_json_dumps(report_to_dict(pipeline.run(dataset)))
+
+
+@pytest.fixture(scope="module")
+def serial_report_json(small_dataset):
+    return _report_json(small_dataset, n_jobs=1)
+
+
+# -- byte-identity across job counts ----------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["process", "thread"])
+def test_reports_byte_identical_at_four_jobs(backend, small_dataset,
+                                             serial_report_json):
+    assert _report_json(small_dataset, n_jobs=4,
+                        parallel_backend=backend) == serial_report_json
+
+
+@settings(max_examples=5, deadline=None)
+@given(n_jobs=st.integers(min_value=2, max_value=8))
+def test_reports_byte_identical_for_any_job_count(n_jobs, small_dataset,
+                                                  serial_report_json):
+    """Property: job count never leaks into the report bytes."""
+    assert _report_json(small_dataset, n_jobs=n_jobs,
+                        parallel_backend="thread") == serial_report_json
+
+
+def test_reports_byte_identical_with_all_cpus(small_dataset,
+                                              serial_report_json):
+    assert _report_json(small_dataset, n_jobs=0) == serial_report_json
+
+
+def test_canonical_rendering_is_pinned_by_golden_file():
+    """Byte-identity is only meaningful while the canonical format is
+    stable; re-canonicalizing the golden file must be a fixed point."""
+    golden = GOLDEN.read_text()
+    assert canonical_json_dumps(json.loads(golden)) == golden
+
+
+def test_parallel_run_emits_fanout_span(small_dataset):
+    observer = TelemetryObserver()
+    pipeline = CharacterizationPipeline(seed=3, run_prediction=False,
+                                        n_jobs=2,
+                                        parallel_backend="thread",
+                                        observer=observer)
+    pipeline.run(small_dataset)
+    span = observer.tracer.find("signature-fanout")
+    assert span is not None
+    assert span.attributes["n_jobs"] == 2
+    assert observer.metrics.snapshot()["signatures_derived"]["value"] > 0
+
+
+# -- degenerate telemetry ---------------------------------------------------
+
+
+def _flat_failed_profile(serial: str, level: float) -> HealthProfile:
+    """A failed drive whose telemetry never changes: every sample equals
+    the failure record, so its distance-to-failure series is all zeros
+    and no degradation window exists."""
+    return HealthProfile(serial, np.arange(30),
+                         np.tile(np.full(12, level), (30, 1)), failed=True)
+
+
+def _degenerate_dataset() -> DiskDataset:
+    rng = np.random.default_rng(5)
+    profiles = [_flat_failed_profile(f"dead-{i}", 0.2 + 0.1 * i)
+                for i in range(5)]
+    profiles += [
+        HealthProfile(f"good-{i}", np.arange(30),
+                      rng.uniform(size=(30, 12)), failed=False)
+        for i in range(12)
+    ]
+    return DiskDataset(profiles)
+
+
+def test_all_degenerate_profiles_raise_a_clear_repro_error():
+    pipeline = CharacterizationPipeline(seed=3, run_prediction=False)
+    with pytest.raises(SignatureError,
+                       match="no degradation signature") as excinfo:
+        pipeline.run(_degenerate_dataset())
+    assert isinstance(excinfo.value, ReproError)
+    assert "degradation window" in str(excinfo.value)
+
+
+def test_one_degenerate_profile_is_skipped_not_fatal(small_dataset):
+    mixed = DiskDataset(small_dataset.profiles
+                        + [_flat_failed_profile("dead-1", 0.5)])
+    observer = TelemetryObserver()
+    pipeline = CharacterizationPipeline(seed=3, run_prediction=False,
+                                        observer=observer)
+    report = pipeline.run(mixed)
+    assert "dead-1" not in report.signatures
+    assert len(report.signatures) == len(small_dataset.failed_profiles)
+    snapshot = observer.metrics.snapshot()
+    assert snapshot["signatures_skipped"]["value"] == 1

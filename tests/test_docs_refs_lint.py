@@ -1,0 +1,56 @@
+"""Regression gate: every public module is indexed in ``docs/api.md``.
+
+Runs ``scripts/check_docs_refs.py`` the way CI would, and unit-tests the
+collector so a silently broken lint cannot pass the gate.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_docs_refs.py"
+
+sys.path.insert(0, str(SCRIPT.parent))
+from check_docs_refs import public_modules, undocumented_modules  # noqa: E402
+
+
+def test_api_doc_indexes_every_public_module():
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"undocumented public modules:\n{result.stderr}"
+    )
+
+
+def test_collector_finds_modules_and_packages(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (tmp_path / "pkg" / "widget.py").write_text("")
+    (tmp_path / "pkg" / "_internal.py").write_text("")
+    (tmp_path / "__init__.py").write_text("")
+    (tmp_path / "tool.py").write_text("")
+    assert public_modules(tmp_path) == [
+        "repro.pkg", "repro.pkg.widget", "repro.tool",
+    ]
+
+
+def test_known_modules_are_collected():
+    names = public_modules()
+    assert "repro.parallel" in names
+    assert "repro.data.cache" in names
+    assert "repro.core.pipeline" in names
+    assert "repro.cli" in names
+
+
+def test_missing_doc_means_everything_undocumented(tmp_path):
+    missing = undocumented_modules(tmp_path / "absent.md")
+    assert missing == public_modules()
+
+
+def test_mentioned_modules_are_not_flagged(tmp_path):
+    doc = tmp_path / "api.md"
+    doc.write_text(" ".join(public_modules()))
+    assert undocumented_modules(doc) == []

@@ -1,0 +1,140 @@
+"""Tests for the deterministic fan-out layer (``repro.parallel``)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParallelError
+from repro.obs.observer import TelemetryObserver
+from repro.parallel import (
+    ParallelConfig,
+    available_cpus,
+    chunked,
+    default_chunk_size,
+    effective_jobs,
+    map_drives,
+)
+
+
+def _square(x: int) -> int:
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+def _explode(x: int) -> int:
+    if x == 7:
+        raise ValueError("item 7 is cursed")
+    return x
+
+
+# -- configuration ----------------------------------------------------------
+
+
+def test_available_cpus_is_positive():
+    assert available_cpus() >= 1
+
+
+def test_effective_jobs_resolution():
+    assert effective_jobs(None) == available_cpus()
+    assert effective_jobs(0) == available_cpus()
+    assert effective_jobs(3) == 3
+    with pytest.raises(ParallelError):
+        effective_jobs(-1)
+
+
+def test_config_rejects_bad_values():
+    with pytest.raises(ParallelError):
+        ParallelConfig(n_jobs=-2)
+    with pytest.raises(ParallelError):
+        ParallelConfig(backend="greenlet")
+    with pytest.raises(ParallelError):
+        ParallelConfig(chunk_size=0)
+
+
+def test_default_chunk_size_bounds():
+    assert default_chunk_size(0, 4) == 1
+    assert default_chunk_size(1, 4) == 1
+    # 100 items over 4 jobs x 4 chunks/job -> ceil(100/16) = 7
+    assert default_chunk_size(100, 4) == 7
+    assert default_chunk_size(5, 1) * 4 >= 5
+
+
+@given(st.lists(st.integers(), max_size=60), st.integers(1, 9))
+def test_chunked_reassembles_exactly(items, size):
+    chunks = chunked(items, size)
+    assert [x for chunk in chunks for x in chunk] == items
+    assert all(len(chunk) <= size for chunk in chunks)
+    if items:
+        assert all(len(chunk) == size for chunk in chunks[:-1])
+
+
+def test_chunked_rejects_zero():
+    with pytest.raises(ParallelError):
+        chunked([1, 2], 0)
+
+
+# -- map_drives -------------------------------------------------------------
+
+
+def test_map_empty_items():
+    assert map_drives(_square, [], ParallelConfig(n_jobs=4)) == []
+
+
+def test_map_serial_is_plain_loop():
+    assert map_drives(_square, range(10)) == [x * x for x in range(10)]
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize("chunk_size", [None, 1, 3, 100])
+def test_map_ordered_merge_across_backends(backend, chunk_size):
+    config = ParallelConfig(n_jobs=4, backend=backend, chunk_size=chunk_size)
+    assert map_drives(_square, range(23), config) == \
+        [x * x for x in range(23)]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(), max_size=40), st.integers(1, 6),
+       st.integers(1, 8))
+def test_map_is_order_preserving_property(items, n_jobs, chunk_size):
+    """For any job count and chunking, map_drives == builtin map."""
+    config = ParallelConfig(n_jobs=n_jobs, backend="thread",
+                            chunk_size=chunk_size)
+    assert map_drives(_square, items, config) == [x * x for x in items]
+
+
+def test_map_jobs_zero_uses_all_cpus():
+    config = ParallelConfig(n_jobs=0, backend="thread")
+    assert map_drives(_square, range(8), config) == \
+        [x * x for x in range(8)]
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_map_propagates_worker_exceptions(backend):
+    config = ParallelConfig(n_jobs=2, backend=backend, chunk_size=2)
+    with pytest.raises(ValueError, match="cursed"):
+        map_drives(_explode, range(12), config)
+
+
+def test_map_emits_fanout_telemetry():
+    observer = TelemetryObserver()
+    config = ParallelConfig(n_jobs=2, backend="thread", chunk_size=5)
+    map_drives(_square, range(12), config, observer=observer,
+               label="unit-fanout")
+    span = observer.tracer.find("unit-fanout")
+    assert span is not None
+    assert span.attributes["n_jobs"] == 2
+    assert span.attributes["n_chunks"] == 3
+    snapshot = observer.metrics.snapshot()
+    assert snapshot["parallel_chunks"]["value"] == 3
+    assert snapshot["parallel_jobs"]["value"] == 2
+
+
+def test_map_serial_span_marks_inline():
+    observer = TelemetryObserver()
+    map_drives(_square, range(3), ParallelConfig(n_jobs=1),
+               observer=observer)
+    span = observer.tracer.find("map-drives")
+    assert span is not None
+    assert span.attributes["backend"] == "inline"
