@@ -1,0 +1,61 @@
+"""Tier-2 gate for ``scripts/compare_bench.py`` and the ML perf baseline.
+
+Exercises the regression differ against the committed
+``benchmarks/output/perf_ml.json``: the baseline compared to itself is
+clean (exit 0), and a candidate whose SVC connectivity speedup dropped
+30% trips the 20% threshold (exit 1).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "compare_bench.py"
+BASELINE = REPO_ROOT / "benchmarks" / "output" / "perf_ml.json"
+
+
+def _run(args):
+    return subprocess.run([sys.executable, str(SCRIPT)] + args,
+                          capture_output=True, text=True)
+
+
+@pytest.mark.tier2
+def test_committed_baseline_compares_clean_to_itself():
+    assert BASELINE.exists(), "run benchmarks/test_ml_microbench.py first"
+    result = _run([str(BASELINE), str(BASELINE)])
+    assert result.returncode == 0, result.stderr
+    assert "svc_connectivity_n500.speedup" in result.stdout
+    assert "REGRESSION" not in result.stdout
+
+
+@pytest.mark.tier2
+def test_regressed_candidate_fails(tmp_path):
+    payload = json.loads(BASELINE.read_text())
+    payload["svc_connectivity_n500"]["speedup"] *= 0.7
+    doctored = tmp_path / "doctored.json"
+    doctored.write_text(json.dumps(payload))
+    result = _run([str(BASELINE), str(doctored)])
+    assert result.returncode == 1
+    assert "svc_connectivity_n500.speedup" in result.stderr
+
+    # A drop inside the allowance passes.
+    payload = json.loads(BASELINE.read_text())
+    payload["svc_connectivity_n500"]["speedup"] *= 0.9
+    mild = tmp_path / "mild.json"
+    mild.write_text(json.dumps(payload))
+    assert _run([str(BASELINE), str(mild)]).returncode == 0
+
+
+@pytest.mark.tier2
+def test_missing_pinned_metric_fails(tmp_path):
+    payload = json.loads(BASELINE.read_text())
+    del payload["hmm_baum_welch_150x24x4"]
+    pruned = tmp_path / "pruned.json"
+    pruned.write_text(json.dumps(payload))
+    result = _run([str(BASELINE), str(pruned)])
+    assert result.returncode == 1
+    assert "missing from candidate" in result.stderr

@@ -43,6 +43,16 @@ def configure_default_fleet(*, n_drives: int | None = None,
         _active_scale["seed"] = seed
 
 
+def get_pipeline_observer() -> PipelineObserver:
+    """The observer future default fleet/report builds will emit to."""
+    return _pipeline_observer
+
+
+def active_scale() -> tuple[int, int]:
+    """The (n_drives, seed) parameterless experiment runs resolve to."""
+    return _active_scale["n_drives"], _active_scale["seed"]
+
+
 def set_pipeline_observer(observer: PipelineObserver | None) -> None:
     """Route telemetry of future default fleet/report builds to ``observer``.
 

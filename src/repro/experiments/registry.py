@@ -7,7 +7,15 @@ any subset of the paper's experiments and prints their renderings:
 
    $ repro-experiments --list
    $ repro-experiments fig8 table3
-   $ repro-experiments --all
+   $ repro-experiments --all --jobs 4
+
+``--jobs N`` fans the selected experiments out across N worker
+processes through :func:`repro.parallel.map_drives`.  The parent
+pre-warms the memoized default fleet and pipeline report before the
+pool starts, so (on fork-based platforms) every worker inherits the
+shared dataset instead of rebuilding it; results are merged back in
+registry order, so the printed stream and any ``--output`` file are
+identical to a serial run.
 """
 
 from __future__ import annotations
@@ -110,6 +118,66 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
     return runner()
 
 
+def _worker_init(n_drives: int, seed: int) -> None:
+    """Replicate the parent's fleet scale in a pool worker."""
+    from repro.experiments.common import configure_default_fleet
+
+    configure_default_fleet(n_drives=n_drives, seed=seed)
+
+
+def _run_timed(experiment_id: str) -> tuple[ExperimentResult, float]:
+    """Worker body: run one experiment, return (result, wall seconds)."""
+    with timeit(experiment_id) as timer:
+        result = run_experiment(experiment_id)
+    return result, timer.wall_s
+
+
+def run_many(ids: list[str], *, jobs: int = 1) -> list[tuple[ExperimentResult, float]]:
+    """Run experiments, fanning out across ``jobs`` worker processes.
+
+    Results come back in the order of ``ids`` regardless of completion
+    order, so any job count renders the same stream.  Unknown ids fail
+    fast before any work is dispatched.  Every experiment's duration and
+    the job count are emitted through the experiment harness's observer
+    seam (``experiment_duration_s`` histogram, ``parallel_jobs`` gauge).
+    """
+    from repro.experiments.common import (
+        active_scale,
+        default_report,
+        get_pipeline_observer,
+    )
+    from repro.parallel import ParallelConfig, effective_jobs, map_drives
+
+    unknown = [experiment_id for experiment_id in ids
+               if experiment_id not in EXPERIMENTS]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiment {unknown[0]!r}; known: "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+    observer = get_pipeline_observer()
+    resolved_jobs = min(effective_jobs(jobs), max(len(ids), 1))
+    if resolved_jobs > 1:
+        # Build the memoized fleet + report once in the parent so
+        # fork-started workers inherit the shared dataset cache instead
+        # of simulating their own copy per process.
+        with observer.span("experiments-prewarm"):
+            default_report()
+    n_drives, seed = active_scale()
+    pairs = map_drives(
+        _run_timed, ids,
+        ParallelConfig(n_jobs=resolved_jobs, backend="process", chunk_size=1),
+        observer=observer, label="experiments-fanout",
+        initializer=_worker_init, initargs=(n_drives, seed),
+    )
+    observer.gauge("parallel_jobs", resolved_jobs)
+    for experiment_id, (_, wall_s) in zip(ids, pairs):
+        observer.observe("experiment_duration_s", wall_s)
+        observer.event("experiment finished", experiment=experiment_id,
+                       wall_s=wall_s)
+    return pairs
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -126,6 +194,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="fleet seed (default 42)")
     parser.add_argument("--output", metavar="PATH", default=None,
                         help="also write the rendered results to this file")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the experiment fan-out "
+                             "(0 = one per CPU; default 1, serial)")
     args = parser.parse_args(argv)
 
     if args.n_drives is not None or args.seed is not None:
@@ -140,17 +211,16 @@ def main(argv: list[str] | None = None) -> int:
     if not ids:
         parser.print_help()
         return 2
+    try:
+        pairs = run_many(ids, jobs=args.jobs)
+    except ExperimentError as error:
+        print(error, file=sys.stderr)
+        return 1
     results = []
-    for experiment_id in ids:
-        try:
-            with timeit(experiment_id) as timer:
-                result = run_experiment(experiment_id)
-        except ExperimentError as error:
-            print(error, file=sys.stderr)
-            return 1
+    for experiment_id, (result, wall_s) in zip(ids, pairs):
         results.append(result)
         print(result)
-        print(f"[{timer.label}] finished in {format_duration(timer.wall_s)}")
+        print(f"[{experiment_id}] finished in {format_duration(wall_s)}")
         print()
     if args.output:
         from repro.reporting.report import save_results

@@ -1,0 +1,279 @@
+"""Pre-vectorization reference kernels for the ML layer.
+
+Frozen copies of the loop-based algorithms that ``repro.ml`` shipped
+before the batched rewrites, kept for two purposes:
+
+* the golden equivalence tests (``tests/test_ml_kernel_equivalence.py``)
+  assert the production kernels reproduce these outputs byte-for-byte
+  (SVC labels, tree structure, HMM log-likelihoods);
+* the microbenchmarks (``benchmarks/test_ml_microbench.py``) measure
+  the production kernels against them, so the recorded speedups compare
+  algorithms, not repository snapshots.
+
+Everything here favors obviousness over speed — these are the
+specifications the fast kernels are held to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.ml.hmm import _LOG_FLOOR, GaussianHMM
+from repro.ml.svc import SupportVectorClustering
+from repro.ml.tree import RegressionTree, TreeNode
+
+__all__ = [
+    "reference_connectivity_labels",
+    "ReferenceRegressionTree",
+    "ReferenceGaussianHMM",
+    "reference_pairwise_sq_distances",
+    "reference_kmeans_plus_plus",
+]
+
+
+# -- SVC: pairwise segment-sampled connectivity ------------------------------
+
+def reference_connectivity_labels(model: SupportVectorClustering,
+                                  data: np.ndarray) -> np.ndarray:
+    """Label clusters the pre-batching way: one pair at a time.
+
+    Walks every pair (i, j), samples the connecting segment and keeps
+    the pair in one cluster when every sample stays inside the fitted
+    sphere — O(n^2 * segment_samples) kernel evaluations.
+    """
+    assert model.radius_ is not None
+    data = np.asarray(data, dtype=np.float64)
+    n_samples = data.shape[0]
+    radius_sq = model.radius_ ** 2 * (1.0 + 1.0e-6)
+    fractions = (np.arange(1, model._segment_samples + 1)
+                 / (model._segment_samples + 1))
+    parent = np.arange(n_samples)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: int, y: int) -> None:
+        root_x, root_y = find(x), find(y)
+        if root_x != root_y:
+            parent[root_x] = root_y
+
+    for i in range(n_samples - 1):
+        for j in range(i + 1, n_samples):
+            if find(i) == find(j):
+                continue
+            segment = (data[i][None, :]
+                       + fractions[:, None] * (data[j] - data[i])[None, :])
+            if np.all(model.sphere_distance_sq(segment) <= radius_sq):
+                union(i, j)
+
+    roots = np.array([find(i) for i in range(n_samples)])
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels
+
+
+# -- CART: re-sorting tree grower --------------------------------------------
+
+class ReferenceRegressionTree(RegressionTree):
+    """Regression tree grown by re-argsorting every feature per node."""
+
+    def fit(self, features: np.ndarray, targets: np.ndarray,
+            feature_names=None) -> "ReferenceRegressionTree":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        self.n_features_ = features.shape[1]
+        self.feature_names_ = tuple(feature_names) if feature_names else None
+        self.root_ = self._grow_resorting(features, targets, depth=0)
+        return self
+
+    def _grow_resorting(self, features: np.ndarray, targets: np.ndarray,
+                        depth: int) -> TreeNode:
+        node = TreeNode(
+            value=float(targets.mean()),
+            n_samples=targets.shape[0],
+            sse=float(np.sum((targets - targets.mean()) ** 2)),
+        )
+        if (depth >= self._max_depth
+                or targets.shape[0] < self._min_samples_split
+                or node.sse <= 0.0):
+            return node
+        split = self._best_split_resorting(features, targets)
+        if split is None:
+            return node
+        feature_index, threshold, gain = split
+        if gain < self._min_sse_decrease:
+            return node
+        mask = features[:, feature_index] < threshold
+        node.feature_index = feature_index
+        node.threshold = threshold
+        node.left = self._grow_resorting(features[mask], targets[mask],
+                                         depth + 1)
+        node.right = self._grow_resorting(features[~mask], targets[~mask],
+                                          depth + 1)
+        return node
+
+    def _best_split_resorting(self, features: np.ndarray,
+                              targets: np.ndarray):
+        n_samples = targets.shape[0]
+        parent_sse = float(np.sum((targets - targets.mean()) ** 2))
+        best = None
+        best_children_sse = np.inf
+        for feature_index in range(features.shape[1]):
+            column = features[:, feature_index]
+            order = np.argsort(column, kind="stable")
+            sorted_values = column[order]
+            sorted_targets = targets[order]
+            cumsum = np.cumsum(sorted_targets)
+            cumsq = np.cumsum(sorted_targets ** 2)
+            counts = np.arange(1, n_samples + 1, dtype=np.float64)
+            left_sse = cumsq - cumsum ** 2 / counts
+            right_sum = cumsum[-1] - cumsum
+            right_sq = cumsq[-1] - cumsq
+            right_counts = n_samples - counts
+            with np.errstate(divide="ignore", invalid="ignore"):
+                right_sse = right_sq - np.where(
+                    right_counts > 0, right_sum ** 2 / right_counts, 0.0
+                )
+            children = left_sse[:-1] + right_sse[:-1]
+            valid = (
+                (sorted_values[:-1] != sorted_values[1:])
+                & (counts[:-1] >= self._min_samples_leaf)
+                & (right_counts[:-1] >= self._min_samples_leaf)
+            )
+            if not np.any(valid):
+                continue
+            children = np.where(valid, children, np.inf)
+            position = int(np.argmin(children))
+            if children[position] < best_children_sse:
+                best_children_sse = float(children[position])
+                threshold = float(
+                    (sorted_values[position] + sorted_values[position + 1]) / 2.0
+                )
+                best = (feature_index, threshold,
+                        parent_sse - best_children_sse)
+        return best
+
+
+# -- HMM: one-sequence-at-a-time Baum-Welch ----------------------------------
+
+def _reference_log_emissions(model: GaussianHMM,
+                             sequence: np.ndarray) -> np.ndarray:
+    deltas = sequence[:, None, :] - model.means_[None, :, :]
+    log_b = -0.5 * np.sum(
+        deltas ** 2 / model.variances_[None, :, :]
+        + np.log(2.0 * np.pi * model.variances_[None, :, :]),
+        axis=2,
+    )
+    return np.maximum(log_b, _LOG_FLOOR)
+
+
+def _reference_forward(model: GaussianHMM, log_b: np.ndarray) -> np.ndarray:
+    n_steps = log_b.shape[0]
+    log_alpha = np.empty_like(log_b)
+    log_alpha[0] = model.start_log_ + log_b[0]
+    for t in range(1, n_steps):
+        log_alpha[t] = log_b[t] + logsumexp(
+            log_alpha[t - 1][:, None] + model.transition_log_, axis=0
+        )
+    return log_alpha
+
+
+def _reference_backward(model: GaussianHMM, log_b: np.ndarray) -> np.ndarray:
+    n_steps = log_b.shape[0]
+    log_beta = np.zeros_like(log_b)
+    for t in range(n_steps - 2, -1, -1):
+        log_beta[t] = logsumexp(
+            model.transition_log_ + log_b[t + 1] + log_beta[t + 1],
+            axis=1,
+        )
+    return log_beta
+
+
+class ReferenceGaussianHMM(GaussianHMM):
+    """Baum-Welch that runs forward/backward per sequence, sequentially."""
+
+    def score(self, sequence: np.ndarray) -> float:
+        self._require_fitted()
+        sequence = self._validated(sequence)
+        log_alpha = _reference_forward(
+            self, _reference_log_emissions(self, sequence))
+        return float(logsumexp(log_alpha[-1]))
+
+    def _em_step(self, sequences: list[np.ndarray]) -> float:
+        k = self.n_states
+        d = self.means_.shape[1]
+        start_acc = np.zeros(k)
+        transition_acc = np.zeros((k, k))
+        weight_acc = np.zeros(k)
+        mean_acc = np.zeros((k, d))
+        square_acc = np.zeros((k, d))
+        total_log_likelihood = 0.0
+
+        for sequence in sequences:
+            log_b = _reference_log_emissions(self, sequence)
+            log_alpha = _reference_forward(self, log_b)
+            log_beta = _reference_backward(self, log_b)
+            log_likelihood = float(logsumexp(log_alpha[-1]))
+            total_log_likelihood += log_likelihood
+            gamma = np.exp(log_alpha + log_beta - log_likelihood)
+            start_acc += gamma[0]
+            weight_acc += gamma.sum(axis=0)
+            mean_acc += gamma.T @ sequence
+            square_acc += gamma.T @ (sequence ** 2)
+            if sequence.shape[0] > 1:
+                log_xi = (
+                    log_alpha[:-1, :, None]
+                    + self.transition_log_[None, :, :]
+                    + log_b[1:, None, :]
+                    + log_beta[1:, None, :]
+                    - log_likelihood
+                )
+                transition_acc += np.exp(logsumexp(log_xi, axis=0))
+
+        start = start_acc / max(start_acc.sum(), 1.0e-300)
+        self.start_log_ = np.log(np.maximum(start, 1.0e-300))
+        row_sums = transition_acc.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            transition = np.where(row_sums > 0,
+                                  transition_acc / row_sums,
+                                  1.0 / k)
+        self.transition_log_ = np.log(np.maximum(transition, 1.0e-300))
+        weights = np.maximum(weight_acc, 1.0e-300)[:, None]
+        self.means_ = mean_acc / weights
+        self.variances_ = np.maximum(
+            square_acc / weights - self.means_ ** 2, 1.0e-6
+        )
+        return total_log_likelihood
+
+
+# -- K-means: difference-tensor distances and per-center seeding -------------
+
+def reference_pairwise_sq_distances(data: np.ndarray,
+                                    centers: np.ndarray) -> np.ndarray:
+    """Squared distances via the (n, k, d) difference tensor."""
+    diff = data[:, np.newaxis, :] - centers[np.newaxis, :, :]
+    return np.sum(diff * diff, axis=2)
+
+
+def reference_kmeans_plus_plus(n_clusters: int, data: np.ndarray,
+                               rng: np.random.Generator) -> np.ndarray:
+    """K-means++ seeding recomputing full difference-based distances."""
+    n_samples = data.shape[0]
+    centers = np.empty((n_clusters, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(0, n_samples))
+    centers[0] = data[first]
+    closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for index in range(1, n_clusters):
+        total = float(closest_sq.sum())
+        if total <= 0.0:
+            centers[index:] = centers[0]
+            break
+        probabilities = closest_sq / total
+        choice = int(rng.choice(n_samples, p=probabilities))
+        centers[index] = data[choice]
+        candidate_sq = np.sum((data - centers[index]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, candidate_sq)
+    return centers

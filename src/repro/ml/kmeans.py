@@ -132,9 +132,12 @@ class KMeans:
                           rng: np.random.Generator) -> np.ndarray:
         n_samples = data.shape[0]
         centers = np.empty((self._n_clusters, data.shape[1]), dtype=np.float64)
+        # Expanded-form distances: ||x||^2 is computed once and every
+        # seeding round updates all candidate distances with one GEMV.
+        data_sq = np.einsum("ij,ij->i", data, data)
         first = int(rng.integers(0, n_samples))
         centers[0] = data[first]
-        closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+        closest_sq = _center_sq_distances(data, data_sq, centers[0])
         for index in range(1, self._n_clusters):
             total = float(closest_sq.sum())
             if total <= 0.0:
@@ -144,7 +147,7 @@ class KMeans:
             probabilities = closest_sq / total
             choice = int(rng.choice(n_samples, p=probabilities))
             centers[index] = data[choice]
-            candidate_sq = np.sum((data - centers[index]) ** 2, axis=1)
+            candidate_sq = _center_sq_distances(data, data_sq, centers[index])
             closest_sq = np.minimum(closest_sq, candidate_sq)
         return centers
 
@@ -200,6 +203,21 @@ def elbow_analysis(data: np.ndarray, *, max_clusters: int = 10,
 
 
 def _pairwise_sq_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
-    """Squared Euclidean distances between rows of ``data`` and ``centers``."""
-    diff = data[:, np.newaxis, :] - centers[np.newaxis, :, :]
-    return np.sum(diff * diff, axis=2)
+    """Squared Euclidean distances between rows of ``data`` and ``centers``.
+
+    Uses the expanded form ``||x||^2 - 2 x.c + ||c||^2`` so the cross
+    term is one GEMM instead of materializing an (n, k, d) difference
+    tensor; cancellation can push tiny values below zero, so the result
+    is clamped.
+    """
+    data_sq = np.einsum("ij,ij->i", data, data)
+    center_sq = np.einsum("ij,ij->i", centers, centers)
+    sq = data_sq[:, None] - 2.0 * (data @ centers.T) + center_sq[None, :]
+    return np.maximum(sq, 0.0)
+
+
+def _center_sq_distances(data: np.ndarray, data_sq: np.ndarray,
+                         center: np.ndarray) -> np.ndarray:
+    """Squared distances of every row of ``data`` to one center."""
+    sq = data_sq - 2.0 * (data @ center) + center @ center
+    return np.maximum(sq, 0.0)

@@ -12,6 +12,15 @@ original algorithm:
    cluster when every sampled point on the line segment between them
    stays inside the sphere.  Connected components of that adjacency graph
    are the clusters.
+
+The connectivity check is the quadratic part and runs fully batched:
+candidate pairs are screened in blocks, segment sphere-distances for a
+whole block are one kernel evaluation, the ``beta' K beta`` center term
+is computed once per fit, pairs already union-found into one component
+are skipped, and a triangle-inequality bound on the feature-space
+distance rules out most cross-cluster pairs without touching the kernel.
+Pairs are processed in the same lexicographic order as the historical
+per-pair loop, so the resulting labels are identical to it.
 """
 
 from __future__ import annotations
@@ -59,6 +68,8 @@ class SupportVectorClustering:
         self.radius_: float | None = None
         self.q_: float | None = None
         self._data: np.ndarray | None = None
+        self._cached_kernel: np.ndarray | None = None
+        self._center_sq: float | None = None
 
     @property
     def n_clusters_(self) -> int:
@@ -76,8 +87,10 @@ class SupportVectorClustering:
         self._data = data
         self.q_ = self._q if self._q is not None else self._auto_width(data)
         kernel = self._kernel_matrix(data, data)
+        self._cached_kernel = kernel
         beta = self._solve_svdd(kernel)
         self.beta_ = beta
+        self._center_sq = float(beta @ kernel @ beta)
         self.radius_ = self._sphere_radius(kernel, beta)
         self.labels_ = self._label_by_connectivity(data, beta)
         return self
@@ -90,8 +103,7 @@ class SupportVectorClustering:
         if points.ndim == 1:
             points = points.reshape(1, -1)
         cross = self._kernel_matrix(points, self._data)
-        constant = float(self.beta_ @ self._train_kernel() @ self.beta_)
-        return 1.0 - 2.0 * cross @ self.beta_ + constant
+        return 1.0 - 2.0 * cross @ self.beta_ + self._center_norm_sq()
 
     # -- internals -------------------------------------------------------
 
@@ -112,9 +124,19 @@ class SupportVectorClustering:
 
     def _train_kernel(self) -> np.ndarray:
         assert self._data is not None
-        if not hasattr(self, "_cached_kernel"):
+        if self._cached_kernel is None:
             self._cached_kernel = self._kernel_matrix(self._data, self._data)
         return self._cached_kernel
+
+    def _center_norm_sq(self) -> float:
+        """``beta' K beta``, the center's squared norm term — computed
+        once per fit instead of once per distance query."""
+        if self._center_sq is None:
+            assert self.beta_ is not None
+            self._center_sq = float(
+                self.beta_ @ self._train_kernel() @ self.beta_
+            )
+        return self._center_sq
 
     def _box_limit(self, n_samples: int) -> float:
         if self._soft_margin <= 0.0:
@@ -204,12 +226,35 @@ class SupportVectorClustering:
 
     def _label_by_connectivity(self, data: np.ndarray,
                                beta: np.ndarray) -> np.ndarray:
-        assert self.radius_ is not None
+        """Connected components of the contour graph, evaluated in blocks.
+
+        Pairs are screened and union-found in the lexicographic order
+        the per-pair loop used, so the final roots — and therefore the
+        labels — are identical to evaluating every pair one at a time.
+        Three things make it fast:
+
+        * pairs whose endpoints already share a component are dropped
+          before any kernel work;
+        * a triangle-inequality bound (segment points cannot be closer
+          to the sphere center than an endpoint's distance minus the
+          feature-space chord to that endpoint) rejects pairs whose
+          outlier endpoints already put the segment outside;
+        * the middle segment sample — the point most likely to leave the
+          sphere — is evaluated first for every pair in one batched
+          kernel call, and only pairs whose midpoint stays inside get
+          the full segment evaluation.  The midpoint value is computed
+          exactly as the full evaluation computes it, so the screen
+          never changes the outcome, only the work.
+        """
+        assert self.radius_ is not None and self.q_ is not None
         n_samples = data.shape[0]
         radius_sq = self.radius_ ** 2 * (1.0 + 1.0e-6)
         fractions = (np.arange(1, self._segment_samples + 1)
                      / (self._segment_samples + 1))
         parent = np.arange(n_samples)
+        # Component id per sample: lets whole blocks be screened with one
+        # vectorized comparison instead of per-pair find() calls.
+        component = np.arange(n_samples)
 
         def find(x: int) -> int:
             while parent[x] != x:
@@ -221,20 +266,79 @@ class SupportVectorClustering:
             root_x, root_y = find(x), find(y)
             if root_x != root_y:
                 parent[root_x] = root_y
+                component[component == component[x]] = component[y]
 
-        # Check connectivity for each pair not already merged.
-        for i in range(n_samples - 1):
-            for j in range(i + 1, n_samples):
-                if find(i) == find(j):
-                    continue
-                segment = (data[i][None, :]
-                           + fractions[:, None] * (data[j] - data[i])[None, :])
-                if np.all(self.sphere_distance_sq(segment) <= radius_sq):
-                    union(i, j)
+        # Per-point feature-space distance to the sphere center and the
+        # radius, for the triangle-inequality screen.  The small margin
+        # keeps the bound conservative against rounding, so a pruned
+        # pair is one the exact evaluation would reject too.
+        point_distance = np.sqrt(
+            np.maximum(self.sphere_distance_sq(data), 0.0)
+        )
+        radius_margin = float(np.sqrt(radius_sq)) + 1.0e-9
+
+        pair_i, pair_j = np.triu_indices(n_samples, k=1)
+        # Block size targets a bounded kernel workspace:
+        # block * segment_samples rows against n_samples columns.
+        block = max(128, 4_000_000 // max(1, self._segment_samples * n_samples))
+        for start in range(0, pair_i.shape[0], block):
+            i_block = pair_i[start:start + block]
+            j_block = pair_j[start:start + block]
+            # Short-circuit pairs already merged into one component.
+            active = component[i_block] != component[j_block]
+            i_block, j_block = i_block[active], j_block[active]
+            if i_block.size == 0:
+                continue
+            # Triangle-inequality screen.  A point s at input distance r
+            # from endpoint x has feature-space chord
+            # ||phi(s) - phi(x)|| = sqrt(2 - 2 exp(-q r^2)), so its
+            # distance to the center is at least d(x) - chord.  If any
+            # sampled point's bound already exceeds the radius, the
+            # segment leaves the sphere and the pair is disconnected.
+            deltas = data[j_block] - data[i_block]
+            pair_dist = np.sqrt(np.sum(deltas * deltas, axis=1))
+            from_i = fractions[None, :] * pair_dist[:, None]
+            from_j = (1.0 - fractions)[None, :] * pair_dist[:, None]
+            bound = np.maximum(
+                point_distance[i_block][:, None] - _chord(from_i, self.q_),
+                point_distance[j_block][:, None] - _chord(from_j, self.q_),
+            )
+            survives = ~np.any(bound > radius_margin, axis=1)
+            i_block, j_block = i_block[survives], j_block[survives]
+            if i_block.size == 0:
+                continue
+            # Midpoint screen: one batched kernel call for the middle
+            # sample of every pair; a midpoint outside the sphere
+            # disconnects the pair without evaluating the other samples.
+            middle = self._segment_samples // 2
+            deltas = data[j_block] - data[i_block]
+            midpoints = data[i_block] + fractions[middle] * deltas
+            mid_inside = self.sphere_distance_sq(midpoints) <= radius_sq
+            i_block, j_block = i_block[mid_inside], j_block[mid_inside]
+            if i_block.size == 0:
+                continue
+            # Batched segment evaluation: every sampled point of every
+            # surviving pair goes through one kernel call.
+            deltas = data[j_block] - data[i_block]
+            segments = (data[i_block][:, None, :]
+                        + fractions[None, :, None] * deltas[:, None, :])
+            distances = self.sphere_distance_sq(
+                segments.reshape(-1, data.shape[1])
+            )
+            inside = np.all(
+                distances.reshape(i_block.shape[0], -1) <= radius_sq, axis=1
+            )
+            for i, j in zip(i_block[inside], j_block[inside]):
+                union(int(i), int(j))
 
         roots = np.array([find(i) for i in range(n_samples)])
         _, labels = np.unique(roots, return_inverse=True)
         return labels
+
+
+def _chord(distance: np.ndarray, q: float) -> np.ndarray:
+    """Feature-space distance between two inputs ``distance`` apart."""
+    return np.sqrt(np.maximum(2.0 - 2.0 * np.exp(-q * distance ** 2), 0.0))
 
 
 def _pairwise_sq(data: np.ndarray) -> np.ndarray:

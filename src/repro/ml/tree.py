@@ -7,8 +7,14 @@ the Group 1 tree itself (Figure 13).
 
 Splits minimize the within-node sum of squared errors (Equation 8): for
 every feature and every threshold the sum of child SSEs is computed from
-cumulative statistics over the sorted feature column, so finding the best
-split of a node is O(n_features * n log n).
+cumulative statistics over the sorted feature column.  The tree is grown
+presorted (classic presort CART): every feature column is stable-sorted
+once at the root and the sorted index lists are partitioned down the
+tree, so finding the best split of a node is O(n_features * n) instead
+of O(n_features * n log n) — no per-node argsort.  Because the stable
+partition preserves the root ordering exactly (ties stay in original
+index order, as a per-node stable sort would leave them), the fitted
+tree is identical to the one the re-sorting implementation grew.
 """
 
 from __future__ import annotations
@@ -86,7 +92,15 @@ class RegressionTree:
             raise ModelError("feature_names length mismatch")
         self.n_features_ = features.shape[1]
         self.feature_names_ = tuple(feature_names) if feature_names else None
-        self.root_ = self._grow(features, targets, depth=0)
+        # Presort once at the root: one stable argsort per feature.
+        # ``_grow`` partitions these index lists instead of re-sorting.
+        # The transposed copy makes every per-node column gather read
+        # contiguous memory.
+        sorted_indices = np.argsort(features, axis=0, kind="stable").T
+        columns = np.ascontiguousarray(features.T)
+        node_indices = np.arange(features.shape[0])
+        self.root_ = self._grow(columns, targets, sorted_indices,
+                                node_indices, depth=0)
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
@@ -173,40 +187,65 @@ class RegressionTree:
 
     # -- internals ---------------------------------------------------------
 
-    def _grow(self, features: np.ndarray, targets: np.ndarray,
+    def _grow(self, columns: np.ndarray, targets: np.ndarray,
+              sorted_indices: np.ndarray, node_indices: np.ndarray,
               depth: int) -> TreeNode:
+        """Grow one node.
+
+        ``columns`` is the transposed feature matrix (n_features, n);
+        ``node_indices`` holds the node's samples in original order (so
+        mean/SSE accumulate exactly as they did over subset copies);
+        ``sorted_indices`` is (n_features, n_node) — the same samples,
+        per feature, in presorted order.
+        """
+        node_targets = targets[node_indices]
         node = TreeNode(
-            value=float(targets.mean()),
-            n_samples=targets.shape[0],
-            sse=float(np.sum((targets - targets.mean()) ** 2)),
+            value=float(node_targets.mean()),
+            n_samples=node_targets.shape[0],
+            sse=float(np.sum((node_targets - node_targets.mean()) ** 2)),
         )
         if (depth >= self._max_depth
-                or targets.shape[0] < self._min_samples_split
+                or node_targets.shape[0] < self._min_samples_split
                 or node.sse <= 0.0):
             return node
-        split = self._best_split(features, targets)
+        split = self._best_split(columns, targets, sorted_indices,
+                                 node_targets)
         if split is None:
             return node
         feature_index, threshold, gain = split
         if gain < self._min_sse_decrease:
             return node
-        mask = features[:, feature_index] < threshold
+        mask = columns[feature_index][node_indices] < threshold
+        left_indices = node_indices[mask]
+        right_indices = node_indices[~mask]
+        # Stable partition of every presorted list: a full-length
+        # membership lookup keeps each side in presorted order.
+        goes_left = np.zeros(columns.shape[1], dtype=bool)
+        goes_left[left_indices] = True
+        in_left = goes_left[sorted_indices]
+        n_features = sorted_indices.shape[0]
+        left_sorted = sorted_indices[in_left].reshape(
+            n_features, left_indices.shape[0])
+        right_sorted = sorted_indices[~in_left].reshape(
+            n_features, right_indices.shape[0])
         node.feature_index = feature_index
         node.threshold = threshold
-        node.left = self._grow(features[mask], targets[mask], depth + 1)
-        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        node.left = self._grow(columns, targets, left_sorted,
+                               left_indices, depth + 1)
+        node.right = self._grow(columns, targets, right_sorted,
+                                right_indices, depth + 1)
         return node
 
-    def _best_split(self, features: np.ndarray,
-                    targets: np.ndarray) -> tuple[int, float, float] | None:
-        n_samples = targets.shape[0]
-        parent_sse = float(np.sum((targets - targets.mean()) ** 2))
+    def _best_split(self, columns: np.ndarray, targets: np.ndarray,
+                    sorted_indices: np.ndarray,
+                    node_targets: np.ndarray) -> tuple[int, float, float] | None:
+        n_samples = node_targets.shape[0]
+        parent_sse = float(np.sum((node_targets - node_targets.mean()) ** 2))
         best: tuple[int, float, float] | None = None
         best_children_sse = np.inf
-        for feature_index in range(features.shape[1]):
-            column = features[:, feature_index]
-            order = np.argsort(column, kind="stable")
-            sorted_values = column[order]
+        for feature_index in range(columns.shape[0]):
+            order = sorted_indices[feature_index]
+            sorted_values = columns[feature_index][order]
             sorted_targets = targets[order]
             # Candidate split positions: between distinct adjacent values,
             # respecting the per-leaf minimum.

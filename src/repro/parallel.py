@@ -126,7 +126,9 @@ def _run_chunk(fn: Callable[[_T], _R], chunk: list[_T]) -> list[_R]:
 def map_drives(fn: Callable[[_T], _R], items: Iterable[_T],
                config: ParallelConfig | None = None, *,
                observer: PipelineObserver | None = None,
-               label: str = "map-drives") -> list[_R]:
+               label: str = "map-drives",
+               initializer: Callable[..., None] | None = None,
+               initargs: tuple[Any, ...] = ()) -> list[_R]:
     """Apply ``fn`` to every item, fanning out according to ``config``.
 
     Returns results in input order for every backend and job count —
@@ -134,9 +136,13 @@ def map_drives(fn: Callable[[_T], _R], items: Iterable[_T],
     with no analytic effect.  Exceptions raised by ``fn`` propagate to
     the caller (the earliest-submitted failing chunk wins).
 
-    ``fn`` itself runs uninstrumented in the workers; ``observer``
-    receives a ``label`` span wrapping the whole fan-out with
-    ``n_items`` / ``n_jobs`` / ``backend`` / ``n_chunks`` attributes.
+    ``initializer(*initargs)`` runs once in every worker before any
+    chunk (and once inline on the serial path), so callers can replicate
+    process-wide state — e.g. the experiment harness re-applies its
+    fleet scale in each worker.  ``fn`` itself runs uninstrumented in
+    the workers; ``observer`` receives a ``label`` span wrapping the
+    whole fan-out with ``n_items`` / ``n_jobs`` / ``backend`` /
+    ``n_chunks`` attributes.
     """
     cfg = config if config is not None else ParallelConfig()
     obs = resolve_observer(observer)
@@ -145,6 +151,8 @@ def map_drives(fn: Callable[[_T], _R], items: Iterable[_T],
         return []
     jobs = min(effective_jobs(cfg.n_jobs), len(materialized))
     if jobs <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         with obs.span(label, n_items=len(materialized), n_jobs=1,
                       backend="inline"):
             return [fn(item) for item in materialized]
@@ -158,7 +166,8 @@ def map_drives(fn: Callable[[_T], _R], items: Iterable[_T],
     with obs.span(label, n_items=len(materialized), n_jobs=jobs,
                   backend=cfg.backend, n_chunks=len(chunks),
                   chunk_size=chunk_size):
-        with executor_cls(max_workers=jobs) as pool:
+        with executor_cls(max_workers=jobs, initializer=initializer,
+                          initargs=initargs) as pool:
             futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
             for index, future in enumerate(futures):
                 results[index] = future.result()

@@ -238,3 +238,55 @@ class TestRegistry:
         )
         assert result.returncode == 0
         assert "fig8" in result.stdout
+
+
+class TestParallelRunner:
+    """`run_many` / `--jobs`: deterministic fan-out of experiments."""
+
+    @pytest.fixture()
+    def small_scale(self):
+        from repro.experiments import common
+        saved = dict(common._active_scale)
+        common.configure_default_fleet(n_drives=1500, seed=11)
+        yield
+        common._active_scale.update(saved)
+
+    def test_run_many_matches_serial(self, small_scale):
+        from repro.experiments.registry import run_many
+        ids = ["table1", "fig3"]
+        serial = run_many(ids, jobs=1)
+        parallel = run_many(ids, jobs=2)
+        assert [result.experiment_id for result, _ in parallel] == ids
+        assert ([str(result) for result, _ in serial]
+                == [str(result) for result, _ in parallel])
+        assert all(wall_s >= 0.0 for _, wall_s in parallel)
+
+    def test_run_many_unknown_id_fails_fast(self):
+        from repro.experiments.registry import run_many
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_many(["table1", "fig99"], jobs=2)
+
+    def test_run_many_emits_duration_and_jobs_telemetry(self, small_scale):
+        from repro.experiments.common import set_pipeline_observer
+        from repro.experiments.registry import run_many
+        from repro.obs.observer import TelemetryObserver
+        observer = TelemetryObserver()
+        set_pipeline_observer(observer)
+        try:
+            run_many(["table1", "fig3"], jobs=1)
+        finally:
+            set_pipeline_observer(None)
+        snapshot = observer.metrics.snapshot()
+        assert snapshot["experiment_duration_s"]["count"] == 2
+        assert snapshot["parallel_jobs"]["value"] == 1.0
+
+    def test_cli_jobs_flag_renders_identically(self, small_scale, capsys):
+        from repro.experiments.registry import main
+        assert main(["table1", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert main(["table1"]) == 0
+        serial_out = capsys.readouterr().out
+        strip = lambda text: [line for line in text.splitlines()
+                              if "finished in" not in line]
+        assert strip(parallel_out) == strip(serial_out)
+        assert "[table1] finished in" in parallel_out
