@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Lint: library errors are typed, never swallowed blind.
+
+Walks ``src/repro`` and flags three anti-patterns that would erode the
+error contract documented in :mod:`repro.errors`:
+
+1. **Bare handlers** — ``except:`` catches ``KeyboardInterrupt`` and
+   ``SystemExit`` too; there is never a reason for it in library code.
+2. **Silent broad handlers** — ``except Exception: pass`` (or ``...``)
+   makes failures invisible; a broad handler must *do* something with
+   the error (wrap it, log it, count it).
+3. **Builtin raises** — ``raise ValueError(...)`` and friends leak
+   untyped errors to callers who were promised that every library
+   failure derives from :class:`~repro.errors.ReproError`.  Re-raises
+   (bare ``raise``) and raising names imported from ``repro.errors``
+   are of course fine; the check is purely syntactic, so it flags only
+   builtin exception names.
+
+Run from the repository root::
+
+   python scripts/check_error_contracts.py
+
+Exits 1 listing ``path:line: reason`` for each violation, 0 when clean.
+The test suite runs this as a regression gate
+(``tests/test_error_contracts_lint.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Builtin exception types library code must not raise — callers are
+#: promised ReproError subclasses.  SystemExit (CLI entry points) and
+#: NotImplementedError (abstract seams) stay legal.
+DISALLOWED_RAISES = frozenset({
+    "Exception", "BaseException", "ValueError", "TypeError",
+    "RuntimeError", "KeyError", "IndexError", "LookupError",
+    "ArithmeticError", "ZeroDivisionError", "OSError", "IOError",
+    "StopIteration", "AssertionError",
+})
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """A handler body that discards the error without acting on it."""
+    return all(
+        isinstance(statement, ast.Pass)
+        or (isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis)
+        for statement in body
+    )
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """The plain name being raised, e.g. ``ValueError`` for both
+    ``raise ValueError`` and ``raise ValueError(...)``."""
+    target = node.exc
+    if isinstance(target, ast.Call):
+        target = target.func
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+def find_violations(path: Path) -> list[tuple[int, str]]:
+    """(line, reason) pairs for one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                violations.append(
+                    (node.lineno, "bare 'except:' — name the exception"))
+            elif (isinstance(node.type, ast.Name)
+                  and node.type.id in ("Exception", "BaseException")
+                  and _is_silent(node.body)):
+                violations.append(
+                    (node.lineno,
+                     f"'except {node.type.id}: pass' swallows every "
+                     "failure silently"))
+        elif isinstance(node, ast.Raise):
+            name = _raised_name(node)
+            if name in DISALLOWED_RAISES:
+                violations.append(
+                    (node.lineno,
+                     f"raises builtin {name} — use a "
+                     "repro.errors.ReproError subclass"))
+    return sorted(violations)
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        relative = path.relative_to(SRC_ROOT).as_posix()
+        for line, reason in find_violations(path):
+            violations.append(f"src/repro/{relative}:{line}: {reason}")
+    if violations:
+        print("error-contract violations found:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,9 +35,12 @@ from repro.data import (
     DiskDataset,
     load_backblaze_csv,
     load_csv,
+    load_csv_resilient,
+    sanitize_profiles,
     save_csv,
 )
-from repro.parallel import ParallelConfig, map_drives
+from repro.faults import ChaosConfig, inject_dataset, parse_chaos_spec
+from repro.parallel import ParallelConfig, RetryPolicy, map_drives
 from repro.sim import FleetConfig, FleetSimulator, simulate_fleet
 from repro.smart import (
     ATTRIBUTE_REGISTRY,
@@ -65,8 +68,14 @@ __all__ = [
     "DiskDataset",
     "load_backblaze_csv",
     "load_csv",
+    "load_csv_resilient",
+    "sanitize_profiles",
     "save_csv",
+    "ChaosConfig",
+    "inject_dataset",
+    "parse_chaos_spec",
     "ParallelConfig",
+    "RetryPolicy",
     "map_drives",
     "FleetConfig",
     "FleetSimulator",

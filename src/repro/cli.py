@@ -13,6 +13,8 @@ Examples::
    repro-characterize --backblaze 'data_Q1_2015/*.csv' --model ST4000DM000
    repro-characterize --simulate 500 -v --trace trace.json --metrics metrics.json
    repro-characterize --csv fleet.csv --jobs 4 --cache-dir /tmp/repro-cache
+   repro-characterize --csv dirty.csv --lenient --retries 2
+   repro-characterize --simulate 2000 --inject-faults 'drop=0.1,nan=0.05,seed=7'
 """
 
 from __future__ import annotations
@@ -28,14 +30,17 @@ from repro.core.taxonomy import FailureType
 from repro.data.backblaze import load_backblaze_csv
 from repro.data.cache import DatasetCache
 from repro.data.dataset import DiskDataset
-from repro.data.loader import load_csv
+from repro.data.loader import load_csv, load_csv_resilient
+from repro.data.sanitize import SanitizationResult, sanitize_profiles
 from repro.errors import ReproError
+from repro.faults import inject_dataset, parse_chaos_spec
 from repro.obs import logging as obs_logging
 from repro.obs.observer import (
     NULL_OBSERVER,
     PipelineObserver,
     TelemetryObserver,
 )
+from repro.parallel import RetryPolicy
 from repro.reporting.tables import ascii_table
 from repro.sim.config import FleetConfig
 from repro.sim.fleet import simulate_fleet
@@ -74,6 +79,26 @@ def build_parser() -> argparse.ArgumentParser:
     performance.add_argument("--cache-dir", metavar="PATH", default=None,
                              help="dataset cache directory (default: "
                                   "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    robustness = parser.add_argument_group("robustness")
+    robustness.add_argument("--lenient", action="store_true",
+                            help="quarantine bad rows/drives instead of "
+                                 "aborting; adds a data_quality report "
+                                 "section when anything was excluded")
+    robustness.add_argument("--inject-faults", metavar="SPEC", default=None,
+                            help="deterministically corrupt the loaded "
+                                 "dataset first (chaos testing), e.g. "
+                                 "'drop=0.1,nan=0.05,seed=7'; implies "
+                                 "--lenient")
+    robustness.add_argument("--retries", type=int, default=0, metavar="N",
+                            help="retry rounds for crashed or hung "
+                                 "parallel workers (default 0: fail fast); "
+                                 "any value produces byte-identical "
+                                 "reports")
+    robustness.add_argument("--chunk-timeout", type=float, default=None,
+                            metavar="S",
+                            help="per-chunk worker deadline in seconds "
+                                 "(requires --retries semantics: timed-out "
+                                 "chunks are retried, then re-run serially)")
     telemetry = parser.add_argument_group("telemetry")
     telemetry.add_argument("-v", "--verbose", action="count", default=0,
                            help="log pipeline progress (-vv for debug)")
@@ -86,20 +111,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def load_dataset(args: argparse.Namespace,
-                 observer: PipelineObserver) -> DiskDataset:
+def load_dataset(args: argparse.Namespace, observer: PipelineObserver,
+                 ) -> tuple[DiskDataset, SanitizationResult | None]:
+    """Load (and, in lenient mode, sanitize) the input dataset.
+
+    Returns the dataset plus the
+    :class:`~repro.data.sanitize.SanitizationResult` when the resilient
+    ingest ran (``--lenient`` / ``--inject-faults``), else ``None``.
+    """
+    lenient = bool(getattr(args, "lenient", False)
+                   or getattr(args, "inject_faults", None))
     if args.simulate is not None:
         fleet = simulate_fleet(FleetConfig(n_drives=args.simulate,
                                            seed=args.seed),
                                observer=observer,
                                n_jobs=getattr(args, "jobs", 1))
-        return fleet.dataset
+        return fleet.dataset, None
     if args.csv is not None:
-        return load_csv(args.csv, observer=observer)
+        if lenient:
+            return load_csv_resilient(args.csv, observer=observer)
+        return load_csv(args.csv, observer=observer), None
     paths = sorted(glob.glob(args.backblaze))
     if not paths:
         raise ReproError(f"no files match {args.backblaze!r}")
-    return load_backblaze_csv(paths, model=args.model, observer=observer)
+    dataset = load_backblaze_csv(paths, model=args.model, observer=observer)
+    if lenient:
+        result = sanitize_profiles(dataset.profiles, observer=observer)
+        return result.dataset, result
+    return dataset, None
+
+
+def _merge_quality(first: SanitizationResult | None,
+                   second: SanitizationResult) -> SanitizationResult:
+    """Fold an earlier sanitization pass into a later one (ingest
+    quarantine happened before fault injection re-sanitized)."""
+    if first is not None:
+        second.samples = first.samples + second.samples
+        second.drives = first.drives + second.drives
+        for repair, count in first.repairs.items():
+            second.repairs[repair] = second.repairs.get(repair, 0) + count
+        second.n_input_drives = first.n_input_drives
+    return second
+
+
+def render_data_quality(quality: SanitizationResult) -> str:
+    """One-line ingest summary for the console."""
+    return (f"data quality: {quality.n_clean_drives} of "
+            f"{quality.n_input_drives} drives usable, "
+            f"{len(quality.drives)} drives and {len(quality.samples)} "
+            f"samples quarantined, {sum(quality.repairs.values())} repairs")
 
 
 def render_report(report: CharacterizationReport) -> str:
@@ -157,13 +217,29 @@ def run(args: argparse.Namespace) -> int:
                              or args.trace or args.metrics)
     observer = TelemetryObserver() if collect_telemetry else NULL_OBSERVER
 
-    dataset = load_dataset(args, observer)
+    dataset, quality = load_dataset(args, observer)
+
+    fault_log = None
+    if args.inject_faults:
+        chaos = parse_chaos_spec(args.inject_faults)
+        corrupted, fault_log = inject_dataset(dataset, chaos,
+                                              observer=observer)
+        result = sanitize_profiles(corrupted, observer=observer)
+        quality = _merge_quality(quality, result)
+        dataset = result.dataset
+
     summary = dataset.summary()
     print(f"loaded {summary.n_drives} drives "
           f"({summary.n_failed} failed, {summary.n_good} good)")
+    if quality is not None and (not quality.clean or fault_log is not None):
+        print(render_data_quality(quality))
     if summary.n_failed < 3:
         raise ReproError("need at least 3 failed drives to categorize")
 
+    retry_policy = None
+    if args.retries or args.chunk_timeout is not None:
+        retry_policy = RetryPolicy.resilient(max_retries=args.retries,
+                                             timeout_s=args.chunk_timeout)
     cache = None
     if not args.no_cache:
         cache = DatasetCache(args.cache_dir, observer=observer)
@@ -172,6 +248,7 @@ def run(args: argparse.Namespace) -> int:
         run_prediction=not args.no_prediction,
         seed=args.seed,
         n_jobs=args.jobs,
+        retry_policy=retry_policy,
         cache=cache,
         observer=observer,
     )
@@ -181,7 +258,14 @@ def run(args: argparse.Namespace) -> int:
     if args.json:
         telemetry = (observer.telemetry_section()
                      if isinstance(observer, TelemetryObserver) else None)
-        save_report_json(report, args.json, telemetry=telemetry)
+        data_quality = None
+        if quality is not None and (not quality.clean
+                                    or fault_log is not None):
+            data_quality = quality.data_quality_section()
+            if fault_log is not None:
+                data_quality["fault_injection"] = fault_log.to_dict()
+        save_report_json(report, args.json, telemetry=telemetry,
+                         data_quality=data_quality)
         print(f"\nreport written to {args.json}")
     if args.trace:
         observer.tracer.save_json(args.trace)

@@ -10,7 +10,9 @@ degradation prediction.  The returned
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -34,9 +36,9 @@ from repro.core.signatures import (
 from repro.core.taxonomy import FailureType
 from repro.data.cache import DatasetCache
 from repro.data.dataset import DiskDataset
-from repro.errors import ReproError, SignatureError
+from repro.errors import PipelineStageError, ReproError, SignatureError
 from repro.obs.observer import PipelineObserver, resolve_observer
-from repro.parallel import ParallelConfig, map_drives
+from repro.parallel import ParallelConfig, RetryPolicy, map_drives
 from repro.smart.profile import HealthProfile
 
 
@@ -118,6 +120,11 @@ class CharacterizationPipeline:
         job count produces byte-identical reports.
     parallel_backend:
         ``"process"`` (default; sidesteps the GIL) or ``"thread"``.
+    retry_policy:
+        Worker-failure policy for the signature fan-out
+        (:class:`~repro.parallel.RetryPolicy`).  The default retries
+        nothing; :meth:`RetryPolicy.resilient` survives crashed or hung
+        workers with byte-identical results.
     cache:
         Optional :class:`~repro.data.cache.DatasetCache` memoizing the
         normalized dataset and failure-record matrix between runs.
@@ -136,6 +143,7 @@ class CharacterizationPipeline:
                  seed: int = 0,
                  n_jobs: int = 1,
                  parallel_backend: str = "process",
+                 retry_policy: RetryPolicy | None = None,
                  cache: DatasetCache | None = None,
                  observer: PipelineObserver | None = None) -> None:
         self._observer = resolve_observer(observer)
@@ -146,62 +154,91 @@ class CharacterizationPipeline:
         self._window_params = window_params or WindowParams()
         self._run_prediction = run_prediction
         self._seed = seed
-        self._parallel = ParallelConfig(n_jobs=n_jobs,
-                                        backend=parallel_backend)
+        self._parallel = ParallelConfig(
+            n_jobs=n_jobs, backend=parallel_backend,
+            retry=retry_policy if retry_policy is not None else RetryPolicy(),
+        )
         self._cache = cache
 
     def run(self, dataset: DiskDataset) -> CharacterizationReport:
-        """Analyze ``dataset`` (raw or already normalized)."""
+        """Analyze ``dataset`` (raw or already normalized).
+
+        Every stage runs inside an error boundary: a non-library
+        exception (a numpy shape error, a corrupt profile, a broken
+        cache entry) is wrapped into
+        :class:`~repro.errors.PipelineStageError` carrying the failing
+        stage's name, the stages already completed and the partial
+        progress counts — so callers learn *where* a run died, not just
+        that it died.  Library errors (:class:`~repro.errors.ReproError`
+        subclasses such as :class:`~repro.errors.SignatureError`) are
+        already typed and pass through unchanged.
+        """
         obs = self._observer
+        completed: list[str] = []
+        partial: dict[str, object] = {}
         with obs.span("pipeline", n_drives=len(dataset.profiles)):
-            normalized, records = self._prepare(dataset)
+            with self._boundary("prepare", completed, partial):
+                normalized, records = self._prepare(dataset)
             obs.count("drives_processed", len(normalized.profiles))
             obs.gauge("drives_failed", len(normalized.failed_profiles))
             obs.gauge("failure_records", records.n_records)
+            partial["n_drives"] = len(normalized.profiles)
+            partial["n_failure_records"] = records.n_records
 
-            categorization = self._categorizer.categorize(records)
+            with self._boundary("categorize", completed, partial):
+                categorization = self._categorizer.categorize(records)
+            partial["n_groups"] = len(categorization.groups)
 
             failed_profiles = normalized.failed_profiles
             signatures: dict[str, DegradationSignature] = {}
-            with obs.span("signatures", n_failed=len(failed_profiles)):
-                derived = map_drives(
-                    _SignatureTask(self._window_params), failed_profiles,
-                    self._parallel, observer=obs, label="signature-fanout",
-                )
-                for profile, signature in zip(failed_profiles, derived):
-                    if signature is None:
-                        # Degenerate profiles (e.g. two records) carry no
-                        # signature; they stay categorized but unsigned.
-                        obs.count("signatures_skipped")
-                        continue
-                    signatures[profile.serial] = signature
-                    obs.count("signatures_derived")
-                    obs.observe("window_length", float(signature.window_size))
-                    obs.observe("signature_fit_rmse", signature.best_fit.rmse)
-            obs.event("signatures derived",
-                      derived=len(signatures),
-                      skipped=len(failed_profiles) - len(signatures))
-            if failed_profiles and not signatures:
-                raise SignatureError(
-                    "no degradation signature could be derived: every "
-                    f"failed profile ({len(failed_profiles)}) has an empty "
-                    "or degenerate degradation window — the telemetry "
-                    "carries no pre-failure change to characterize"
-                )
+            with self._boundary("signatures", completed, partial):
+                with obs.span("signatures", n_failed=len(failed_profiles)):
+                    derived = map_drives(
+                        _SignatureTask(self._window_params), failed_profiles,
+                        self._parallel, observer=obs,
+                        label="signature-fanout",
+                    )
+                    for profile, signature in zip(failed_profiles, derived):
+                        if signature is None:
+                            # Degenerate profiles (e.g. two records) carry
+                            # no signature; they stay categorized but
+                            # unsigned.
+                            obs.count("signatures_skipped")
+                            continue
+                        signatures[profile.serial] = signature
+                        obs.count("signatures_derived")
+                        obs.observe("window_length",
+                                    float(signature.window_size))
+                        obs.observe("signature_fit_rmse",
+                                    signature.best_fit.rmse)
+                obs.event("signatures derived",
+                          derived=len(signatures),
+                          skipped=len(failed_profiles) - len(signatures))
+                if failed_profiles and not signatures:
+                    raise SignatureError(
+                        "no degradation signature could be derived: every "
+                        f"failed profile ({len(failed_profiles)}) has an "
+                        "empty or degenerate degradation window — the "
+                        "telemetry carries no pre-failure change to "
+                        "characterize"
+                    )
+            partial["n_signatures"] = len(signatures)
 
-            with obs.span("influence"):
-                summaries = self._summarize_groups(
-                    normalized, categorization, signatures
-                )
+            with self._boundary("influence", completed, partial):
+                with obs.span("influence"):
+                    summaries = self._summarize_groups(
+                        normalized, categorization, signatures
+                    )
 
             predictions: dict[FailureType, PredictionReport] = {}
             if self._run_prediction:
                 predictor = DegradationPredictor(seed=self._seed,
                                                  observer=obs)
-                with obs.span("predict"):
-                    predictions = predictor.evaluate_all(
-                        normalized, categorization
-                    )
+                with self._boundary("predict", completed, partial):
+                    with obs.span("predict"):
+                        predictions = predictor.evaluate_all(
+                            normalized, categorization
+                        )
 
             return CharacterizationReport(
                 dataset=normalized,
@@ -211,6 +248,26 @@ class CharacterizationPipeline:
                 group_summaries=summaries,
                 predictions=predictions,
             )
+
+    @contextmanager
+    def _boundary(self, stage: str, completed: list[str],
+                  partial: dict[str, object]) -> Iterator[None]:
+        """Wrap one stage: foreign exceptions become
+        :class:`PipelineStageError` with progress context attached."""
+        try:
+            yield
+        except ReproError:
+            # Already a typed library error with its own context.
+            self._observer.count("pipeline_stage_failures")
+            raise
+        except Exception as error:
+            self._observer.count("pipeline_stage_failures")
+            self._observer.event("stage failed", stage=stage,
+                                 error=type(error).__name__)
+            raise PipelineStageError(
+                stage, error, completed=tuple(completed), partial=partial,
+            ) from error
+        completed.append(stage)
 
     def _prepare(self, dataset: DiskDataset
                  ) -> tuple[DiskDataset, FailureRecordSet]:

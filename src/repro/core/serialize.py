@@ -66,12 +66,19 @@ def canonical_json_dumps(payload: Any) -> str:
 
 
 def report_to_dict(report: CharacterizationReport, *,
-                   telemetry: dict[str, Any] | None = None) -> dict[str, Any]:
+                   telemetry: dict[str, Any] | None = None,
+                   data_quality: dict[str, Any] | None = None,
+                   ) -> dict[str, Any]:
     """Flatten a report into JSON-serializable types.
 
     ``telemetry`` (optional) is embedded verbatim under a ``"telemetry"``
     key — the CLI passes stage timings and the metric snapshot of the
-    run that produced the report.
+    run that produced the report.  ``data_quality`` (optional) is
+    embedded under a ``"data_quality"`` key — quarantine counts, repair
+    counts and the fault-injection log of the ingest that produced the
+    dataset.  Both keys are omitted entirely when ``None``, so reports
+    from clean, uninstrumented runs are byte-identical to before these
+    sections existed.
     """
     groups = {}
     for cluster_id, group in report.categorization.groups.items():
@@ -137,11 +144,14 @@ def report_to_dict(report: CharacterizationReport, *,
     }
     if telemetry is not None:
         payload["telemetry"] = telemetry
+    if data_quality is not None:
+        payload["data_quality"] = data_quality
     return payload
 
 
 def save_report_json(report: CharacterizationReport, path: str | Path, *,
-                     telemetry: dict[str, Any] | None = None) -> None:
+                     telemetry: dict[str, Any] | None = None,
+                     data_quality: dict[str, Any] | None = None) -> None:
     """Write the report summary to ``path`` as canonical JSON.
 
     Output is deterministic for equal reports — keys sorted, floats
@@ -149,7 +159,8 @@ def save_report_json(report: CharacterizationReport, path: str | Path, *,
     """
     path = Path(path)
     path.write_text(
-        canonical_json_dumps(report_to_dict(report, telemetry=telemetry))
+        canonical_json_dumps(report_to_dict(report, telemetry=telemetry,
+                                            data_quality=data_quality))
     )
 
 

@@ -15,7 +15,13 @@ from repro.data.backblaze import (
 )
 from repro.data.cache import CachedDataset, DatasetCache, default_cache_dir
 from repro.data.dataset import DatasetSummary, DiskDataset
-from repro.data.loader import load_csv, save_csv
+from repro.data.loader import load_csv, load_csv_resilient, save_csv
+from repro.data.sanitize import (
+    RawProfile,
+    SanitizationResult,
+    SanitizePolicy,
+    sanitize_profiles,
+)
 from repro.data.splits import train_test_split
 from repro.data.windows import truncate_to_policy
 
@@ -29,7 +35,12 @@ __all__ = [
     "DatasetSummary",
     "DiskDataset",
     "load_csv",
+    "load_csv_resilient",
     "save_csv",
+    "RawProfile",
+    "SanitizationResult",
+    "SanitizePolicy",
+    "sanitize_profiles",
     "train_test_split",
     "truncate_to_policy",
 ]

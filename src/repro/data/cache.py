@@ -31,6 +31,8 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -51,6 +53,17 @@ DEFAULT_CACHE_ENV = "REPRO_CACHE_DIR"
 
 _ENTRY_SUFFIX = ".npz"
 _EXTRA_PREFIX = "extra__"
+#: In-progress writes use a distinct suffix so a crash mid-store can
+#: never leave a file that entry globs or lookups would mistake for a
+#: finished entry.
+_TEMP_SUFFIX = ".tmp"
+
+#: Everything a damaged ``.npz`` can raise.  ``np.load`` surfaces
+#: truncation and bit rot as ``zipfile.BadZipFile`` or ``zlib.error``
+#: (neither derives from ``OSError``/``ValueError``), garbage bytes as
+#: ``ValueError``, and missing keys as ``KeyError``.
+_ENTRY_READ_ERRORS = (OSError, KeyError, ValueError, CacheError,
+                      zipfile.BadZipFile, zlib.error)
 
 
 def default_cache_dir() -> Path:
@@ -94,6 +107,14 @@ class DatasetCache:
         self._observer = resolve_observer(observer)
         self._hits = 0
         self._misses = 0
+        self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self) -> None:
+        """Remove temp files a killed store left behind (best effort —
+        a concurrent writer's fresh temp disappearing is harmless, it
+        fails that one store, not the cache)."""
+        for stale in self._dir.glob(f"*{_TEMP_SUFFIX}"):
+            stale.unlink(missing_ok=True)
 
     # -- introspection ---------------------------------------------------
 
@@ -162,7 +183,7 @@ class DatasetCache:
                 return None
             try:
                 entry = self._read_entry(path)
-            except (OSError, KeyError, ValueError, CacheError) as error:
+            except _ENTRY_READ_ERRORS as error:
                 path.unlink(missing_ok=True)
                 self._misses += 1
                 obs.count("cache_misses")
@@ -206,7 +227,7 @@ class DatasetCache:
         path = self.path_for(key)
         with self._observer.span("cache-store", key=key[:12]):
             handle, temp_name = tempfile.mkstemp(
-                dir=self._dir, suffix=_ENTRY_SUFFIX
+                dir=self._dir, suffix=_TEMP_SUFFIX
             )
             try:
                 with os.fdopen(handle, "wb") as stream:
@@ -230,11 +251,13 @@ class DatasetCache:
         return True
 
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every entry; returns the number removed (stale temp
+        files are swept too but not counted — they were never entries)."""
         removed = 0
         for path in self._dir.glob(f"*{_ENTRY_SUFFIX}"):
             path.unlink()
             removed += 1
+        self._sweep_stale_temps()
         return removed
 
     # -- entry codec -----------------------------------------------------

@@ -7,6 +7,16 @@ The on-disk format is one flat CSV with a header row:
 Rows may appear in any order; they are grouped by serial and sorted by
 hour on load.  This is the library's native interchange format — for the
 public Backblaze drive-stats format see :mod:`repro.data.backblaze`.
+
+Two ingest modes exist.  :func:`load_csv` is strict: any malformed row
+raises :class:`~repro.errors.DatasetError` with its line number —
+right for curated inputs where corruption means a bug.
+:func:`load_csv_resilient` is the production path: malformed rows and
+unusable drives are *quarantined* with typed reasons (through
+:func:`repro.data.sanitize.sanitize_profiles`) and the load carries on,
+returning both the clean dataset and the
+:class:`~repro.data.sanitize.SanitizationResult` describing what was
+excluded.
 """
 
 from __future__ import annotations
@@ -18,9 +28,20 @@ from pathlib import Path
 import numpy as np
 
 from repro.data.dataset import DiskDataset
+from repro.data.sanitize import (
+    RawProfile,
+    SanitizationResult,
+    SanitizePolicy,
+    sanitize_profiles,
+)
 from repro.errors import DatasetError
 from repro.obs.observer import PipelineObserver, resolve_observer
 from repro.smart.profile import HealthProfile
+from repro.smart.quarantine import (
+    QuarantinedDrive,
+    QuarantinedSample,
+    QuarantineReason,
+)
 
 
 def save_csv(dataset: DiskDataset, path: str | Path) -> None:
@@ -49,17 +70,7 @@ def load_csv(path: str | Path,
 def _load_csv(path: Path, obs: PipelineObserver) -> DiskDataset:
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise DatasetError(f"{path}: empty dataset file") from None
-        if header[:3] != ["serial", "hour", "failed"]:
-            raise DatasetError(
-                f"{path}: expected header 'serial,hour,failed,...', got {header[:3]}"
-            )
-        attributes = tuple(header[3:])
-        if not attributes:
-            raise DatasetError(f"{path}: no attribute columns")
+        attributes = _read_header(reader, path)
 
         rows_by_serial: dict[str, list[tuple[int, bool, list[float]]]] = defaultdict(list)
         for line_no, row in enumerate(reader, start=2):
@@ -100,3 +111,104 @@ def _load_csv(path: Path, obs: PipelineObserver) -> DiskDataset:
     obs.gauge("profiles_loaded", len(profiles))
     obs.event("dataset loaded", path=str(path), profiles=len(profiles))
     return DiskDataset(profiles)
+
+
+def _read_header(reader, path: Path) -> tuple[str, ...]:
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise DatasetError(f"{path}: empty dataset file") from None
+    if header[:3] != ["serial", "hour", "failed"]:
+        raise DatasetError(
+            f"{path}: expected header 'serial,hour,failed,...', "
+            f"got {header[:3]}"
+        )
+    attributes = tuple(header[3:])
+    if not attributes:
+        raise DatasetError(f"{path}: no attribute columns")
+    return attributes
+
+
+def load_csv_resilient(path: str | Path, *,
+                       policy: SanitizePolicy | None = None,
+                       observer: PipelineObserver | None = None,
+                       ) -> tuple[DiskDataset, SanitizationResult]:
+    """Load a native CSV, quarantining bad rows instead of raising.
+
+    The file must still open and carry a valid header (there is nothing
+    to salvage otherwise); everything below that is best-effort.
+    Malformed rows become :class:`QuarantinedSample` records with
+    :attr:`QuarantineReason.MALFORMED_ROW`; drives whose rows disagree
+    on the failed flag are quarantined whole; the surviving profiles run
+    through :func:`repro.data.sanitize.sanitize_profiles`.  On a clean
+    file the returned dataset is identical to :func:`load_csv`'s.
+    """
+    obs = resolve_observer(observer)
+    path = Path(path)
+    parse_samples: list[QuarantinedSample] = []
+    parse_drives: list[QuarantinedDrive] = []
+    with obs.span("load-csv", path=str(path), resilient=True):
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            attributes = _read_header(reader, path)
+            rows_by_serial: dict[str, list[tuple[int, bool, list[float]]]] \
+                = defaultdict(list)
+            for row in reader:
+                serial = row[0] if row else "?"
+                parsed = _parse_row(row, len(attributes))
+                if parsed is None:
+                    parse_samples.append(QuarantinedSample(
+                        serial, _best_effort_hour(row),
+                        QuarantineReason.MALFORMED_ROW))
+                    continue
+                rows_by_serial[serial].append(parsed)
+
+        raw_profiles: list[RawProfile] = []
+        for serial, rows in rows_by_serial.items():
+            failed_flags = {failed for _, failed, _ in rows}
+            if len(failed_flags) != 1:
+                parse_drives.append(QuarantinedDrive(
+                    serial, QuarantineReason.INCONSISTENT_LABEL,
+                    detail=f"{len(rows)} rows with mixed failed flags",
+                ))
+                continue
+            raw_profiles.append(RawProfile(
+                serial=serial,
+                hours=np.array([hour for hour, _, _ in rows],
+                               dtype=np.int64),
+                matrix=np.array([values for _, _, values in rows],
+                                dtype=np.float64),
+                failed=failed_flags.pop(),
+                attributes=attributes,
+            ))
+
+        result = sanitize_profiles(raw_profiles, policy=policy,
+                                   observer=obs)
+        result.samples = parse_samples + result.samples
+        result.drives = parse_drives + result.drives
+    obs.count("rows_loaded",
+              sum(len(rows) for rows in rows_by_serial.values()))
+    obs.gauge("profiles_loaded", len(result.dataset.profiles))
+    obs.event("dataset loaded", path=str(path),
+              profiles=len(result.dataset.profiles),
+              quarantined_rows=len(parse_samples))
+    return result.dataset, result
+
+
+def _parse_row(row: list[str], n_attributes: int
+               ) -> tuple[int, bool, list[float]] | None:
+    """Parse one data row leniently; ``None`` marks a malformed row."""
+    if len(row) != 3 + n_attributes:
+        return None
+    try:
+        return int(row[1]), bool(int(row[2])), [float(v) for v in row[3:]]
+    except ValueError:
+        return None
+
+
+def _best_effort_hour(row: list[str]) -> int:
+    """Hour of a malformed row if its field parses, else ``-1``."""
+    try:
+        return int(row[1])
+    except (IndexError, ValueError):
+        return -1

@@ -1,0 +1,296 @@
+"""Resilient ingest: repair what can be repaired, quarantine the rest.
+
+Field telemetry arrives with gaps, duplicated and re-ordered uploads,
+NaN blackouts and sensor glitches.  The strict constructors
+(:class:`~repro.smart.profile.HealthProfile`,
+:class:`~repro.data.dataset.DiskDataset`) reject such data outright —
+correct for a library invariant, fatal for a production sweep where one
+bad drive would abort thousands of good ones.
+
+:func:`sanitize_profiles` is the boundary between those worlds.  It
+accepts *lenient* :class:`RawProfile` records (or clean
+``HealthProfile`` objects — the duck type is the same), then per drive:
+
+1. re-sorts out-of-order samples (a repair, counted but not fatal);
+2. drops samples repeating an already-seen timestamp;
+3. drops samples holding NaN/Inf values;
+4. drops samples failing a conservative fleet-wide outlier screen;
+5. quarantines the whole drive when fewer than
+   :attr:`SanitizePolicy.min_records` usable samples remain, or when the
+   profile is empty, mislabeled or malformed.
+
+Every exclusion carries a typed
+:class:`~repro.smart.quarantine.QuarantineReason`; the result's
+:meth:`~SanitizationResult.data_quality_section` feeds the report's
+``data_quality`` section.  A clean dataset passes through bit-identical
+(same arrays, same order), so enabling the resilient path costs nothing
+when the data is good.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.data.dataset import DiskDataset
+from repro.errors import DatasetError, QuarantineError
+from repro.obs.observer import PipelineObserver, resolve_observer
+from repro.smart.profile import HealthProfile
+from repro.smart.quarantine import (
+    QuarantinedDrive,
+    QuarantinedSample,
+    QuarantineReason,
+)
+
+
+@runtime_checkable
+class ProfileLike(Protocol):
+    """What the sanitizer needs from an incoming drive profile."""
+
+    serial: str
+    hours: np.ndarray
+    matrix: np.ndarray
+    failed: bool
+    attributes: tuple[str, ...]
+
+
+@dataclass(slots=True)
+class RawProfile:
+    """One drive's telemetry with *no* validity guarantees.
+
+    Unlike :class:`~repro.smart.profile.HealthProfile`, hours may be
+    unsorted or duplicated, the matrix may hold NaN or absurd values,
+    and the profile may even be empty.  This is what ingest actually
+    receives in the field; only :func:`sanitize_profiles` turns it into
+    the validated form.
+    """
+
+    serial: str
+    hours: np.ndarray
+    matrix: np.ndarray
+    failed: bool
+    attributes: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return int(np.asarray(self.hours).shape[0])
+
+
+@dataclass(frozen=True, slots=True)
+class SanitizePolicy:
+    """Tunables of the repair/quarantine pass.
+
+    Parameters
+    ----------
+    min_records:
+        Drives keeping fewer usable samples than this are quarantined
+        whole (2 is the floor below which neither normalization nor
+        windowing is meaningful).
+    screen_outliers:
+        Whether to run the fleet-wide outlier screen at all.
+    outlier_min_deviation:
+        A sample is only ever an outlier if it sits at least this far
+        from its attribute's fleet median — an absolute backstop that
+        keeps the screen silent on clean data whose spread is small.
+    outlier_scale_factor:
+        ...or further than this multiple of the attribute's robust
+        spread (99th percentile of |x - median|), whichever is larger.
+    """
+
+    min_records: int = 2
+    screen_outliers: bool = True
+    outlier_min_deviation: float = 1.0e4
+    outlier_scale_factor: float = 500.0
+
+
+@dataclass(slots=True)
+class SanitizationResult:
+    """Everything one sanitization pass decided.
+
+    ``dataset`` holds the surviving drives (input order preserved);
+    ``drives`` / ``samples`` list the quarantined units with typed
+    reasons; ``repairs`` counts in-place fixes that excluded nothing.
+    """
+
+    dataset: DiskDataset
+    n_input_drives: int
+    drives: list[QuarantinedDrive] = field(default_factory=list)
+    samples: list[QuarantinedSample] = field(default_factory=list)
+    repairs: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was quarantined or repaired."""
+        return not self.drives and not self.samples and not self.repairs
+
+    @property
+    def n_clean_drives(self) -> int:
+        return len(self.dataset.profiles)
+
+    def _reason_counts(self, records) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in records:
+            counts[record.reason.name] = counts.get(record.reason.name, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def data_quality_section(self) -> dict[str, object]:
+        """Deterministic plain-dict summary for the report."""
+        return {
+            "n_input_drives": self.n_input_drives,
+            "n_clean_drives": self.n_clean_drives,
+            "drives_quarantined": self._reason_counts(self.drives),
+            "samples_quarantined": self._reason_counts(self.samples),
+            "quarantined_serials": sorted(
+                {record.serial for record in self.drives}
+            ),
+            "repairs": dict(sorted(self.repairs.items())),
+        }
+
+
+def _outlier_limits(profiles: list[ProfileLike],
+                    policy: SanitizePolicy) -> tuple[np.ndarray, np.ndarray]:
+    """Per-attribute ``(median, max deviation)`` of the fleet's finite
+    values; values beyond ``median ± limit`` are outliers."""
+    stacked = np.vstack([np.asarray(p.matrix, dtype=np.float64)
+                         for p in profiles if len(p.hours)])
+    n_attributes = stacked.shape[1]
+    medians = np.zeros(n_attributes)
+    limits = np.full(n_attributes, np.inf)
+    for column in range(n_attributes):
+        values = stacked[:, column]
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            continue
+        medians[column] = np.median(values)
+        spread = np.percentile(np.abs(values - medians[column]), 99)
+        limits[column] = max(policy.outlier_min_deviation,
+                             policy.outlier_scale_factor * float(spread))
+    return medians, limits
+
+
+def _sanitize_one(profile: ProfileLike, medians: np.ndarray | None,
+                  limits: np.ndarray | None, policy: SanitizePolicy,
+                  result: SanitizationResult) -> HealthProfile | None:
+    """Repair one drive; returns its clean profile or ``None`` if
+    quarantined (the verdicts land in ``result``)."""
+    serial = profile.serial
+    hours = np.asarray(profile.hours, dtype=np.int64)
+    matrix = np.asarray(profile.matrix, dtype=np.float64)
+    if hours.shape[0] == 0:
+        result.drives.append(QuarantinedDrive(
+            serial, QuarantineReason.EMPTY_PROFILE))
+        return None
+
+    if np.any(np.diff(hours) < 0):
+        order = np.argsort(hours, kind="stable")
+        hours, matrix = hours[order], matrix[order]
+        result.repairs["reordered_profiles"] = \
+            result.repairs.get("reordered_profiles", 0) + 1
+
+    keep = np.ones(hours.shape[0], dtype=bool)
+    duplicate = np.zeros(hours.shape[0], dtype=bool)
+    duplicate[1:] = hours[1:] == hours[:-1]
+    non_finite = ~np.isfinite(matrix).all(axis=1)
+    if policy.screen_outliers and medians is not None and limits is not None:
+        with np.errstate(invalid="ignore"):
+            outlier = (np.abs(matrix - medians) > limits).any(axis=1)
+        outlier &= ~non_finite
+    else:
+        outlier = np.zeros(hours.shape[0], dtype=bool)
+
+    for mask, reason in ((duplicate, QuarantineReason.DUPLICATE_TIMESTAMP),
+                         (non_finite, QuarantineReason.NON_FINITE_VALUES),
+                         (outlier, QuarantineReason.OUTLIER_VALUE)):
+        for index in np.flatnonzero(mask & keep):
+            result.samples.append(QuarantinedSample(
+                serial, int(hours[index]), reason))
+        keep &= ~mask
+
+    kept = int(keep.sum())
+    if kept < policy.min_records:
+        result.drives.append(QuarantinedDrive(
+            serial, QuarantineReason.TOO_FEW_RECORDS,
+            detail=f"{kept} usable of {hours.shape[0]} samples",
+        ))
+        return None
+    if kept < hours.shape[0]:
+        hours, matrix = hours[keep], matrix[keep]
+    try:
+        return HealthProfile(
+            serial=serial,
+            hours=hours,
+            matrix=np.ascontiguousarray(matrix),
+            failed=bool(profile.failed),
+            attributes=tuple(profile.attributes),
+        )
+    except DatasetError as error:
+        # Safety net: anything the strict constructor still rejects is a
+        # malformed profile, not a crash.
+        result.drives.append(QuarantinedDrive(
+            serial, QuarantineReason.MALFORMED_PROFILE, detail=str(error)))
+        return None
+
+
+def sanitize_profiles(profiles: Iterable[ProfileLike], *,
+                      policy: SanitizePolicy | None = None,
+                      normalized: bool = False,
+                      observer: PipelineObserver | None = None,
+                      ) -> SanitizationResult:
+    """Repair/quarantine ``profiles`` into a usable dataset.
+
+    Raises :class:`~repro.errors.QuarantineError` only when *every*
+    profile is quarantined — partial loss is reported, not fatal.
+    A fully clean input passes through with bit-identical arrays.
+    """
+    policy = policy if policy is not None else SanitizePolicy()
+    obs = resolve_observer(observer)
+    incoming = list(profiles)
+    result = SanitizationResult(dataset=None,  # type: ignore[arg-type]
+                                n_input_drives=len(incoming))
+    with obs.span("sanitize", n_drives=len(incoming)):
+        expected_attributes = (tuple(incoming[0].attributes)
+                               if incoming else ())
+        seen_serials: set[str] = set()
+        usable: list[ProfileLike] = []
+        for profile in incoming:
+            if tuple(profile.attributes) != expected_attributes:
+                result.drives.append(QuarantinedDrive(
+                    profile.serial, QuarantineReason.MISMATCHED_ATTRIBUTES))
+            elif profile.serial in seen_serials:
+                result.drives.append(QuarantinedDrive(
+                    profile.serial, QuarantineReason.DUPLICATE_SERIAL))
+            else:
+                seen_serials.add(profile.serial)
+                usable.append(profile)
+
+        medians = limits = None
+        if policy.screen_outliers and any(len(np.asarray(p.hours))
+                                          for p in usable):
+            medians, limits = _outlier_limits(usable, policy)
+
+        clean: list[HealthProfile] = []
+        for profile in usable:
+            sanitized = _sanitize_one(profile, medians, limits, policy,
+                                      result)
+            if sanitized is not None:
+                clean.append(sanitized)
+
+        if not clean:
+            raise QuarantineError(
+                "sanitization quarantined every drive "
+                f"({len(incoming)} in, 0 usable); the telemetry is "
+                "unusable end to end"
+            )
+        result.dataset = DiskDataset(clean, normalized=normalized)
+
+    obs.count("drives_quarantined", len(result.drives))
+    obs.count("samples_quarantined", len(result.samples))
+    for repair, count in sorted(result.repairs.items()):
+        obs.count(f"repairs_{repair}", count)
+    if not result.clean:
+        obs.event("sanitization excluded data",
+                  drives_quarantined=len(result.drives),
+                  samples_quarantined=len(result.samples),
+                  repairs=sum(result.repairs.values()))
+    return result

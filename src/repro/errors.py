@@ -59,5 +59,64 @@ class ParallelError(ReproError):
     """The fan-out layer was misconfigured (bad job count or backend)."""
 
 
+class WorkerCrashError(ParallelError):
+    """A pool worker died (or its pool broke) and retries were exhausted."""
+
+
+class WorkerTimeoutError(ParallelError):
+    """A dispatched chunk exceeded its deadline and retries were exhausted."""
+
+
 class CacheError(ReproError):
     """The on-disk dataset cache was misused or its directory is unusable."""
+
+
+class FaultInjectionError(ReproError):
+    """A chaos specification or fault injector was misconfigured."""
+
+
+class QuarantineError(ReproError):
+    """Sanitization left no usable data (every profile was quarantined)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint directory is unusable or holds a malformed entry."""
+
+
+class PipelineStageError(ReproError):
+    """A pipeline stage crashed on an unexpected (non-library) exception.
+
+    The error boundary around each stage converts arbitrary crashes into
+    this typed form so callers can tell *where* the pipeline died and
+    what had already been computed, instead of parsing a raw traceback.
+
+    Attributes
+    ----------
+    stage:
+        Name of the stage that crashed (e.g. ``"signatures"``).
+    completed:
+        Names of the stages that finished before the crash, in order.
+    partial:
+        Coarse counts describing the partial results available at the
+        time of the crash (e.g. drives processed, records built).
+    """
+
+    def __init__(self, stage: str, cause: BaseException,
+                 completed: tuple[str, ...] = (),
+                 partial: dict[str, int] | None = None) -> None:
+        super().__init__(stage, str(cause))
+        self.stage = stage
+        self.cause = cause
+        self.completed = completed
+        self.partial = dict(partial or {})
+
+    def __str__(self) -> str:
+        done = ", ".join(self.completed) if self.completed else "none"
+        suffix = ""
+        if self.partial:
+            counts = ", ".join(f"{key}={value}"
+                               for key, value in sorted(self.partial.items()))
+            suffix = f" [partial results: {counts}]"
+        return (f"pipeline stage {self.stage!r} failed: "
+                f"{type(self.cause).__name__}: {self.cause} "
+                f"(completed stages: {done}){suffix}")

@@ -15,16 +15,28 @@ pre-warms the memoized default fleet and pipeline report before the
 pool starts, so (on fork-based platforms) every worker inherits the
 shared dataset instead of rebuilding it; results are merged back in
 registry order, so the printed stream and any ``--output`` file are
-identical to a serial run.
+identical to a serial run.  Empty and single-experiment selections
+never spin up a pool at all.
+
+Long sweeps are crash-safe: ``--checkpoint-dir DIR`` persists each
+finished experiment atomically (see
+:mod:`repro.experiments.checkpoint`), ``--resume`` restores valid
+checkpoints and re-executes only what is missing, and ``--keep-going``
+records a failed experiment and carries on instead of aborting the
+sweep (failures are never checkpointed, so a later ``--resume`` retries
+them).
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
+from pathlib import Path
 from typing import Callable
 
-from repro.errors import ExperimentError
+from repro.errors import CheckpointError, ExperimentError, ReproError
+from repro.experiments.checkpoint import CheckpointStore, ExperimentFailure
 from repro.experiments import (
     ablation_distance,
     ablation_features,
@@ -132,7 +144,44 @@ def _run_timed(experiment_id: str) -> tuple[ExperimentResult, float]:
     return result, timer.wall_s
 
 
-def run_many(ids: list[str], *, jobs: int = 1) -> list[tuple[ExperimentResult, float]]:
+def _execute_one(experiment_id: str, *,
+                 checkpoint_spec: tuple[str, int, int] | None = None,
+                 keep_going: bool = False,
+                 ) -> tuple[ExperimentResult | ExperimentFailure, float]:
+    """Worker body with the resilience features bolted on.
+
+    Runs one experiment; on success, optionally persists its checkpoint
+    (``checkpoint_spec`` is ``(directory, n_drives, seed)`` — plain
+    values, because this function must pickle into pool workers).  With
+    ``keep_going``, a failure is captured as an
+    :class:`ExperimentFailure` instead of propagating, so one broken
+    experiment cannot abort a sweep.  Failures are never checkpointed.
+    """
+    failure: ExperimentFailure | None = None
+    with timeit(experiment_id) as timer:
+        try:
+            result = run_experiment(experiment_id)
+        except Exception as error:
+            if not keep_going:
+                raise
+            failure = ExperimentFailure(
+                experiment_id=experiment_id,
+                error_type=type(error).__name__,
+                message=str(error),
+            )
+    if failure is not None:
+        return failure, timer.wall_s
+    if checkpoint_spec is not None:
+        directory, n_drives, seed = checkpoint_spec
+        store = CheckpointStore(directory, n_drives=n_drives, seed=seed)
+        store.store(result, timer.wall_s)
+    return result, timer.wall_s
+
+
+def run_many(ids: list[str], *, jobs: int = 1,
+             checkpoint_dir: str | Path | None = None,
+             resume: bool = False, keep_going: bool = False,
+             ) -> list[tuple[ExperimentResult | ExperimentFailure, float]]:
     """Run experiments, fanning out across ``jobs`` worker processes.
 
     Results come back in the order of ``ids`` regardless of completion
@@ -140,6 +189,16 @@ def run_many(ids: list[str], *, jobs: int = 1) -> list[tuple[ExperimentResult, f
     fast before any work is dispatched.  Every experiment's duration and
     the job count are emitted through the experiment harness's observer
     seam (``experiment_duration_s`` histogram, ``parallel_jobs`` gauge).
+
+    With ``checkpoint_dir``, each finished experiment is persisted
+    atomically as it completes (inside the worker, so a killed sweep
+    keeps everything that finished).  With ``resume``, valid checkpoints
+    at the active fleet scale are restored instead of re-executed —
+    restored entries report their *original* wall time.  With
+    ``keep_going``, a failing experiment yields an
+    :class:`ExperimentFailure` in its slot instead of aborting the
+    sweep.  Empty and fully-restored selections return without creating
+    a worker pool.
     """
     from repro.experiments.common import (
         active_scale,
@@ -155,27 +214,67 @@ def run_many(ids: list[str], *, jobs: int = 1) -> list[tuple[ExperimentResult, f
             f"unknown experiment {unknown[0]!r}; known: "
             f"{', '.join(EXPERIMENTS)}"
         )
+    if resume and checkpoint_dir is None:
+        raise CheckpointError("resume requires a checkpoint directory")
     observer = get_pipeline_observer()
-    resolved_jobs = min(effective_jobs(jobs), max(len(ids), 1))
-    if resolved_jobs > 1:
-        # Build the memoized fleet + report once in the parent so
-        # fork-started workers inherit the shared dataset cache instead
-        # of simulating their own copy per process.
-        with observer.span("experiments-prewarm"):
-            default_report()
     n_drives, seed = active_scale()
-    pairs = map_drives(
-        _run_timed, ids,
-        ParallelConfig(n_jobs=resolved_jobs, backend="process", chunk_size=1),
-        observer=observer, label="experiments-fanout",
-        initializer=_worker_init, initargs=(n_drives, seed),
-    )
-    observer.gauge("parallel_jobs", resolved_jobs)
-    for experiment_id, (_, wall_s) in zip(ids, pairs):
+
+    store: CheckpointStore | None = None
+    restored: dict[str, tuple[ExperimentResult, float]] = {}
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir, n_drives=n_drives, seed=seed)
+        if resume:
+            for experiment_id in ids:
+                loaded = store.load(experiment_id)
+                if loaded is not None:
+                    restored[experiment_id] = loaded
+    if restored:
+        observer.count("experiments_restored", len(restored))
+        observer.event("experiments restored from checkpoints",
+                       restored=len(restored), requested=len(ids))
+
+    to_run = [experiment_id for experiment_id in ids
+              if experiment_id not in restored]
+    computed: dict[str, tuple[ExperimentResult | ExperimentFailure, float]] = {}
+    if to_run:
+        resolved_jobs = min(effective_jobs(jobs), len(to_run))
+        if resolved_jobs > 1:
+            # Build the memoized fleet + report once in the parent so
+            # fork-started workers inherit the shared dataset cache
+            # instead of simulating their own copy per process.
+            with observer.span("experiments-prewarm"):
+                default_report()
+        worker = functools.partial(
+            _execute_one,
+            checkpoint_spec=(str(store.directory), n_drives, seed)
+            if store is not None else None,
+            keep_going=keep_going,
+        )
+        pairs = map_drives(
+            worker, to_run,
+            ParallelConfig(n_jobs=resolved_jobs, backend="process",
+                           chunk_size=1),
+            observer=observer, label="experiments-fanout",
+            initializer=_worker_init, initargs=(n_drives, seed),
+        )
+        observer.gauge("parallel_jobs", resolved_jobs)
+        computed = dict(zip(to_run, pairs))
+
+    merged: list[tuple[ExperimentResult | ExperimentFailure, float]] = []
+    for experiment_id in ids:
+        outcome, wall_s = (restored.get(experiment_id)
+                           or computed[experiment_id])
+        merged.append((outcome, wall_s))
+        if isinstance(outcome, ExperimentFailure):
+            observer.count("experiments_failed")
+            observer.event("experiment failed",
+                           experiment=experiment_id,
+                           error=outcome.error_type)
+            continue
         observer.observe("experiment_duration_s", wall_s)
         observer.event("experiment finished", experiment=experiment_id,
                        wall_s=wall_s)
-    return pairs
+    return merged
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -197,7 +296,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the experiment fan-out "
                              "(0 = one per CPU; default 1, serial)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="persist each finished experiment here "
+                             "(atomic per-experiment JSON files)")
+    parser.add_argument("--resume", action="store_true",
+                        help="restore finished experiments from "
+                             "--checkpoint-dir and run only the rest")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="record a failing experiment and continue "
+                             "the sweep instead of aborting (exit 1 if "
+                             "anything failed)")
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
 
     if args.n_drives is not None or args.seed is not None:
         from repro.experiments.common import configure_default_fleet
@@ -212,20 +323,33 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 2
     try:
-        pairs = run_many(ids, jobs=args.jobs)
-    except ExperimentError as error:
+        pairs = run_many(ids, jobs=args.jobs,
+                         checkpoint_dir=args.checkpoint_dir,
+                         resume=args.resume, keep_going=args.keep_going)
+    except ReproError as error:
         print(error, file=sys.stderr)
         return 1
     results = []
-    for experiment_id, (result, wall_s) in zip(ids, pairs):
-        results.append(result)
-        print(result)
-        print(f"[{experiment_id}] finished in {format_duration(wall_s)}")
+    failures = []
+    for experiment_id, (outcome, wall_s) in zip(ids, pairs):
+        results.append(outcome)
+        print(outcome)
+        if isinstance(outcome, ExperimentFailure):
+            failures.append(outcome)
+            print(f"[{experiment_id}] FAILED after "
+                  f"{format_duration(wall_s)}")
+        else:
+            print(f"[{experiment_id}] finished in {format_duration(wall_s)}")
         print()
     if args.output:
         from repro.reporting.report import save_results
         save_results(results, args.output)
         print(f"results written to {args.output}")
+    if failures:
+        print(f"{len(failures)} of {len(ids)} experiment(s) failed: "
+              f"{', '.join(f.experiment_id for f in failures)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

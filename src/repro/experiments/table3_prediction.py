@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.core.pipeline import CharacterizationReport
 from repro.core.taxonomy import FailureType
+from repro.errors import ExperimentError
 from repro.experiments.common import ExperimentResult, default_report
 from repro.reporting.tables import ascii_table
 
@@ -23,7 +24,7 @@ def run(report: CharacterizationReport | None = None) -> ExperimentResult:
     report = report if report is not None else default_report()
     predictions = report.predictions
     if not predictions:
-        raise RuntimeError(
+        raise ExperimentError(
             "the supplied report was produced with run_prediction=False"
         )
     rows = []

@@ -1,0 +1,39 @@
+"""Fault injection: deterministic chaos for the characterization pipeline.
+
+The subsystem has two halves.  :mod:`repro.faults.config` quantifies a
+corruption regime (:class:`ChaosConfig`, one rate per fault class plus a
+seed, and the CLI spec parser).  :mod:`repro.faults.injectors` applies
+it: :func:`inject_dataset` corrupts a dataset the way field telemetry
+actually fails — dropped and duplicated samples, attribute blackouts,
+NaN and outlier bursts, out-of-order timestamps, truncated profiles —
+and :func:`corrupt_cache_entry` bit-flips on-disk cache entries.
+
+Everything is seeded and deterministic: equal configs produce
+byte-identical corruption, so chaos runs are re-runnable experiments,
+not one-off fuzzing.  The corrupted output goes through
+:func:`repro.data.sanitize.sanitize_profiles`, which quarantines what
+cannot be repaired and yields a clean dataset plus a data-quality
+report.
+"""
+
+from repro.faults.config import SPEC_KEYS, ChaosConfig, parse_chaos_spec
+from repro.faults.injectors import (
+    FAULT_ORDER,
+    FaultLog,
+    RawProfile,
+    corrupt_cache_entries,
+    corrupt_cache_entry,
+    inject_dataset,
+)
+
+__all__ = [
+    "SPEC_KEYS",
+    "ChaosConfig",
+    "parse_chaos_spec",
+    "FAULT_ORDER",
+    "FaultLog",
+    "RawProfile",
+    "corrupt_cache_entries",
+    "corrupt_cache_entry",
+    "inject_dataset",
+]

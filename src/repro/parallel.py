@@ -27,16 +27,31 @@ Workers run uninstrumented (observers hold loggers and locks that must
 not cross process boundaries); the caller's observer sees one span per
 fan-out with the chunk geometry in its attributes, plus the
 ``parallel_chunks`` counter and ``parallel_jobs`` gauge.
+
+Resilience
+----------
+A :class:`RetryPolicy` turns worker failure from fatal into recoverable:
+each chunk gets a result deadline (``timeout_s``), failed or timed-out
+chunks are retried in a *fresh* pool up to ``max_retries`` rounds with
+exponential backoff, and — because the items themselves may be fine
+even when the infrastructure is not — exhausted chunks fall back to
+serial in-process re-execution (``serial_fallback``).  Results still
+merge in input order, so a run that survived a crashed worker is
+byte-identical to one that never crashed.  The default policy retries
+nothing and keeps the original fail-fast semantics.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-from repro.errors import ParallelError
+from repro.errors import ParallelError, WorkerCrashError, WorkerTimeoutError
 from repro.obs.observer import PipelineObserver, resolve_observer
 
 _T = TypeVar("_T")
@@ -69,6 +84,55 @@ def effective_jobs(n_jobs: int | None) -> int:
 
 
 @dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How a fan-out behaves when workers fail.
+
+    Parameters
+    ----------
+    max_retries:
+        Pool rounds to retry failed chunks before giving up on the pool
+        (``0`` = no pool retries, the historical fail-fast behavior).
+    backoff_s:
+        Base of the exponential backoff slept between retry rounds
+        (``backoff_s * 2**round``); ``0`` retries immediately.
+    timeout_s:
+        Per-chunk result deadline, or ``None`` for no deadline.  A
+        timed-out chunk counts as failed; its pool is abandoned (the
+        stuck worker may never return) and survivors are retried in a
+        fresh one.
+    serial_fallback:
+        After pool retries are exhausted, re-execute the failed chunks
+        serially in-process.  This isolates infrastructure failure from
+        data failure: if the items are fine the run completes with
+        byte-identical results, and if an item genuinely raises, the
+        exception propagates exactly as on the serial path.
+    """
+
+    max_retries: int = 0
+    backoff_s: float = 0.1
+    timeout_s: float | None = None
+    serial_fallback: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ParallelError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ParallelError(
+                f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ParallelError(
+                f"timeout_s must be positive, got {self.timeout_s}")
+
+    @classmethod
+    def resilient(cls, *, max_retries: int = 2,
+                  timeout_s: float | None = None) -> "RetryPolicy":
+        """The production preset: retry, back off, fall back to serial."""
+        return cls(max_retries=max_retries, backoff_s=0.1,
+                   timeout_s=timeout_s, serial_fallback=True)
+
+
+@dataclass(frozen=True, slots=True)
 class ParallelConfig:
     """How a fan-out runs.
 
@@ -82,11 +146,15 @@ class ParallelConfig:
     chunk_size:
         Items per dispatched chunk, or ``None`` to derive one from the
         item count (:func:`default_chunk_size`).
+    retry:
+        Worker-failure policy; the default retries nothing (failures
+        propagate immediately, exactly as before).
     """
 
     n_jobs: int = 1
     backend: str = "process"
     chunk_size: int | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.n_jobs < 0:
@@ -162,15 +230,118 @@ def map_drives(fn: Callable[[_T], _R], items: Iterable[_T],
     chunks = chunked(materialized, chunk_size)
     executor_cls: Any = (ProcessPoolExecutor if cfg.backend == "process"
                          else ThreadPoolExecutor)
-    results: list[list[_R]] = [[] for _ in chunks]
     with obs.span(label, n_items=len(materialized), n_jobs=jobs,
                   backend=cfg.backend, n_chunks=len(chunks),
                   chunk_size=chunk_size):
-        with executor_cls(max_workers=jobs, initializer=initializer,
-                          initargs=initargs) as pool:
-            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-            for index, future in enumerate(futures):
-                results[index] = future.result()
+        results = _execute_chunks(fn, chunks, executor_cls, jobs,
+                                  cfg.retry, obs,
+                                  initializer=initializer,
+                                  initargs=initargs)
     obs.count("parallel_chunks", len(chunks))
     obs.gauge("parallel_jobs", jobs)
     return [result for chunk_results in results for result in chunk_results]
+
+
+def _execute_chunks(fn: Callable[[_T], _R], chunks: list[list[_T]],
+                    executor_cls: Any, jobs: int, policy: RetryPolicy,
+                    obs: PipelineObserver, *,
+                    initializer: Callable[..., None] | None,
+                    initargs: tuple[Any, ...]) -> list[list[_R]]:
+    """Run every chunk through worker pools, retrying per ``policy``.
+
+    Round 0 dispatches everything; each later round re-dispatches only
+    the chunks that failed, in a fresh pool (a broken or timed-out pool
+    cannot be trusted again).  Chunks still failing after
+    ``policy.max_retries`` rounds either re-execute serially in-process
+    (``serial_fallback``) or raise a typed error.  The per-chunk result
+    slots keep the input-order merge intact whatever the retry history.
+    """
+    results: list[list[_R] | None] = [None] * len(chunks)
+    pending = list(range(len(chunks)))
+    last_error: BaseException | None = None
+    for round_no in range(policy.max_retries + 1):
+        if round_no:
+            obs.count("parallel_retries", len(pending))
+            obs.event("retrying failed chunks", round=round_no,
+                      chunks=len(pending))
+            if policy.backoff_s:
+                time.sleep(policy.backoff_s * 2 ** (round_no - 1))
+        pending, last_error = _pool_round(
+            fn, chunks, results, pending, executor_cls, jobs, policy, obs,
+            initializer=initializer, initargs=initargs,
+        )
+        if not pending:
+            return results  # type: ignore[return-value]
+        if policy.max_retries == 0 and not policy.serial_fallback:
+            # Fail-fast compatibility path: no retries requested, no
+            # fallback — surface the failure exactly as it occurred.
+            break
+    if policy.serial_fallback:
+        obs.count("parallel_serial_fallbacks", len(pending))
+        obs.event("falling back to serial re-execution",
+                  chunks=len(pending))
+        if initializer is not None:
+            initializer(*initargs)
+        for index in pending:
+            results[index] = _run_chunk(fn, chunks[index])
+        return results  # type: ignore[return-value]
+    assert last_error is not None
+    if isinstance(last_error, FuturesTimeoutError):
+        raise WorkerTimeoutError(
+            f"{len(pending)} chunk(s) exceeded the {policy.timeout_s}s "
+            f"deadline after {policy.max_retries + 1} attempt(s)"
+        ) from last_error
+    if isinstance(last_error, BrokenProcessPool):
+        raise WorkerCrashError(
+            f"worker pool broke and {len(pending)} chunk(s) were still "
+            f"unfinished after {policy.max_retries + 1} attempt(s)"
+        ) from last_error
+    raise last_error
+
+
+def _pool_round(fn: Callable[[_T], _R], chunks: list[list[_T]],
+                results: list[list[_R] | None], pending: list[int],
+                executor_cls: Any, jobs: int, policy: RetryPolicy,
+                obs: PipelineObserver, *,
+                initializer: Callable[..., None] | None,
+                initargs: tuple[Any, ...],
+                ) -> tuple[list[int], BaseException | None]:
+    """One dispatch round; returns (still-failed chunk indices, last error)."""
+    failed: list[int] = []
+    last_error: BaseException | None = None
+    pool = executor_cls(max_workers=min(jobs, len(pending)),
+                        initializer=initializer, initargs=initargs)
+    abandoned = False
+    try:
+        futures = {index: pool.submit(_run_chunk, fn, chunks[index])
+                   for index in pending}
+        for index in pending:
+            if abandoned:
+                # The pool is gone (timeout or crash); drain what
+                # already finished, fail the rest without blocking.
+                future = futures[index]
+                if future.done() and not future.exception():
+                    results[index] = future.result()
+                else:
+                    failed.append(index)
+                continue
+            try:
+                results[index] = futures[index].result(
+                    timeout=policy.timeout_s)
+            except FuturesTimeoutError as error:
+                obs.count("parallel_timeouts")
+                failed.append(index)
+                last_error = error
+                abandoned = True
+            except BrokenProcessPool as error:
+                obs.count("parallel_worker_crashes")
+                failed.append(index)
+                last_error = error
+                abandoned = True
+            except Exception as error:  # noqa: BLE001 — fn's own failure
+                failed.append(index)
+                last_error = error
+    finally:
+        # A timed-out pool may hold a stuck worker: do not block on it.
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+    return failed, last_error

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.sim.config import FleetConfig
 
 
@@ -27,7 +28,7 @@ class HourlyWorkload:
 
     def __post_init__(self) -> None:
         if not (len(self.read_ops) == len(self.write_ops) == len(self.utilization)):
-            raise ValueError("workload series must have equal lengths")
+            raise SimulationError("workload series must have equal lengths")
 
 
 class WorkloadGenerator:

@@ -19,6 +19,11 @@ from repro.smart.attributes import (
 )
 from repro.smart.normalization import MinMaxNormalizer, VendorCurve, vendor_curve_for
 from repro.smart.profile import HealthProfile
+from repro.smart.quarantine import (
+    QuarantinedDrive,
+    QuarantinedSample,
+    QuarantineReason,
+)
 from repro.smart.record import SmartRecord
 
 __all__ = [
@@ -35,5 +40,8 @@ __all__ = [
     "VendorCurve",
     "vendor_curve_for",
     "HealthProfile",
+    "QuarantinedDrive",
+    "QuarantinedSample",
+    "QuarantineReason",
     "SmartRecord",
 ]

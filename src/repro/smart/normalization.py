@@ -49,11 +49,11 @@ class VendorCurve:
 
     def __post_init__(self) -> None:
         if self.raw_scale <= 0:
-            raise ValueError("raw_scale must be positive")
+            raise NormalizationError("raw_scale must be positive")
         if self.shape <= 0:
-            raise ValueError("shape must be positive")
+            raise NormalizationError("shape must be positive")
         if self.best <= self.worst:
-            raise ValueError("best health value must exceed worst")
+            raise NormalizationError("best health value must exceed worst")
 
     def health_value(self, raw: np.ndarray | float) -> np.ndarray | float:
         """Return the vendor health value(s) for raw counter value(s)."""

@@ -1,0 +1,72 @@
+"""Typed quarantine verdicts for unusable telemetry.
+
+When ingest meets a record or a drive profile it cannot use, the
+resilient path does not raise — it isolates the offender with a *typed
+reason* so the run continues and the report can say exactly what was
+excluded and why.  This module defines those reasons and the two
+quarantine record shapes: per-sample and per-drive.
+
+The reasons mirror how SMART collection fails in the field (missing
+values, sensor glitches, duplicated or re-ordered uploads, profiles cut
+short), which is also exactly the fault taxonomy
+:mod:`repro.faults` knows how to inject.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class QuarantineReason(enum.Enum):
+    """Why a sample or drive was excluded from analysis."""
+
+    #: A row failed CSV-level parsing (wrong field count, bad number).
+    MALFORMED_ROW = "malformed row"
+    #: A sample holds NaN/Inf values (sensor blackout or glitch).
+    NON_FINITE_VALUES = "non-finite values"
+    #: A sample's value is wildly outside the fleet's plausible range.
+    OUTLIER_VALUE = "outlier value"
+    #: A sample repeats an already-seen timestamp for the same drive.
+    DUPLICATE_TIMESTAMP = "duplicate timestamp"
+    #: A drive's rows carried contradictory failed/good labels.
+    INCONSISTENT_LABEL = "inconsistent failure label"
+    #: A drive repeats a serial number already ingested.
+    DUPLICATE_SERIAL = "duplicate serial"
+    #: A drive's columns do not match the rest of the fleet.
+    MISMATCHED_ATTRIBUTES = "mismatched attribute columns"
+    #: A drive profile carries no samples at all.
+    EMPTY_PROFILE = "empty profile"
+    #: A drive profile keeps fewer than 2 usable samples — too short to
+    #: normalize, window or characterize.
+    TOO_FEW_RECORDS = "too few records"
+    #: A drive profile failed strict validation for any other reason.
+    MALFORMED_PROFILE = "malformed profile"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedSample:
+    """One excluded sample: which drive, which hour, and why."""
+
+    serial: str
+    hour: int
+    reason: QuarantineReason
+
+    def describe(self) -> str:
+        return f"{self.serial}@{self.hour}h: {self.reason}"
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedDrive:
+    """One excluded drive profile: who, why, and a human-readable detail."""
+
+    serial: str
+    reason: QuarantineReason
+    detail: str = ""
+
+    def describe(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.serial}: {self.reason}{suffix}"

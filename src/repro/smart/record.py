@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import UnknownAttributeError
+from repro.errors import DatasetError, UnknownAttributeError
 from repro.smart.attributes import CHARACTERIZATION_ATTRIBUTES, attribute_index
 
 
@@ -41,7 +41,7 @@ class SmartRecord:
 
     def __post_init__(self) -> None:
         if len(self.values) != len(self.attributes):
-            raise ValueError(
+            raise DatasetError(
                 f"record for {self.serial!r} has {len(self.values)} values "
                 f"for {len(self.attributes)} attributes"
             )
@@ -74,6 +74,6 @@ class SmartRecord:
             attribute_index(symbol)  # validates the symbol
         missing = [s for s in CHARACTERIZATION_ATTRIBUTES if s not in values]
         if missing:
-            raise ValueError(f"record is missing attributes: {missing}")
+            raise DatasetError(f"record is missing attributes: {missing}")
         ordered = tuple(float(values[s]) for s in CHARACTERIZATION_ATTRIBUTES)
         return cls(serial=serial, hour=hour, values=ordered)

@@ -133,6 +133,59 @@ def test_corrupt_entry_is_a_miss_and_removed(cache, small_dataset):
     assert key not in cache  # the broken file is gone
 
 
+def test_truncated_entry_is_a_miss_and_removed(cache, small_dataset):
+    """A crash mid-read of a partially-synced file must degrade to a
+    recompute, not a crash (np.load raises zipfile/zlib errors here)."""
+    normalized, records = _prepared(small_dataset)
+    key = cache.key_for(small_dataset)
+    path = cache.store(key, normalized,
+                       extras=failure_records_to_arrays(records))
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    assert cache.load(key) is None
+    assert cache.misses == 1
+    assert key not in cache
+
+
+def test_bit_flipped_entry_is_a_miss_and_removed(cache, small_dataset):
+    from repro.faults import corrupt_cache_entry
+
+    normalized, records = _prepared(small_dataset)
+    key = cache.key_for(small_dataset)
+    path = cache.store(key, normalized,
+                       extras=failure_records_to_arrays(records))
+    assert corrupt_cache_entry(path, seed=7, n_flips=64) == 64
+    assert cache.load(key) is None
+    assert key not in cache
+    # The slot is reusable after the corrupt entry was discarded.
+    cache.store(key, normalized, extras=failure_records_to_arrays(records))
+    assert cache.load(key) is not None
+
+
+def test_successful_store_leaves_no_temp_files(cache, small_dataset):
+    normalized, records = _prepared(small_dataset)
+    cache.store(cache.key_for(small_dataset), normalized,
+                extras=failure_records_to_arrays(records))
+    assert not list(cache.directory.glob("*.tmp"))
+
+
+def test_stale_temp_files_are_not_entries_and_get_swept(tmp_path,
+                                                        small_dataset):
+    directory = tmp_path / "cache"
+    cache = DatasetCache(directory)
+    normalized, records = _prepared(small_dataset)
+    cache.store(cache.key_for(small_dataset), normalized,
+                extras=failure_records_to_arrays(records))
+    leftover = directory / "abc123.tmp"
+    leftover.write_bytes(b"half a write from a killed process")
+    # Temp debris is invisible to entry accounting ...
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert not leftover.exists()  # ... and clear sweeps it uncounted.
+    leftover.write_bytes(b"again")
+    DatasetCache(directory)  # a fresh instance sweeps on startup
+    assert not leftover.exists()
+
+
 def test_store_rejects_unnormalized_and_extras_of_objects(
         cache, small_dataset):
     with pytest.raises(CacheError, match="normalized"):

@@ -1,0 +1,236 @@
+"""Tests for the resilient ingest path (``repro.data.sanitize`` and
+``load_csv_resilient``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loader import load_csv, load_csv_resilient, save_csv
+from repro.data.sanitize import (
+    RawProfile,
+    SanitizePolicy,
+    sanitize_profiles,
+)
+from repro.errors import QuarantineError
+from repro.obs.observer import TelemetryObserver
+from repro.smart.quarantine import QuarantineReason
+
+ATTRS = ("A", "B", "C")
+
+
+def raw(serial, hours, matrix, *, failed=False, attributes=ATTRS):
+    return RawProfile(serial=serial,
+                      hours=np.asarray(hours, dtype=np.int64),
+                      matrix=np.asarray(matrix, dtype=np.float64),
+                      failed=failed, attributes=attributes)
+
+
+def good(serial, n=6, offset=0.0):
+    rows = np.linspace(0.1, 0.9, n)[:, None] + np.arange(3) * 0.01 + offset
+    return raw(serial, np.arange(n), rows)
+
+
+def drive_reasons(result):
+    return {record.serial: record.reason for record in result.drives}
+
+
+def sample_reasons(result):
+    return {(record.serial, record.hour): record.reason
+            for record in result.samples}
+
+
+# -- clean passthrough ------------------------------------------------------
+
+
+def test_clean_dataset_passes_through_bit_identical(small_dataset):
+    result = sanitize_profiles(small_dataset.profiles)
+    assert result.clean
+    assert result.n_input_drives == result.n_clean_drives
+    for out, original in zip(result.dataset.profiles,
+                             small_dataset.profiles):
+        assert out.serial == original.serial
+        assert out.failed == original.failed
+        assert out.hours.tobytes() == original.hours.tobytes()
+        assert out.matrix.tobytes() == original.matrix.tobytes()
+
+
+def test_clean_result_has_empty_quality_section():
+    result = sanitize_profiles([good("d1"), good("d2", offset=0.2)])
+    section = result.data_quality_section()
+    assert section["drives_quarantined"] == {}
+    assert section["samples_quarantined"] == {}
+    assert section["repairs"] == {}
+    assert section["quarantined_serials"] == []
+
+
+# -- repairs and per-sample quarantine --------------------------------------
+
+
+def test_out_of_order_samples_are_reordered_not_dropped():
+    shuffled = good("d1")
+    order = np.array([3, 0, 4, 1, 5, 2])
+    shuffled.hours = shuffled.hours[order]
+    shuffled.matrix = shuffled.matrix[order]
+    result = sanitize_profiles([shuffled, good("d2")])
+    assert result.repairs == {"reordered_profiles": 1}
+    restored = result.dataset.profiles[0]
+    assert np.array_equal(restored.hours, np.arange(6))
+    assert not result.drives and not result.samples
+
+
+def test_duplicate_timestamps_are_quarantined_per_sample():
+    dup = good("d1")
+    dup.hours = np.array([0, 1, 1, 2, 3, 4])
+    result = sanitize_profiles([dup, good("d2")])
+    assert sample_reasons(result) == {
+        ("d1", 1): QuarantineReason.DUPLICATE_TIMESTAMP}
+    assert len(result.dataset.profiles[0]) == 5
+
+
+def test_non_finite_samples_are_quarantined():
+    dirty = good("d1")
+    dirty.matrix[2, 1] = np.nan
+    dirty.matrix[4, 0] = np.inf
+    result = sanitize_profiles([dirty, good("d2")])
+    reasons = sample_reasons(result)
+    assert reasons == {
+        ("d1", 2): QuarantineReason.NON_FINITE_VALUES,
+        ("d1", 4): QuarantineReason.NON_FINITE_VALUES,
+    }
+    assert np.isfinite(result.dataset.profiles[0].matrix).all()
+
+
+def test_wild_outliers_are_quarantined():
+    # Long profiles keep the single outlier out of the p99 robust spread
+    # (the screen is calibrated for fleets, not five-sample toys).
+    dirty = good("d1", n=60)
+    dirty.matrix[3, 2] = 1.0e6
+    result = sanitize_profiles([dirty, good("d2", n=60),
+                                good("d3", n=60, offset=0.1)])
+    assert sample_reasons(result) == {
+        ("d1", 3): QuarantineReason.OUTLIER_VALUE}
+
+
+def test_outlier_screen_never_trips_on_clean_spread():
+    """Values inside the absolute backstop are not outliers, however
+    far from the median relative to the (tiny) robust spread."""
+    profiles = [good(f"d{i}", offset=0.001 * i) for i in range(5)]
+    profiles[0].matrix[0, 0] = 900.0  # large, but under the 1e4 backstop
+    result = sanitize_profiles(profiles)
+    assert not result.samples
+
+
+def test_outlier_screen_can_be_disabled():
+    dirty = good("d1")
+    dirty.matrix[3, 2] = 1.0e6
+    result = sanitize_profiles(
+        [dirty, good("d2")],
+        policy=SanitizePolicy(screen_outliers=False))
+    assert not result.samples
+
+
+# -- per-drive quarantine ---------------------------------------------------
+
+
+def test_empty_profile_is_quarantined():
+    empty = raw("d1", [], np.empty((0, 3)))
+    result = sanitize_profiles([empty, good("d2")])
+    assert drive_reasons(result) == {"d1": QuarantineReason.EMPTY_PROFILE}
+
+
+def test_too_few_usable_records_quarantines_the_drive():
+    tiny = raw("d1", [0], [[0.1, 0.2, 0.3]])
+    mostly_nan = good("d2")
+    mostly_nan.matrix[1:, :] = np.nan  # one usable sample survives
+    result = sanitize_profiles([tiny, mostly_nan, good("d3")])
+    reasons = drive_reasons(result)
+    assert reasons["d1"] == QuarantineReason.TOO_FEW_RECORDS
+    assert reasons["d2"] == QuarantineReason.TOO_FEW_RECORDS
+    assert [p.serial for p in result.dataset.profiles] == ["d3"]
+
+
+def test_duplicate_serial_is_quarantined():
+    result = sanitize_profiles([good("d1"), good("d1", offset=0.3),
+                                good("d2")])
+    assert drive_reasons(result) == {"d1": QuarantineReason.DUPLICATE_SERIAL}
+    assert result.n_clean_drives == 2
+
+
+def test_mismatched_attributes_are_quarantined():
+    alien = good("d1")
+    alien.attributes = ("X", "Y", "Z")
+    result = sanitize_profiles([good("d0"), alien])
+    assert drive_reasons(result) == {
+        "d1": QuarantineReason.MISMATCHED_ATTRIBUTES}
+
+
+def test_zero_survivors_raises_quarantine_error():
+    with pytest.raises(QuarantineError, match="every drive"):
+        sanitize_profiles([raw("d1", [], np.empty((0, 3))),
+                           raw("d2", [0], [[0.1, 0.2, 0.3]])])
+
+
+def test_counters_flow_through_the_observer():
+    observer = TelemetryObserver()
+    dup = good("d1")
+    dup.hours = np.array([0, 1, 1, 2, 3, 4])
+    shuffled = good("d2")
+    shuffled.hours = shuffled.hours[::-1].copy()
+    shuffled.matrix = shuffled.matrix[::-1].copy()
+    sanitize_profiles([dup, shuffled, raw("d3", [], np.empty((0, 3)))],
+                      observer=observer)
+    snapshot = observer.metrics.snapshot()
+    assert snapshot["drives_quarantined"]["value"] == 1
+    assert snapshot["samples_quarantined"]["value"] == 1
+    assert snapshot["repairs_reordered_profiles"]["value"] == 1
+
+
+# -- resilient CSV loading --------------------------------------------------
+
+
+def test_resilient_load_matches_strict_on_clean_file(tmp_path,
+                                                     small_dataset):
+    path = tmp_path / "fleet.csv"
+    save_csv(small_dataset, path)
+    strict = load_csv(path)
+    dataset, result = load_csv_resilient(path)
+    assert result.clean
+    assert [p.serial for p in dataset.profiles] == \
+        [p.serial for p in strict.profiles]
+    for resilient, reference in zip(dataset.profiles, strict.profiles):
+        assert resilient.hours.tobytes() == reference.hours.tobytes()
+        assert resilient.matrix.tobytes() == reference.matrix.tobytes()
+
+
+def test_resilient_load_quarantines_malformed_rows(tmp_path):
+    path = tmp_path / "dirty.csv"
+    path.write_text(
+        "serial,hour,failed,A,B,C\n"
+        "d1,0,0,0.1,0.2,0.3\n"
+        "d1,1,0,0.2,0.3,0.4\n"
+        "d1,2,0,not-a-number,0.3,0.4\n"   # bad float
+        "d1,3,0,0.1,0.2\n"                # short row
+        "d1,4,0,0.3,0.4,0.5\n"
+    )
+    dataset, result = load_csv_resilient(path)
+    assert [(s.serial, s.hour, s.reason) for s in result.samples] == [
+        ("d1", 2, QuarantineReason.MALFORMED_ROW),
+        ("d1", 3, QuarantineReason.MALFORMED_ROW),
+    ]
+    assert np.array_equal(dataset.profiles[0].hours, [0, 1, 4])
+
+
+def test_resilient_load_quarantines_inconsistent_labels(tmp_path):
+    path = tmp_path / "mixed.csv"
+    path.write_text(
+        "serial,hour,failed,A,B,C\n"
+        "d1,0,0,0.1,0.2,0.3\n"
+        "d1,1,1,0.2,0.3,0.4\n"            # contradicts the row above
+        "d2,0,0,0.1,0.2,0.3\n"
+        "d2,1,0,0.2,0.3,0.4\n"
+    )
+    dataset, result = load_csv_resilient(path)
+    assert drive_reasons(result) == {
+        "d1": QuarantineReason.INCONSISTENT_LABEL}
+    assert [p.serial for p in dataset.profiles] == ["d2"]

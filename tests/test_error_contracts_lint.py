@@ -1,0 +1,97 @@
+"""Regression gate: library errors are typed, never swallowed blind.
+
+Runs ``scripts/check_error_contracts.py`` the way CI would, and
+unit-tests the checker itself so a silently broken lint cannot pass the
+gate.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_error_contracts.py"
+
+sys.path.insert(0, str(SCRIPT.parent))
+from check_error_contracts import find_violations  # noqa: E402
+
+
+def test_src_repro_upholds_error_contracts():
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"error-contract violations crept into src/repro:\n{result.stderr}"
+    )
+
+
+def test_checker_flags_bare_except(tmp_path):
+    offender = tmp_path / "module.py"
+    offender.write_text(
+        "try:\n"
+        "    work()\n"
+        "except:\n"
+        "    recover()\n"
+    )
+    violations = find_violations(offender)
+    assert len(violations) == 1
+    assert violations[0][0] == 3
+    assert "bare" in violations[0][1]
+
+
+def test_checker_flags_silent_broad_handler(tmp_path):
+    offender = tmp_path / "module.py"
+    offender.write_text(
+        "try:\n"
+        "    work()\n"
+        "except Exception:\n"
+        "    pass\n"
+    )
+    violations = find_violations(offender)
+    assert len(violations) == 1
+    assert "swallows" in violations[0][1]
+
+
+def test_checker_allows_broad_handler_that_acts(tmp_path):
+    clean = tmp_path / "module.py"
+    clean.write_text(
+        "try:\n"
+        "    work()\n"
+        "except Exception as error:\n"
+        "    record(error)\n"
+        "    raise WrappedError(error) from error\n"
+        "except OSError:\n"
+        "    pass\n"
+    )
+    assert find_violations(clean) == []
+
+
+def test_checker_flags_builtin_raise(tmp_path):
+    offender = tmp_path / "module.py"
+    offender.write_text(
+        "def f(x):\n"
+        "    if x < 0:\n"
+        "        raise ValueError('no')\n"
+        "    raise RuntimeError\n"
+    )
+    reasons = [reason for _, reason in find_violations(offender)]
+    assert len(reasons) == 2
+    assert "ValueError" in reasons[0]
+    assert "RuntimeError" in reasons[1]
+
+
+def test_checker_allows_typed_raises_and_reraise(tmp_path):
+    clean = tmp_path / "module.py"
+    clean.write_text(
+        "from repro.errors import DatasetError\n"
+        "def f(x):\n"
+        "    try:\n"
+        "        g(x)\n"
+        "    except DatasetError:\n"
+        "        raise\n"
+        "    raise DatasetError('typed')\n"
+        "if __name__ == '__main__':\n"
+        "    raise SystemExit(0)\n"
+    )
+    assert find_violations(clean) == []

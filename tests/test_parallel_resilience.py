@@ -1,0 +1,161 @@
+"""Tests for worker retry, timeout and serial fallback
+(``repro.parallel.RetryPolicy``)."""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ParallelError, WorkerCrashError, WorkerTimeoutError
+from repro.obs.observer import TelemetryObserver
+from repro.parallel import ParallelConfig, RetryPolicy, map_drives
+
+
+def _double(item):
+    return item * 2
+
+
+def _crash_once(item, sentinel_path):
+    """Kill the worker process hard on first sight of the sentinel gap."""
+    sentinel = Path(sentinel_path)
+    if not sentinel.exists():
+        sentinel.write_text("crashed")
+        os._exit(13)
+    return item * 2
+
+
+def _crash_always(item):
+    os._exit(13)
+
+
+def _hang(item):
+    time.sleep(5.0)
+    return item
+
+
+def _raise_on_three(item):
+    if item == 3:
+        raise ZeroDivisionError("item 3 is cursed")
+    return item * 2
+
+
+# -- policy validation ------------------------------------------------------
+
+
+def test_retry_policy_validates_parameters():
+    with pytest.raises(ParallelError, match="max_retries"):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ParallelError, match="backoff_s"):
+        RetryPolicy(backoff_s=-0.1)
+    with pytest.raises(ParallelError, match="timeout_s"):
+        RetryPolicy(timeout_s=0)
+
+
+def test_resilient_preset_retries_and_falls_back():
+    policy = RetryPolicy.resilient(max_retries=3, timeout_s=10.0)
+    assert policy.max_retries == 3
+    assert policy.timeout_s == 10.0
+    assert policy.serial_fallback
+
+
+def test_default_config_retries_nothing():
+    assert ParallelConfig().retry == RetryPolicy()
+
+
+# -- crash recovery ---------------------------------------------------------
+
+
+def test_crashed_worker_is_retried_to_an_identical_result(tmp_path):
+    """One hard worker crash, then recovery: the merged result must be
+    byte-for-byte what a crash-free run returns."""
+    items = list(range(12))
+    observer = TelemetryObserver()
+    fn = functools.partial(_crash_once, sentinel_path=tmp_path / "sentinel")
+    results = map_drives(
+        fn, items,
+        ParallelConfig(n_jobs=2, backend="process", chunk_size=3,
+                       retry=RetryPolicy(max_retries=2, backoff_s=0.0)),
+        observer=observer,
+    )
+    assert results == [item * 2 for item in items]
+    snapshot = observer.metrics.snapshot()
+    assert snapshot["parallel_worker_crashes"]["value"] >= 1
+    assert snapshot["parallel_retries"]["value"] >= 1
+
+
+def test_persistent_crash_without_fallback_raises_typed_error():
+    with pytest.raises(WorkerCrashError, match="attempt"):
+        map_drives(
+            _crash_always, list(range(4)),
+            ParallelConfig(n_jobs=2, backend="process", chunk_size=2,
+                           retry=RetryPolicy(max_retries=1, backoff_s=0.0)),
+        )
+
+
+def test_hung_worker_without_fallback_raises_timeout_error():
+    observer = TelemetryObserver()
+    with pytest.raises(WorkerTimeoutError, match="deadline"):
+        map_drives(
+            _hang, list(range(2)),
+            ParallelConfig(n_jobs=2, backend="process", chunk_size=1,
+                           retry=RetryPolicy(timeout_s=0.5)),
+            observer=observer,
+        )
+    assert observer.metrics.snapshot()["parallel_timeouts"]["value"] >= 1
+
+
+def _crash_unless_parent(item, parent_pid):
+    """Dies in every pool worker (different pid) but succeeds when the
+    serial fallback re-runs it in the parent process."""
+    if os.getpid() != parent_pid:
+        os._exit(13)
+    return item * 2
+
+
+def test_serial_fallback_completes_after_persistent_crashes():
+    """Workers that always die are infrastructure failure; the items are
+    fine, so the serial fallback must finish the job."""
+    observer = TelemetryObserver()
+    fn = functools.partial(_crash_unless_parent, parent_pid=os.getpid())
+    results = map_drives(
+        fn, list(range(6)),
+        ParallelConfig(n_jobs=2, backend="process", chunk_size=2,
+                       retry=RetryPolicy(max_retries=1, backoff_s=0.0,
+                                         serial_fallback=True)),
+        observer=observer,
+    )
+    assert results == [item * 2 for item in range(6)]
+    snapshot = observer.metrics.snapshot()
+    assert snapshot["parallel_serial_fallbacks"]["value"] >= 1
+
+
+# -- exception semantics ----------------------------------------------------
+
+
+def test_fn_exception_propagates_unchanged_by_default():
+    with pytest.raises(ZeroDivisionError, match="cursed"):
+        map_drives(_raise_on_three, list(range(6)),
+                   ParallelConfig(n_jobs=2, backend="process", chunk_size=2))
+
+
+def test_fn_exception_propagates_through_serial_fallback():
+    """A genuinely failing item must raise exactly as on the serial
+    path, even after retries and fallback."""
+    with pytest.raises(ZeroDivisionError, match="cursed"):
+        map_drives(
+            _raise_on_three, list(range(6)),
+            ParallelConfig(n_jobs=2, backend="process", chunk_size=2,
+                           retry=RetryPolicy.resilient(max_retries=1)),
+        )
+
+
+def test_retry_policy_is_inert_on_the_serial_path():
+    results = map_drives(
+        _double, list(range(5)),
+        ParallelConfig(n_jobs=1, retry=RetryPolicy.resilient()),
+    )
+    assert results == [0, 2, 4, 6, 8]

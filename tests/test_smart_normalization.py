@@ -32,11 +32,11 @@ class TestVendorCurve:
         assert np.all(np.diff(healths) <= 0)
 
     def test_invalid_parameters_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(NormalizationError):
             VendorCurve(raw_scale=0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(NormalizationError):
             VendorCurve(shape=-1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(NormalizationError):
             VendorCurve(best=1.0, worst=10.0)
 
     def test_vendor_curve_for_registry_attributes(self):

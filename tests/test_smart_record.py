@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import UnknownAttributeError
+from repro.errors import DatasetError, UnknownAttributeError
 from repro.smart.attributes import CHARACTERIZATION_ATTRIBUTES
 from repro.smart.record import SmartRecord
 
@@ -36,13 +36,13 @@ def test_as_array_matches_values():
 
 
 def test_mismatched_value_count_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(DatasetError):
         SmartRecord("drive-1", 0, (1.0, 2.0))
 
 
 def test_from_mapping_requires_every_attribute():
     partial = {s: 1.0 for s in CHARACTERIZATION_ATTRIBUTES[:-1]}
-    with pytest.raises(ValueError, match="missing"):
+    with pytest.raises(DatasetError, match="missing"):
         SmartRecord.from_mapping("drive-1", 0, partial)
 
 
