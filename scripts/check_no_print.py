@@ -26,6 +26,7 @@ SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
 #: the CLI entry points and the ASCII-rendering layer.
 ALLOWED_PREFIXES = (
     "cli.py",
+    "serve/cli.py",
     "reporting/",
     "experiments/registry.py",
     "experiments/__main__.py",

@@ -41,6 +41,15 @@ from repro.data import (
 )
 from repro.faults import ChaosConfig, inject_dataset, parse_chaos_spec
 from repro.parallel import ParallelConfig, RetryPolicy, map_drives
+from repro.serve import (
+    ModelBundle,
+    MonitorVerdict,
+    StreamScorer,
+    build_bundle,
+    load_bundle,
+    replay_fleet,
+    save_bundle,
+)
 from repro.sim import FleetConfig, FleetSimulator, simulate_fleet
 from repro.smart import (
     ATTRIBUTE_REGISTRY,
@@ -77,6 +86,13 @@ __all__ = [
     "ParallelConfig",
     "RetryPolicy",
     "map_drives",
+    "ModelBundle",
+    "MonitorVerdict",
+    "StreamScorer",
+    "build_bundle",
+    "load_bundle",
+    "replay_fleet",
+    "save_bundle",
     "FleetConfig",
     "FleetSimulator",
     "simulate_fleet",

@@ -42,11 +42,13 @@ from repro.obs.observer import (
 )
 from repro.parallel import RetryPolicy
 from repro.reporting.tables import ascii_table
+from repro.serve.bundle import build_bundle, save_bundle
 from repro.sim.config import FleetConfig
 from repro.sim.fleet import simulate_fleet
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-characterize`` argument grammar."""
     parser = argparse.ArgumentParser(
         prog="repro-characterize",
         description="Categorize disk failures and derive degradation "
@@ -69,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the Table III predictors")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the machine-readable report here")
+    parser.add_argument("--export-model", metavar="PATH", default=None,
+                        help="write a versioned serving bundle (trees, "
+                             "taxonomy, normalization, monitor thresholds) "
+                             "here for 'repro-serve'")
     performance = parser.add_argument_group("performance")
     performance.add_argument("--jobs", type=int, default=1, metavar="N",
                              help="workers for per-drive stages "
@@ -163,6 +169,7 @@ def render_data_quality(quality: SanitizationResult) -> str:
 
 
 def render_report(report: CharacterizationReport) -> str:
+    """ASCII taxonomy/signature/prediction tables for the console."""
     sections = []
     taxonomy_rows = []
     for failure_type in FailureType:
@@ -209,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def run(args: argparse.Namespace) -> int:
+    """Execute one parsed invocation (telemetry configured first)."""
     obs_logging.configure(
         level=obs_logging.verbosity_to_level(args.verbose),
         json_mode=args.log_json,
@@ -267,6 +275,15 @@ def run(args: argparse.Namespace) -> int:
         save_report_json(report, args.json, telemetry=telemetry,
                          data_quality=data_quality)
         print(f"\nreport written to {args.json}")
+    if args.export_model:
+        if args.no_prediction:
+            raise ReproError(
+                "--export-model needs the trained predictors; drop "
+                "--no-prediction"
+            )
+        bundle = build_bundle(report, seed=args.seed)
+        save_bundle(bundle, args.export_model, observer=observer)
+        print(f"model bundle written to {args.export_model}")
     if args.trace:
         observer.tracer.save_json(args.trace)
         print(f"trace written to {args.trace}")

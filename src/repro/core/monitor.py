@@ -27,9 +27,17 @@ import numpy as np
 
 from repro.core.prediction import DegradationPredictor
 from repro.core.rescue import RescueEstimate, rescue_estimate
+from repro.core.signature_models import PREDICTION_WINDOW_BY_TYPE
 from repro.core.taxonomy import FailureType
 from repro.errors import ReproError
 from repro.smart.normalization import MinMaxNormalizer
+
+#: Default stage thresholds of the monitor's severity ladder; shared
+#: with the serving layer so an exported bundle reproduces the monitor
+#: configuration exactly.
+DEFAULT_WATCH_THRESHOLD = -0.05
+DEFAULT_CRITICAL_THRESHOLD = -0.5
+DEFAULT_HISTORY_HOURS = 48
 
 
 @functools.total_ordering
@@ -83,9 +91,9 @@ class DegradationMonitor:
 
     def __init__(self, predictor: DegradationPredictor,
                  normalizer: MinMaxNormalizer, *,
-                 watch_threshold: float = -0.05,
-                 critical_threshold: float = -0.5,
-                 history_hours: int = 48) -> None:
+                 watch_threshold: float = DEFAULT_WATCH_THRESHOLD,
+                 critical_threshold: float = DEFAULT_CRITICAL_THRESHOLD,
+                 history_hours: int = DEFAULT_HISTORY_HOURS) -> None:
         missing = [t for t in FailureType if t not in predictor.trees_]
         if missing:
             raise ReproError(
@@ -142,6 +150,64 @@ class DegradationMonitor:
             estimates=estimates,
         )
 
+    def observe_many(self, samples) -> list[DegradationAlert]:
+        """Ingest a batch of ``(serial, hour, raw_record)`` samples.
+
+        Semantically identical to calling :meth:`observe` once per
+        sample, in order — same alerts, same per-drive history and
+        level state — but the normalization and the per-group tree
+        evaluations run once over the whole batch instead of once per
+        sample.  Every arithmetic step is element-wise, so the batched
+        path produces bit-identical stages (and therefore byte-identical
+        serialized verdicts) to the per-sample path; the streaming
+        scorer's ``push_many`` fast path and its throughput numbers rest
+        on this method.
+        """
+        samples = list(samples)
+        if not samples:
+            return []
+        raw = np.vstack([
+            np.asarray(record, dtype=np.float64).ravel()
+            for _, _, record in samples
+        ])
+        normalized = self._normalizer.transform(raw)
+        # (n_types, n_samples) stage matrix, one tree evaluation per type.
+        types = list(FailureType)
+        stages = np.vstack([
+            self._predictor.tree_for(failure_type).predict(normalized)
+            for failure_type in types
+        ])
+        # First minimal stage in FailureType order — exactly the tie
+        # semantics of ``min`` over the insertion-ordered estimates dict.
+        likely_indices = np.argmin(stages, axis=0)
+
+        alerts: list[DegradationAlert] = []
+        for position, (serial, hour, _) in enumerate(samples):
+            history = self._history.setdefault(
+                serial, deque(maxlen=self._history_hours)
+            )
+            history.append(normalized[position])
+            estimates = {
+                failure_type: rescue_estimate(
+                    float(stages[type_index, position]), failure_type,
+                    window=PREDICTION_WINDOW_BY_TYPE[failure_type],
+                )
+                for type_index, failure_type in enumerate(types)
+            }
+            likely_type = types[int(likely_indices[position])]
+            stage = estimates[likely_type].stage
+            level = self._level_for(stage)
+            self._levels[serial] = level
+            alerts.append(DegradationAlert(
+                serial=serial,
+                hour=int(hour),
+                level=level,
+                stage=stage,
+                likely_type=likely_type,
+                estimates=estimates,
+            ))
+        return alerts
+
     def observe_profile(self, profile) -> list[DegradationAlert]:
         """Replay a :class:`HealthProfile` through the monitor."""
         return [
@@ -149,7 +215,38 @@ class DegradationMonitor:
             for hour, row in zip(profile.hours, profile.matrix)
         ]
 
+    def replay(self, profile) -> list[DegradationAlert]:
+        """Offline replay of one profile — alias of :meth:`observe_profile`.
+
+        The serving layer's golden contract is stated against this
+        method: a :class:`~repro.serve.scorer.StreamScorer` fed the same
+        samples emits byte-identical verdicts.
+        """
+        return self.observe_profile(profile)
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def watch_threshold(self) -> float:
+        """Stage at or below which a drive enters WATCH."""
+        return self._watch
+
+    @property
+    def critical_threshold(self) -> float:
+        """Stage at or below which a drive enters CRITICAL."""
+        return self._critical
+
+    @property
+    def history_hours(self) -> int:
+        """Ring-buffer capacity retained per drive."""
+        return self._history_hours
+
     # -- fleet state --------------------------------------------------------
+
+    @property
+    def n_tracked(self) -> int:
+        """Drives with live ring-buffer state (O(1))."""
+        return len(self._history)
 
     def level_of(self, serial: str) -> AlertLevel:
         """Last verdict for a drive (HEALTHY if never observed)."""

@@ -65,6 +65,18 @@ def canonical_json_dumps(payload: Any) -> str:
                       allow_nan=False) + "\n"
 
 
+def canonical_json_line(payload: Any) -> str:
+    """Render ``payload`` as one byte-stable JSON line (no newline).
+
+    The JSONL sibling of :func:`canonical_json_dumps`: same key sorting
+    and float normalization, but compact separators and no trailing
+    newline, so streaming emitters (the serving layer's verdict stream)
+    can write one canonical record per line.
+    """
+    return json.dumps(_jsonify(payload), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
 def report_to_dict(report: CharacterizationReport, *,
                    telemetry: dict[str, Any] | None = None,
                    data_quality: dict[str, Any] | None = None,

@@ -83,6 +83,14 @@ class CheckpointError(ReproError):
     """A checkpoint directory is unusable or holds a malformed entry."""
 
 
+class ServeError(ReproError):
+    """The serving layer was misused (bad stream input or configuration)."""
+
+
+class BundleError(ServeError):
+    """A model-bundle artifact is corrupt, stale or malformed."""
+
+
 class PipelineStageError(ReproError):
     """A pipeline stage crashed on an unexpected (non-library) exception.
 

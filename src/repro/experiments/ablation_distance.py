@@ -28,6 +28,7 @@ MAX_TAIL_RECORDS = 60
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Run the distance ablation (Euclidean vs Mahalanobis)."""
     report = report if report is not None else default_report()
     dataset = report.dataset
     stacked, _ = dataset.stacked_records()

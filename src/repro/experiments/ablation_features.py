@@ -21,6 +21,7 @@ from repro.sim.fleet import FleetResult
 
 
 def run(fleet: FleetResult | None = None, *, seed: int = 0) -> ExperimentResult:
+    """Run the feature-set ablation (plain values vs the 30-feature set)."""
     fleet = fleet if fleet is not None else default_fleet()
     dataset = fleet.dataset.normalize()
     records = build_failure_records(dataset)

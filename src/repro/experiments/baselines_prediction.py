@@ -45,6 +45,7 @@ HEALTH_INDICATIVE = ("RRER", "RSC", "RUE", "HFW", "HER", "CPSC")
 
 
 def run(fleet: FleetResult | None = None, *, seed: int = 23) -> ExperimentResult:
+    """Run the classical failure-prediction baselines (Section II-C)."""
     fleet = fleet if fleet is not None else default_fleet()
     dataset = fleet.dataset.normalize()
     rng = np.random.default_rng(seed)

@@ -28,6 +28,7 @@ PAPER_FAILED, PAPER_DRIVES, PAPER_PERIOD_HOURS = 433, 23395, 1344
 
 
 def run(fleet: FleetResult | None = None) -> ExperimentResult:
+    """Place the fleet's failure rates in the related-work context."""
     fleet = fleet if fleet is not None else default_fleet()
     summary = fleet.dataset.summary()
     period = fleet.config.period_hours

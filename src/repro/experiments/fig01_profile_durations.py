@@ -15,6 +15,7 @@ from repro.sim.fleet import FleetResult
 
 
 def run(fleet: FleetResult | None = None) -> ExperimentResult:
+    """Render Figure 1: histogram of the health-profile durations of failed drives."""
     fleet = fleet if fleet is not None else default_fleet()
     durations = np.array(
         [len(profile) for profile in fleet.dataset.failed_profiles],

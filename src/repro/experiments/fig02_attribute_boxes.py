@@ -21,6 +21,7 @@ LARGE_VARIATION = ("RRER", "TC", "SUT", "POH", "RSC", "R-RSC")
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 2: distributions of the 12 attributes over failure records."""
     report = report if report is not None else default_report()
     records = report.records
     summaries = {}

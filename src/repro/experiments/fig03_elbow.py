@@ -15,6 +15,7 @@ from repro.reporting.figures import ascii_series
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 3: average within-group distance vs number of clusters."""
     report = report if report is not None else default_report()
     analysis = elbow_analysis(report.records.features, max_clusters=10)
     counts, distances = analysis.as_series()

@@ -15,6 +15,7 @@ from repro.reporting.figures import ascii_scatter
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 4: the three failure groups in principal-component space."""
     report = report if report is not None else default_report()
     records = report.records
     categorization = report.categorization

@@ -20,6 +20,7 @@ FIG5_ATTRIBUTES = ("R-RSC", "RUE", "RRER", "HER", "SUT", "SER", "POH", "TC")
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 5: failure records of the three group centroids."""
     report = report if report is not None else default_report()
     rows = []
     centroid_values = {}

@@ -20,6 +20,7 @@ FIG6_ATTRIBUTES = ("RUE", "R-RSC", "RRER")
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 6: decile comparison of the most distinctive R/W attributes."""
     report = report if report is not None else default_report()
     dataset = report.dataset
     categorization = report.categorization

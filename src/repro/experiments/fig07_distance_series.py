@@ -18,6 +18,7 @@ from repro.stats.correlation import spearman
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 7: dissimilarity of health records to the failure record."""
     report = report if report is not None else default_report()
     panels = []
     series_data = {}

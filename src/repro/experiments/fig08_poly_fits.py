@@ -22,6 +22,7 @@ PAPER_WINDOWS = {
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 8: failure degradation of the centroid drives with fits."""
     report = report if report is not None else default_report()
     panels = []
     fit_rows = []

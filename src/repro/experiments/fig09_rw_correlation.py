@@ -19,6 +19,7 @@ from repro.smart.attributes import READ_WRITE_ATTRIBUTES
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 9: correlation of R/W attributes with failure degradation."""
     report = report if report is not None else default_report()
     rows = []
     data = {}

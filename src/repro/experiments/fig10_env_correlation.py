@@ -25,6 +25,7 @@ from repro.reporting.tables import ascii_table
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 10: correlation of environmental attributes with R/W attributes."""
     report = report if report is not None else default_report()
     rows = []
     data = {}

@@ -20,6 +20,7 @@ from repro.reporting.figures import ascii_series
 
 def run(report: CharacterizationReport | None = None,
         attribute: str = "TC") -> ExperimentResult:
+    """Render Figure 11: temporal z-scores of drive temperature (TC)."""
     report = report if report is not None else default_report()
     by_group = temporal_group_z_scores(
         report.dataset, report.categorization, attribute

@@ -17,6 +17,7 @@ from repro.reporting.figures import ascii_series
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 12: temporal z-scores of power-on hours (POH)."""
     report = report if report is not None else default_report()
     by_group = temporal_group_z_scores(
         report.dataset, report.categorization, "POH"

@@ -15,6 +15,7 @@ from repro.experiments.common import ExperimentResult, default_report
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Figure 13: the regression-tree model for Group 1 degradation prediction."""
     report = report if report is not None else default_report()
     predictor = DegradationPredictor()
     reports = predictor.evaluate_all(report.dataset, report.categorization)

@@ -31,6 +31,7 @@ MODE_BY_TYPE = {
 
 
 def run(*, n_drives: int = 3000, seed: int = 404) -> ExperimentResult:
+    """Show the approach transferring to other storage systems."""
     fleet = simulate_fleet(FleetConfig.backup_system(n_drives=n_drives,
                                                      seed=seed))
     report = CharacterizationPipeline(run_prediction=False, seed=seed).run(

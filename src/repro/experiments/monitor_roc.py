@@ -27,6 +27,7 @@ LEAD_HOURS = 24
 
 def run(*, train_drives: int = 2000, eval_drives: int = 1500,
         seed: int = 71) -> ExperimentResult:
+    """Sweep the monitor thresholds into an operating curve."""
     train_fleet = simulate_fleet(FleetConfig(n_drives=train_drives,
                                              seed=seed))
     report = CharacterizationPipeline(run_prediction=False, seed=seed).run(

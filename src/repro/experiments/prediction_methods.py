@@ -41,6 +41,7 @@ MAX_SAMPLES = 30_000
 
 def run(report: CharacterizationReport | None = None, *,
         seed: int = 17) -> ExperimentResult:
+    """Compare alternative degradation-prediction methods (Section VI)."""
     report = report if report is not None else default_report()
     predictor = DegradationPredictor(seed=seed)
 

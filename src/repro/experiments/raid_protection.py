@@ -66,6 +66,7 @@ def compute_warning_leads(fleet: FleetResult,
 def run(fleet: FleetResult | None = None,
         report: CharacterizationReport | None = None, *,
         n_groups: int = 20000, seed: int = 99) -> ExperimentResult:
+    """Quantify RAID data-loss risk with and without signature-driven protection."""
     fleet = fleet if fleet is not None else default_fleet()
     report = report if report is not None else default_report()
     leads = compute_warning_leads(fleet, report)

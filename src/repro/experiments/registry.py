@@ -278,6 +278,7 @@ def run_many(ids: list[str], *, jobs: int = 1,
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-experiments`` CLI."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",

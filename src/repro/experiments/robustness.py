@@ -26,6 +26,7 @@ DEFAULT_SEEDS = (3, 17, 42, 99, 123)
 
 def run(*, n_drives: int = 2500,
         seeds: tuple[int, ...] = DEFAULT_SEEDS) -> ExperimentResult:
+    """Check the categorization's robustness across fleets."""
     rows = []
     accuracies = []
     logical_shares = []

@@ -24,6 +24,7 @@ PAPER_WINNERS = {
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Compare the candidate signature models by RMSE (Section IV-C)."""
     report = report if report is not None else default_report()
     rows = []
     data = {}

@@ -8,6 +8,7 @@ from repro.smart.attributes import ATTRIBUTE_REGISTRY
 
 
 def run() -> ExperimentResult:
+    """Render Table I: the disk health attributes selected for characterization."""
     rows = [
         (spec.symbol, spec.name,
          f"{spec.kind.value}, {spec.form.value}")

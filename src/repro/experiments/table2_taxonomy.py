@@ -20,6 +20,7 @@ PAPER_FRACTIONS = {
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Table II: properties and categories of disk failures."""
     report = report if report is not None else default_report()
     groups = report.categorization.groups
 

@@ -21,6 +21,7 @@ PAPER_RMSE = {
 
 
 def run(report: CharacterizationReport | None = None) -> ExperimentResult:
+    """Render Table III: RMSE and error rate of disk degradation prediction."""
     report = report if report is not None else default_report()
     predictions = report.predictions
     if not predictions:

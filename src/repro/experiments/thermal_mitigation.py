@@ -30,6 +30,7 @@ INLET_SWEEP_C = (20.0, 24.0, 28.0, 32.0)
 
 
 def run(*, n_drives: int = 4000, seed: int = 42) -> ExperimentResult:
+    """Quantify what thermal mitigation buys (Section V-A)."""
     rows = []
     counts_by_temp: dict[float, dict[str, int]] = {}
     for inlet in INLET_SWEEP_C:

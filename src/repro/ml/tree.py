@@ -185,6 +185,112 @@ class RegressionTree:
         visit(root, "")
         return "\n".join(lines)
 
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Flatten the fitted tree into JSON-clean plain types.
+
+        The payload round-trips exactly through :meth:`from_dict`:
+        thresholds and leaf values are kept as Python floats (which JSON
+        serializes via ``repr``, preserving every bit of the float64),
+        so a deserialized tree predicts byte-identically to the
+        original.  Growth parameters ride along so a restored tree also
+        reports the same configuration.
+        """
+        root = self._require_root()
+        assert self.n_features_ is not None
+
+        def encode(node: TreeNode) -> dict:
+            payload: dict = {
+                "value": node.value,
+                "n_samples": node.n_samples,
+                "sse": node.sse,
+            }
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                payload["feature_index"] = node.feature_index
+                payload["threshold"] = node.threshold
+                payload["left"] = encode(node.left)
+                payload["right"] = encode(node.right)
+            return payload
+
+        return {
+            "params": {
+                "max_depth": self._max_depth,
+                "min_samples_split": self._min_samples_split,
+                "min_samples_leaf": self._min_samples_leaf,
+                "min_sse_decrease": self._min_sse_decrease,
+            },
+            "n_features": self.n_features_,
+            "feature_names": (list(self.feature_names_)
+                              if self.feature_names_ is not None else None),
+            "root": encode(root),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RegressionTree":
+        """Reconstruct a fitted tree from a :meth:`to_dict` payload.
+
+        Malformed payloads (missing keys, wrong types, an internal node
+        without children) raise :class:`~repro.errors.ModelError` —
+        never a half-built tree.
+        """
+        if not isinstance(payload, dict):
+            raise ModelError("tree payload must be a mapping")
+        try:
+            params = payload["params"]
+            n_features = int(payload["n_features"])
+            names = payload["feature_names"]
+            encoded_root = payload["root"]
+            tree = cls(
+                max_depth=int(params["max_depth"]),
+                min_samples_split=int(params["min_samples_split"]),
+                min_samples_leaf=int(params["min_samples_leaf"]),
+                min_sse_decrease=float(params["min_sse_decrease"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ModelError(f"malformed tree payload: {error}") from error
+
+        def decode(encoded: dict, depth: int) -> TreeNode:
+            if not isinstance(encoded, dict):
+                raise ModelError("tree node payload must be a mapping")
+            if depth > tree._max_depth:
+                raise ModelError("tree payload deeper than its max_depth")
+            try:
+                node = TreeNode(
+                    value=float(encoded["value"]),
+                    n_samples=int(encoded["n_samples"]),
+                    sse=float(encoded["sse"]),
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise ModelError(
+                    f"malformed tree node payload: {error}") from error
+            if "feature_index" in encoded:
+                try:
+                    node.feature_index = int(encoded["feature_index"])
+                    node.threshold = float(encoded["threshold"])
+                    left = encoded["left"]
+                    right = encoded["right"]
+                except (KeyError, TypeError, ValueError) as error:
+                    raise ModelError(
+                        f"malformed tree split payload: {error}") from error
+                if not 0 <= node.feature_index < n_features:
+                    raise ModelError(
+                        f"tree split references feature "
+                        f"{node.feature_index} of {n_features}"
+                    )
+                node.left = decode(left, depth + 1)
+                node.right = decode(right, depth + 1)
+            return node
+
+        tree.n_features_ = n_features
+        tree.feature_names_ = tuple(names) if names is not None else None
+        if (tree.feature_names_ is not None
+                and len(tree.feature_names_) != n_features):
+            raise ModelError("tree payload feature_names length mismatch")
+        tree.root_ = decode(encoded_root, depth=0)
+        return tree
+
     # -- internals ---------------------------------------------------------
 
     def _grow(self, columns: np.ndarray, targets: np.ndarray,

@@ -1,0 +1,38 @@
+"""Serving layer: versioned model artifacts and streaming scoring.
+
+``repro.serve`` turns the pipeline's in-process models into a deployable
+service: :func:`build_bundle` freezes them into a versioned, hashed
+:class:`ModelBundle`; :func:`save_bundle` / :func:`load_bundle`
+round-trip the artifact on disk with typed corruption/staleness
+detection; :class:`StreamScorer` consumes live SMART samples against a
+loaded bundle, byte-identical to offline replay.  The ``repro-serve``
+CLI (:mod:`repro.serve.cli`) fronts all of it from the shell.
+"""
+
+from repro.serve.bundle import (
+    BUNDLE_SCHEMA_VERSION,
+    GroupArtifact,
+    ModelBundle,
+    build_bundle,
+    content_hash,
+    load_bundle,
+    save_bundle,
+)
+from repro.serve.scorer import (
+    MonitorVerdict,
+    StreamScorer,
+    replay_fleet,
+)
+
+__all__ = [
+    "BUNDLE_SCHEMA_VERSION",
+    "GroupArtifact",
+    "ModelBundle",
+    "MonitorVerdict",
+    "StreamScorer",
+    "build_bundle",
+    "content_hash",
+    "load_bundle",
+    "replay_fleet",
+    "save_bundle",
+]

@@ -1,0 +1,336 @@
+"""``repro-serve`` — score live SMART telemetry against a model bundle.
+
+The deployment-side entry point.  Where ``repro-characterize`` trains
+(and, with ``--export-model``, publishes) the models, ``repro-serve``
+consumes the published artifact:
+
+* ``score`` — read a sample stream (CSV rows of ``serial,hour,<Table I
+  attributes>``, stdin by default) and emit one canonical JSON verdict
+  line per sample;
+* ``replay`` — push a whole dataset through the scorer at maximum
+  throughput, fanning drives out over ``--jobs`` workers;
+* ``bench`` — measure bundle load latency and scoring throughput on a
+  synthetic stream, printing a JSON summary.
+
+Examples::
+
+   repro-characterize --simulate 2000 --export-model fleet.bundle.json
+   repro-serve score --bundle fleet.bundle.json < stream.csv
+   repro-serve replay --bundle fleet.bundle.json --simulate 500 --jobs 4
+   repro-serve bench --bundle fleet.bundle.json --rounds 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import time
+from pathlib import Path
+from typing import IO, Iterator
+
+import numpy as np
+
+from repro.core.serialize import canonical_json_dumps
+from repro.data.loader import load_csv
+from repro.errors import ReproError, ServeError
+from repro.obs import logging as obs_logging
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    PipelineObserver,
+    TelemetryObserver,
+)
+from repro.serve.bundle import load_bundle
+from repro.serve.scorer import MonitorVerdict, StreamScorer, replay_fleet
+from repro.sim.config import FleetConfig
+from repro.sim.fleet import simulate_fleet
+
+#: Samples scored per ``push_many`` batch on the ``score`` stream — one
+#: normalizer pass and one tree pass per group per batch, while keeping
+#: arrival-order latency bounded.
+STREAM_BATCH_SIZE = 256
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument grammar (``score``/``replay``/``bench``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Score SMART telemetry streams against a trained "
+                    "degradation model bundle.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--bundle", required=True, metavar="PATH",
+                         help="model bundle written by "
+                              "'repro-characterize --export-model'")
+        telemetry = sub.add_argument_group("telemetry")
+        telemetry.add_argument("-v", "--verbose", action="count", default=0,
+                               help="log progress (-vv for debug)")
+        telemetry.add_argument("--log-json", action="store_true",
+                               help="emit log records as JSON lines")
+        telemetry.add_argument("--trace", metavar="PATH", default=None,
+                               help="write the span tree here as JSON")
+        telemetry.add_argument("--metrics", metavar="PATH", default=None,
+                               help="write the metrics snapshot here as JSON")
+
+    score = commands.add_parser(
+        "score", help="score a CSV sample stream to JSONL verdicts")
+    add_common(score)
+    score.add_argument("--input", metavar="PATH", default="-",
+                       help="sample stream: CSV with a "
+                            "'serial,hour,<attributes>' header "
+                            "(default '-': stdin)")
+    score.add_argument("--output", metavar="PATH", default=None,
+                       help="write JSONL verdicts here (default: stdout)")
+    score.add_argument("--alerts-only", action="store_true",
+                       help="emit only WATCH/CRITICAL verdicts")
+
+    replay = commands.add_parser(
+        "replay", help="replay a whole dataset at maximum throughput")
+    add_common(replay)
+    source = replay.add_mutually_exclusive_group(required=True)
+    source.add_argument("--csv", metavar="PATH",
+                        help="native-format CSV dataset to replay")
+    source.add_argument("--simulate", type=int, metavar="N_DRIVES",
+                        help="simulate a fleet of this size instead")
+    replay.add_argument("--seed", type=int, default=42,
+                        help="seed for --simulate")
+    replay.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="replay workers (1 = serial, 0 = all CPUs); "
+                             "any value emits identical verdicts")
+    replay.add_argument("--output", metavar="PATH", default=None,
+                        help="write JSONL verdicts here (default: "
+                             "summary only)")
+    replay.add_argument("--alerts-only", action="store_true",
+                        help="write only WATCH/CRITICAL verdicts")
+
+    bench = commands.add_parser(
+        "bench", help="measure bundle load latency and scoring throughput")
+    add_common(bench)
+    bench.add_argument("--simulate", type=int, default=200,
+                       metavar="N_DRIVES",
+                       help="synthetic fleet size for the throughput "
+                            "stream (default 200)")
+    bench.add_argument("--seed", type=int, default=42,
+                       help="seed for the synthetic fleet")
+    bench.add_argument("--rounds", type=int, default=3,
+                       help="timing rounds (best-of; default 3)")
+    return parser
+
+
+def read_sample_stream(handle: IO[str], attributes: tuple[str, ...],
+                       ) -> Iterator[tuple[str, int, np.ndarray]]:
+    """Parse a ``serial,hour,<attributes>`` CSV stream into samples.
+
+    The header must name exactly the bundle's attribute columns, in
+    order — a scorer fed columns in another drive's convention would
+    silently produce garbage stages, so the mismatch is a hard
+    :class:`~repro.errors.ServeError` instead.
+    """
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ServeError("sample stream is empty (no header row)") from None
+    expected = ["serial", "hour", *attributes]
+    if [column.strip() for column in header] != expected:
+        raise ServeError(
+            f"sample stream header {header!r} does not match the "
+            f"bundle's feature space {expected!r}"
+        )
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(expected):
+            raise ServeError(
+                f"sample stream line {line_number}: {len(row)} fields, "
+                f"expected {len(expected)}"
+            )
+        try:
+            hour = int(row[1])
+            values = np.asarray([float(v) for v in row[2:]],
+                                dtype=np.float64)
+        except ValueError as error:
+            raise ServeError(
+                f"sample stream line {line_number}: {error}") from error
+        yield row[0], hour, values
+
+
+def _write_verdicts(verdicts: list[MonitorVerdict], sink: IO[str], *,
+                    alerts_only: bool) -> int:
+    """Emit verdicts as JSONL; returns the number of lines written."""
+    written = 0
+    for verdict in verdicts:
+        if alerts_only and not verdict.alerting:
+            continue
+        sink.write(verdict.to_json_line() + "\n")
+        written += 1
+    return written
+
+
+def run_score(args: argparse.Namespace,
+              observer: PipelineObserver) -> int:
+    """``score``: CSV sample stream in, JSONL verdict stream out."""
+    bundle = load_bundle(args.bundle, observer=observer)
+    scorer = StreamScorer(bundle, observer=observer)
+
+    def score_stream(source: IO[str], sink: IO[str]) -> int:
+        lines = 0
+        batch: list[tuple[str, int, np.ndarray]] = []
+        with observer.span("score-stream"):
+            for sample in read_sample_stream(source, bundle.attributes):
+                batch.append(sample)
+                if len(batch) >= STREAM_BATCH_SIZE:
+                    lines += _write_verdicts(scorer.push_many(batch), sink,
+                                             alerts_only=args.alerts_only)
+                    batch.clear()
+            lines += _write_verdicts(scorer.push_many(batch), sink,
+                                     alerts_only=args.alerts_only)
+        return lines
+
+    source = sys.stdin if args.input == "-" else open(args.input, newline="")
+    try:
+        if args.output:
+            with open(args.output, "w") as sink:
+                lines = score_stream(source, sink)
+        else:
+            lines = score_stream(source, sys.stdout)
+    finally:
+        if source is not sys.stdin:
+            source.close()
+    print(f"scored {scorer.samples_scored} samples from "
+          f"{scorer.drives_tracked} drives: {scorer.alerts_emitted} "
+          f"alerts, {lines} verdicts written", file=sys.stderr)
+    return 0
+
+
+def run_replay(args: argparse.Namespace,
+               observer: PipelineObserver) -> int:
+    """``replay``: full-dataset scoring at maximum throughput."""
+    bundle = load_bundle(args.bundle, observer=observer)
+    if args.simulate is not None:
+        dataset = simulate_fleet(FleetConfig(n_drives=args.simulate,
+                                             seed=args.seed)).dataset
+    else:
+        dataset = load_csv(args.csv, observer=observer)
+    profiles = dataset.profiles
+
+    start = time.perf_counter()
+    per_profile = replay_fleet(bundle, profiles, n_jobs=args.jobs,
+                               observer=observer)
+    elapsed = time.perf_counter() - start
+
+    n_samples = sum(len(verdicts) for verdicts in per_profile)
+    n_alerts = sum(1 for verdicts in per_profile
+                   for verdict in verdicts if verdict.alerting)
+    if args.output:
+        with open(args.output, "w") as sink:
+            written = sum(
+                _write_verdicts(verdicts, sink,
+                                alerts_only=args.alerts_only)
+                for verdicts in per_profile
+            )
+        print(f"{written} verdicts written to {args.output}")
+    throughput = n_samples / elapsed if elapsed > 0 else float("inf")
+    print(f"replayed {n_samples} samples from {len(profiles)} drives "
+          f"in {elapsed:.2f}s ({throughput:,.0f} samples/s, "
+          f"{n_alerts} alerts, jobs={args.jobs})")
+    return 0
+
+
+def run_bench(args: argparse.Namespace,
+              observer: PipelineObserver) -> int:
+    """``bench``: JSON latency/throughput summary on a synthetic stream."""
+    rounds = max(1, args.rounds)
+
+    load_times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        bundle = load_bundle(args.bundle, observer=observer)
+        load_times.append(time.perf_counter() - start)
+
+    dataset = simulate_fleet(FleetConfig(n_drives=args.simulate,
+                                         seed=args.seed)).dataset
+    samples = [
+        (profile.serial, int(hour), row)
+        for profile in dataset.profiles
+        for hour, row in zip(profile.hours, profile.matrix)
+    ]
+
+    batched_times = []
+    for _ in range(rounds):
+        scorer = StreamScorer(bundle)
+        start = time.perf_counter()
+        scorer.push_many(samples)
+        batched_times.append(time.perf_counter() - start)
+
+    single_times = []
+    for _ in range(rounds):
+        scorer = StreamScorer(bundle)
+        start = time.perf_counter()
+        for serial, hour, record in samples:
+            scorer.push(serial, hour, record)
+        single_times.append(time.perf_counter() - start)
+
+    batched_s = min(batched_times)
+    single_s = min(single_times)
+    payload = {
+        "bundle": str(Path(args.bundle)),
+        "rounds": rounds,
+        "stream": {
+            "n_drives": len(dataset.profiles),
+            "n_samples": len(samples),
+            "seed": args.seed,
+        },
+        "bundle_load": {
+            "best_s": min(load_times),
+            "mean_s": sum(load_times) / len(load_times),
+        },
+        "throughput": {
+            "push_many_s": batched_s,
+            "push_many_samples_per_s": len(samples) / batched_s,
+            "push_s": single_s,
+            "push_samples_per_s": len(samples) / single_s,
+            "speedup": single_s / batched_s,
+        },
+    }
+    print(canonical_json_dumps(payload), end="")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: any library or I/O failure exits 2 with one line."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def run(args: argparse.Namespace) -> int:
+    """Dispatch one parsed subcommand (telemetry configured first)."""
+    obs_logging.configure(
+        level=obs_logging.verbosity_to_level(args.verbose),
+        json_mode=args.log_json,
+    )
+    collect_telemetry = bool(args.verbose or args.log_json
+                             or args.trace or args.metrics)
+    observer = TelemetryObserver() if collect_telemetry else NULL_OBSERVER
+
+    handlers = {"score": run_score, "replay": run_replay, "bench": run_bench}
+    status = handlers[args.command](args, observer)
+
+    if args.trace:
+        observer.tracer.save_json(args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        Path(args.metrics).write_text(observer.metrics.to_json())
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

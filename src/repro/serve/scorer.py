@@ -1,0 +1,272 @@
+"""Streaming degradation scoring over a loaded model bundle.
+
+:class:`StreamScorer` is the serving half of the paper's middleware: it
+loads a :class:`~repro.serve.bundle.ModelBundle`, reconstructs the exact
+training-time models, and consumes SMART samples incrementally —
+``push(serial, hour, record)`` for one sample, ``push_many`` for a
+batch.  Per-drive state lives in the ring buffers the underlying
+:class:`~repro.core.monitor.DegradationMonitor` keeps (a bounded deque
+of normalized records per serial plus the last severity level), so
+memory stays O(drives x history_hours) no matter how long the stream
+runs.
+
+The contract that makes the scorer trustworthy is *byte-identity with
+offline replay*: feeding a profile's samples through ``push`` (or
+``push_many``, whose batched math is element-wise identical) emits
+verdicts whose canonical JSON serialization equals, byte for byte, the
+verdicts of :meth:`DegradationMonitor.replay
+<repro.core.monitor.DegradationMonitor.replay>` on the same profile with
+the same (in-memory, never serialized) models.  The golden tests pin
+this across a bundle save/load round trip.
+
+:func:`replay_fleet` replays whole datasets at maximum throughput,
+fanning profiles out over :func:`repro.parallel.map_drives` — verdicts
+are per-drive independent (each drive's state keys on its serial), so
+any job count returns the same verdict lists in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.monitor import AlertLevel, DegradationAlert, DegradationMonitor
+from repro.core.serialize import canonical_json_line
+from repro.core.taxonomy import FailureType
+from repro.errors import ServeError
+from repro.obs.observer import PipelineObserver, resolve_observer
+from repro.parallel import ParallelConfig, map_drives
+from repro.serve.bundle import ModelBundle
+from repro.smart.profile import HealthProfile
+
+#: Samples are ``(serial, hour, raw_record)`` triples, raw meaning
+#: unnormalized Table I attribute vectors — what a collector ships.
+Sample = tuple[str, int, np.ndarray]
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorVerdict:
+    """One serialized-friendly scoring verdict for one drive-hour.
+
+    The structured twin of :class:`~repro.core.monitor.DegradationAlert`
+    — same fields, plus the per-type stage/remaining-hours breakdown
+    flattened to plain types so a verdict renders to one canonical JSON
+    line.  ``from_alert`` is the only constructor the scorer uses, so a
+    verdict always reflects exactly one monitor alert.
+    """
+
+    serial: str
+    hour: int
+    level: str
+    stage: float
+    likely_type: str
+    hours_remaining: float
+    stages: dict[str, float]
+    remaining: dict[str, float]
+
+    @classmethod
+    def from_alert(cls, alert: DegradationAlert) -> "MonitorVerdict":
+        """Wrap one monitor alert (the sole constructor used in serving)."""
+        return cls(
+            serial=alert.serial,
+            hour=alert.hour,
+            level=alert.level.name,
+            stage=alert.stage,
+            likely_type=alert.likely_type.name,
+            hours_remaining=alert.hours_remaining,
+            stages={t.name: e.stage for t, e in alert.estimates.items()},
+            remaining={t.name: e.hours_remaining
+                       for t, e in alert.estimates.items()},
+        )
+
+    @property
+    def alerting(self) -> bool:
+        """Whether the verdict sits above HEALTHY."""
+        return self.level != AlertLevel.HEALTHY.name
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-type mapping, ready for canonical JSON."""
+        return {
+            "serial": self.serial,
+            "hour": self.hour,
+            "level": self.level,
+            "stage": self.stage,
+            "likely_type": self.likely_type,
+            "hours_remaining": self.hours_remaining,
+            "stages": dict(self.stages),
+            "remaining": dict(self.remaining),
+        }
+
+    def to_json_line(self) -> str:
+        """One canonical JSON line (sorted keys, normalized floats).
+
+        Non-finite remaining-hours (healthy drives) serialize as
+        ``null`` — JSON has no ``Infinity``.
+        """
+        return canonical_json_line(self.to_dict())
+
+
+class StreamScorer:
+    """Incremental degradation scorer over a model bundle.
+
+    Parameters
+    ----------
+    bundle:
+        The versioned artifact to score with (see
+        :func:`~repro.serve.bundle.load_bundle`).
+    observer:
+        Telemetry sink: ``samples_scored`` / ``alerts_emitted``
+        counters, a ``drives_tracked`` gauge, and ``score-batch`` spans
+        around each ``push_many``.
+    """
+
+    def __init__(self, bundle: ModelBundle, *,
+                 observer: PipelineObserver | None = None) -> None:
+        self._bundle = bundle
+        self._observer = resolve_observer(observer)
+        self._monitor = DegradationMonitor(
+            bundle.predictor(), bundle.normalizer(),
+            watch_threshold=bundle.watch_threshold,
+            critical_threshold=bundle.critical_threshold,
+            history_hours=bundle.history_hours,
+        )
+        self._samples_scored = 0
+        self._alerts_emitted = 0
+
+    # -- streaming API ----------------------------------------------------
+
+    def push(self, serial: str, hour: int,
+             record: np.ndarray) -> MonitorVerdict:
+        """Score one raw SMART sample and return its verdict."""
+        record = self._check_record(serial, record)
+        alert = self._monitor.observe(serial, hour, record)
+        return self._account(alert)
+
+    def push_many(self, samples: Iterable[Sample]) -> list[MonitorVerdict]:
+        """Score a batch of ``(serial, hour, record)`` samples.
+
+        Verdicts are identical to per-sample :meth:`push` calls in the
+        same order — the batch path exists purely for throughput (one
+        normalizer pass and one tree evaluation per failure group for
+        the whole batch; see
+        :meth:`~repro.core.monitor.DegradationMonitor.observe_many`).
+        """
+        checked = [
+            (serial, int(hour), self._check_record(serial, record))
+            for serial, hour, record in samples
+        ]
+        if not checked:
+            return []
+        with self._observer.span("score-batch", n_samples=len(checked)):
+            alerts = self._monitor.observe_many(checked)
+        return [self._account(alert) for alert in alerts]
+
+    def replay_profile(self, profile: HealthProfile) -> list[MonitorVerdict]:
+        """Stream one profile's samples through the scorer, in order."""
+        return self.push_many(
+            (profile.serial, int(hour), row)
+            for hour, row in zip(profile.hours, profile.matrix)
+        )
+
+    # -- fleet state ------------------------------------------------------
+
+    @property
+    def bundle(self) -> ModelBundle:
+        """The artifact this scorer was built from."""
+        return self._bundle
+
+    @property
+    def samples_scored(self) -> int:
+        """Samples consumed since construction."""
+        return self._samples_scored
+
+    @property
+    def alerts_emitted(self) -> int:
+        """Verdicts above HEALTHY since construction."""
+        return self._alerts_emitted
+
+    @property
+    def drives_tracked(self) -> int:
+        """Drives with live ring-buffer state."""
+        return self._monitor.n_tracked
+
+    def level_of(self, serial: str) -> AlertLevel:
+        """Last severity level of a drive (HEALTHY if never seen)."""
+        return self._monitor.level_of(serial)
+
+    def drives_at(self, level: AlertLevel) -> list[str]:
+        """Serials currently at exactly ``level``."""
+        return self._monitor.drives_at(level)
+
+    # -- internals --------------------------------------------------------
+
+    def _check_record(self, serial: str, record: np.ndarray) -> np.ndarray:
+        """Validate one raw record against the bundle's feature space."""
+        record = np.asarray(record, dtype=np.float64).ravel()
+        if record.shape[0] != self._bundle.n_attributes:
+            raise ServeError(
+                f"drive {serial!r}: record has {record.shape[0]} "
+                f"attributes, bundle expects {self._bundle.n_attributes} "
+                f"({', '.join(self._bundle.attributes)})"
+            )
+        return record
+
+    def _account(self, alert: DegradationAlert) -> MonitorVerdict:
+        """Convert an alert and update the scorer's telemetry."""
+        verdict = MonitorVerdict.from_alert(alert)
+        self._samples_scored += 1
+        self._observer.count("samples_scored")
+        if verdict.alerting:
+            self._alerts_emitted += 1
+            self._observer.count("alerts_emitted")
+        self._observer.gauge("drives_tracked", self.drives_tracked)
+        return verdict
+
+
+@dataclass(slots=True)
+class _ReplayTask:
+    """Picklable per-profile replay worker for the fleet fan-out.
+
+    The task ships the bundle's plain payload (cheap to pickle) and
+    lazily builds its scorer on first call, so each worker pays the
+    model reconstruction once per chunk, not once per profile.  Sharing
+    one scorer across a chunk only accumulates more per-drive state —
+    verdicts are per-drive independent, so it never changes any output.
+    """
+
+    payload: dict
+    _scorer: StreamScorer | None = None
+
+    def __call__(self, profile: HealthProfile) -> list[MonitorVerdict]:
+        if self._scorer is None:
+            self._scorer = StreamScorer(ModelBundle.from_payload(self.payload))
+        return self._scorer.replay_profile(profile)
+
+
+def replay_fleet(bundle: ModelBundle,
+                 profiles: Sequence[HealthProfile], *,
+                 n_jobs: int = 1, backend: str = "process",
+                 observer: PipelineObserver | None = None,
+                 ) -> list[list[MonitorVerdict]]:
+    """Replay every profile through the bundle at maximum throughput.
+
+    Returns one verdict list per profile, in input order, for any
+    ``n_jobs``/``backend`` — per-drive state keys on the serial, so
+    profiles score independently and the fan-out is a pure performance
+    knob.  The caller's observer sees a ``fleet-replay`` span plus the
+    scorer counters replayed from the merged results.
+    """
+    obs = resolve_observer(observer)
+    config = ParallelConfig(n_jobs=n_jobs, backend=backend)
+    task = _ReplayTask(bundle.to_payload())
+    with obs.span("fleet-replay", n_profiles=len(profiles), n_jobs=n_jobs):
+        results = map_drives(task, list(profiles), config,
+                             observer=obs, label="replay-fanout")
+    for verdicts in results:
+        obs.count("samples_scored", len(verdicts))
+        obs.count("alerts_emitted",
+                  sum(1 for verdict in verdicts if verdict.alerting))
+    obs.gauge("drives_tracked", len(results))
+    return results

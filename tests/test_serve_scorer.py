@@ -1,0 +1,126 @@
+"""Tests for the streaming scorer — the byte-identity golden contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import AlertLevel, DegradationMonitor
+from repro.core.prediction import DegradationPredictor
+from repro.errors import ServeError
+from repro.obs.observer import TelemetryObserver
+from repro.serve.bundle import build_bundle, load_bundle, save_bundle
+from repro.serve.scorer import MonitorVerdict, StreamScorer, replay_fleet
+
+
+@pytest.fixture(scope="module")
+def loaded_bundle(mid_report, tmp_path_factory):
+    """A bundle that went through a full disk round trip."""
+    bundle = build_bundle(mid_report, seed=7)
+    path = tmp_path_factory.mktemp("scorer") / "fleet.bundle.json"
+    save_bundle(bundle, path)
+    return load_bundle(path)
+
+
+@pytest.fixture(scope="module")
+def reference_monitor(mid_report):
+    """The offline monitor built from never-serialized in-memory models."""
+    predictor = DegradationPredictor(seed=7)
+    predictor.evaluate_all(mid_report.dataset, mid_report.categorization)
+    return DegradationMonitor(predictor, mid_report.dataset.normalizer)
+
+
+@pytest.fixture(scope="module")
+def stream_profiles(mid_fleet):
+    """A mixed failed/good slice of the fleet, raw records."""
+    dataset = mid_fleet.dataset
+    return dataset.failed_profiles[:6] + dataset.good_profiles[:6]
+
+
+def _lines(verdicts):
+    return [v.to_json_line() for v in verdicts]
+
+
+def test_scorer_matches_offline_replay_byte_for_byte(
+        loaded_bundle, reference_monitor, stream_profiles):
+    """The golden contract: saved->loaded->streamed == offline replay."""
+    scorer = StreamScorer(loaded_bundle)
+    for profile in stream_profiles:
+        offline = [MonitorVerdict.from_alert(alert).to_json_line()
+                   for alert in reference_monitor.replay(profile)]
+        streamed = _lines(scorer.replay_profile(profile))
+        assert streamed == offline
+
+
+def test_push_many_equals_push(loaded_bundle, stream_profiles):
+    samples = [
+        (profile.serial, int(hour), row)
+        for profile in stream_profiles
+        for hour, row in zip(profile.hours, profile.matrix)
+    ]
+    one_by_one = StreamScorer(loaded_bundle)
+    batched = StreamScorer(loaded_bundle)
+    sequential = [one_by_one.push(*sample) for sample in samples]
+    batch = batched.push_many(samples)
+    assert _lines(batch) == _lines(sequential)
+    assert one_by_one.samples_scored == batched.samples_scored
+    assert one_by_one.alerts_emitted == batched.alerts_emitted
+
+
+def test_push_many_empty_is_noop(loaded_bundle):
+    scorer = StreamScorer(loaded_bundle)
+    assert scorer.push_many([]) == []
+    assert scorer.samples_scored == 0
+
+
+@pytest.mark.parametrize("n_jobs,backend", [(2, "process"), (2, "thread")])
+def test_parallel_replay_is_byte_identical(loaded_bundle, stream_profiles,
+                                           n_jobs, backend):
+    serial = replay_fleet(loaded_bundle, stream_profiles, n_jobs=1)
+    parallel = replay_fleet(loaded_bundle, stream_profiles,
+                            n_jobs=n_jobs, backend=backend)
+    assert [_lines(v) for v in serial] == [_lines(v) for v in parallel]
+
+
+def test_replay_fleet_preserves_input_order(loaded_bundle, stream_profiles):
+    results = replay_fleet(loaded_bundle, stream_profiles, n_jobs=2)
+    assert len(results) == len(stream_profiles)
+    for profile, verdicts in zip(stream_profiles, results):
+        assert len(verdicts) == len(profile.hours)
+        assert all(v.serial == profile.serial for v in verdicts)
+
+
+def test_failed_drive_alerts_and_state_tracks(loaded_bundle, mid_fleet):
+    scorer = StreamScorer(loaded_bundle)
+    failed = mid_fleet.dataset.failed_profiles[0]
+    verdicts = scorer.replay_profile(failed)
+    assert verdicts[-1].level == AlertLevel.CRITICAL.name
+    assert scorer.level_of(failed.serial) is AlertLevel.CRITICAL
+    assert failed.serial in scorer.drives_at(AlertLevel.CRITICAL)
+    assert scorer.alerts_emitted > 0
+    assert scorer.drives_tracked == 1
+
+
+def test_record_width_mismatch_is_typed(loaded_bundle):
+    scorer = StreamScorer(loaded_bundle)
+    with pytest.raises(ServeError, match="attributes"):
+        scorer.push("D1", 0, np.zeros(loaded_bundle.n_attributes + 1))
+
+
+def test_verdict_json_is_canonical(loaded_bundle, stream_profiles):
+    scorer = StreamScorer(loaded_bundle)
+    verdict = scorer.replay_profile(stream_profiles[0])[0]
+    line = verdict.to_json_line()
+    assert line == verdict.to_json_line()     # stable
+    assert "\n" not in line
+    import json
+    payload = json.loads(line)
+    assert list(payload) == sorted(payload)   # sorted keys
+    assert payload["serial"] == stream_profiles[0].serial
+
+
+def test_scorer_emits_telemetry(loaded_bundle, stream_profiles):
+    observer = TelemetryObserver()
+    scorer = StreamScorer(loaded_bundle, observer=observer)
+    scorer.replay_profile(stream_profiles[0])
+    snapshot = observer.metrics.snapshot()
+    assert snapshot["samples_scored"]["value"] == scorer.samples_scored
+    assert snapshot["drives_tracked"]["value"] == 1
