@@ -40,7 +40,12 @@ from repro.data import (
     save_csv,
 )
 from repro.faults import ChaosConfig, inject_dataset, parse_chaos_spec
-from repro.parallel import ParallelConfig, RetryPolicy, map_drives
+from repro.parallel import (
+    ParallelConfig,
+    RetryPolicy,
+    get_worker_observer,
+    map_drives,
+)
 from repro.serve import (
     ModelBundle,
     MonitorVerdict,
@@ -85,6 +90,7 @@ __all__ = [
     "parse_chaos_spec",
     "ParallelConfig",
     "RetryPolicy",
+    "get_worker_observer",
     "map_drives",
     "ModelBundle",
     "MonitorVerdict",

@@ -35,6 +35,7 @@ from repro.data.sanitize import SanitizationResult, sanitize_profiles
 from repro.errors import ReproError
 from repro.faults import inject_dataset, parse_chaos_spec
 from repro.obs import logging as obs_logging
+from repro.obs.export import render_prometheus
 from repro.obs.observer import (
     NULL_OBSERVER,
     PipelineObserver,
@@ -114,6 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the stage span tree here as JSON")
     telemetry.add_argument("--metrics", metavar="PATH", default=None,
                            help="write the metrics snapshot here as JSON")
+    telemetry.add_argument("--prom", metavar="PATH", default=None,
+                           help="write the metrics here in Prometheus "
+                                "text exposition format")
     return parser
 
 
@@ -222,7 +226,7 @@ def run(args: argparse.Namespace) -> int:
         json_mode=args.log_json,
     )
     collect_telemetry = bool(args.verbose or args.log_json
-                             or args.trace or args.metrics)
+                             or args.trace or args.metrics or args.prom)
     observer = TelemetryObserver() if collect_telemetry else NULL_OBSERVER
 
     dataset, quality = load_dataset(args, observer)
@@ -290,6 +294,9 @@ def run(args: argparse.Namespace) -> int:
     if args.metrics:
         Path(args.metrics).write_text(observer.metrics.to_json())
         print(f"metrics written to {args.metrics}")
+    if args.prom:
+        Path(args.prom).write_text(render_prometheus(observer.metrics))
+        print(f"Prometheus metrics written to {args.prom}")
     return 0
 
 

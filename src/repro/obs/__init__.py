@@ -5,8 +5,16 @@ systems expect of their own tooling:
 
 * :mod:`repro.obs.tracing` — nestable stage spans with wall/CPU time,
   exportable as a JSON trace tree;
-* :mod:`repro.obs.metrics` — counters, gauges and histograms behind a
-  :class:`MetricsRegistry` with text/JSON snapshots;
+* :mod:`repro.obs.metrics` — counters, gauges and bounded streaming
+  histograms behind a :class:`MetricsRegistry` with labeled families,
+  text/JSON snapshots and cross-process state merging;
+* :mod:`repro.obs.export` — Prometheus text exposition, JSONL
+  metric/trace dumps and atomic/periodic snapshot files;
+* :mod:`repro.obs.recorder` — the :class:`FlightRecorder` bounded ring
+  of recent alerts/errors with on-demand and on-crash dumps;
+* :mod:`repro.obs.http` — the zero-dependency ``/metrics`` +
+  ``/health`` + ``/status`` HTTP surface
+  (:class:`TelemetryHTTPServer`);
 * :mod:`repro.obs.logging` — one-call structured logging setup with
   per-module loggers and an optional JSON line format;
 * :mod:`repro.obs.observer` — the :class:`PipelineObserver` seam the
@@ -17,9 +25,19 @@ systems expect of their own tooling:
 See ``docs/observability.md`` for the operator-facing walkthrough.
 """
 
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    PeriodicSnapshotWriter,
+    metrics_jsonl,
+    render_prometheus,
+    trace_jsonl,
+    write_snapshot,
+)
+from repro.obs.http import TelemetryHTTPServer
 from repro.obs.logging import configure as configure_logging
 from repro.obs.logging import get_logger, verbosity_to_level
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import FlightEvent, FlightRecorder
 from repro.obs.observer import (
     NULL_OBSERVER,
     NoopObserver,
@@ -32,6 +50,15 @@ from repro.obs.timing import TimeitResult, format_duration, timeit
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "PeriodicSnapshotWriter",
+    "TelemetryHTTPServer",
+    "FlightEvent",
+    "FlightRecorder",
+    "metrics_jsonl",
+    "render_prometheus",
+    "trace_jsonl",
+    "write_snapshot",
     "configure_logging",
     "get_logger",
     "verbosity_to_level",

@@ -10,31 +10,127 @@ renders the whole set as a JSON snapshot or an aligned text block::
 
 Metric kinds follow the conventional trio: a :class:`Counter` only ever
 accumulates, a :class:`Gauge` holds the latest value, and a
-:class:`Histogram` keeps every observation so exact quantiles can be
-computed at snapshot time (pipeline runs observe thousands of values,
-not millions, so exact retention beats bucketing here).
+:class:`Histogram` tracks a distribution.
+
+Histograms are **bounded by default** so a streaming scorer can observe
+millions of samples without growing memory: exact aggregates (count,
+sum, min, max) are tracked incrementally, per-value counts go into the
+fixed log-spaced :data:`BUCKET_BOUNDS` (the same buckets Prometheus
+exposition renders), and quantiles come from a deterministic compacting
+reservoir of at most ``retention`` retained values.  Below the retention
+cap the reservoir holds every observation, so quantiles stay *exact* —
+identical to the historical behavior — and beyond it the reservoir
+thins itself to every 2nd, 4th, ... observation, keeping quantile
+estimates representative at O(retention) memory.  Batch callers that
+want unbounded exact quantiles regardless of volume pass
+``retention=None``.
+
+Metrics may carry **labels** — a small mapping of string key/value
+pairs — turning a name into a family of time series (one per label
+set), the way Prometheus models dimensions::
+
+    registry.counter("telemetry_requests", labels={"endpoint": "metrics"})
+
+Cross-process aggregation goes through :meth:`MetricsRegistry.dump_state`
+and :meth:`MetricsRegistry.merge_state`: a worker process dumps its
+registry to plain JSON-clean types, ships it home with its results, and
+the parent merges deltas deterministically (counters add, gauges take
+the later write, histograms combine aggregates, buckets and
+reservoirs).  :func:`repro.parallel.map_drives` does exactly this for
+every fan-out.
 """
 
 from __future__ import annotations
 
+import bisect
 import json
 import math
-from typing import Any
+import re
+from typing import Any, Iterator, Mapping
 
 from repro.errors import ObservabilityError
 
 #: Quantiles reported in every histogram snapshot.
 SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99)
 
+#: Default histogram reservoir capacity.  Below this many observations
+#: quantiles are exact; beyond it the reservoir compacts (memory stays
+#: bounded, quantiles become representative estimates).
+DEFAULT_HISTOGRAM_RETENTION = 4096
+
+#: Metric and label-key grammar (Prometheus-compatible snake_case).
+_NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def _log_spaced_bounds() -> tuple[float, ...]:
+    """Fixed 1-2.5-5 log-spaced bucket bounds, mirrored around zero.
+
+    Positive decades cover 1e-3 .. 5e6 — sub-millisecond latencies up
+    to multi-week hour counts — and every positive bound has a negative
+    mirror so signed observations (degradation stages are negative)
+    resolve too.
+    """
+    positive = [m * 10.0 ** e for e in range(-3, 7) for m in (1.0, 2.5, 5.0)]
+    return tuple([-b for b in reversed(positive)] + [0.0] + positive)
+
+
+#: Upper bounds (``le``) of the shared histogram buckets; observations
+#: above the last bound land in the implicit +Inf bucket.
+BUCKET_BOUNDS = _log_spaced_bounds()
+
+
+def _check_name(name: str) -> str:
+    """Enforce the snake_case metric-name grammar."""
+    if not _NAME_PATTERN.match(name):
+        raise ObservabilityError(
+            f"metric name {name!r} is not snake_case "
+            "(expected ^[a-z][a-z0-9_]*$)"
+        )
+    return name
+
+
+def normalize_labels(labels: Mapping[str, str] | None,
+                     ) -> tuple[tuple[str, str], ...]:
+    """Canonicalize a label mapping to a sorted, hashable tuple."""
+    if not labels:
+        return ()
+    normalized = []
+    for key in sorted(labels):
+        if not _NAME_PATTERN.match(key):
+            raise ObservabilityError(
+                f"label key {key!r} is not snake_case"
+            )
+        normalized.append((key, str(labels[key])))
+    return tuple(normalized)
+
+
+def render_label_suffix(labels: tuple[tuple[str, str], ...]) -> str:
+    """``{k="v",...}`` suffix for a label set (empty string if none)."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
+    return "{" + body + "}"
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping (backslash, quote, newline)."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
 
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
     kind = "counter"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 labels: tuple[tuple[str, str], ...] = ()) -> None:
         self.name = name
+        self.labels = labels
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -47,15 +143,22 @@ class Counter:
     def snapshot(self) -> dict[str, Any]:
         return {"kind": self.kind, "value": self.value}
 
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-clean state for cross-process merging."""
+        return {"name": self.name, "labels": [list(l) for l in self.labels],
+                "value": self.value}
+
 
 class Gauge:
     """Last-write-wins instantaneous value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
     kind = "gauge"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 labels: tuple[tuple[str, str], ...] = ()) -> None:
         self.name = name
+        self.labels = labels
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -64,16 +167,49 @@ class Gauge:
     def snapshot(self) -> dict[str, Any]:
         return {"kind": self.kind, "value": self.value}
 
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-clean state for cross-process merging."""
+        return {"name": self.name, "labels": [list(l) for l in self.labels],
+                "value": self.value}
+
 
 class Histogram:
-    """Distribution of observed values with exact quantiles."""
+    """Distribution of observed values with bounded streaming state.
 
-    __slots__ = ("name", "_values")
+    Aggregates (count, sum, min, max) and the fixed
+    :data:`BUCKET_BOUNDS` counts are always exact.  Quantiles come from
+    a retained sample: with ``retention=None`` every observation is
+    kept (exact quantiles at unbounded memory — the batch-analysis
+    mode); with an integer ``retention`` (the default,
+    :data:`DEFAULT_HISTOGRAM_RETENTION`) the sample is exact until the
+    cap is reached, then deterministically compacts to every 2nd, 4th,
+    ... observation so memory never exceeds the cap however long the
+    stream runs.
+    """
+
+    __slots__ = ("name", "labels", "_retention", "_values", "_stride",
+                 "_skip", "_count", "_sum", "_min", "_max", "_buckets")
     kind = "histogram"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 labels: tuple[tuple[str, str], ...] = (), *,
+                 retention: int | None = DEFAULT_HISTOGRAM_RETENTION) -> None:
+        if retention is not None and retention < 2:
+            raise ObservabilityError(
+                f"histogram {name!r}: retention must be >= 2 or None, "
+                f"got {retention}"
+            )
         self.name = name
+        self.labels = labels
+        self._retention = retention
         self._values: list[float] = []
+        self._stride = 1
+        self._skip = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -81,20 +217,86 @@ class Histogram:
             raise ObservabilityError(
                 f"histogram {self.name!r} observed non-finite value {value!r}"
             )
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._buckets[bisect.bisect_left(BUCKET_BOUNDS, value)] += 1
+        if self._retention is None:
+            self._values.append(value)
+            return
+        if self._skip:
+            self._skip -= 1
+            return
         self._values.append(value)
+        self._skip = self._stride - 1
+        if len(self._values) >= self._retention:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Halve the reservoir and double the keep stride."""
+        self._values = self._values[::2]
+        self._stride *= 2
+        self._skip = self._stride - 1
 
     @property
     def count(self) -> int:
+        """Exact number of observations (independent of retention)."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of all observations."""
+        return self._sum
+
+    @property
+    def retention(self) -> int | None:
+        """Reservoir capacity (``None`` = keep everything)."""
+        return self._retention
+
+    @property
+    def retained(self) -> int:
+        """Values currently held for quantile estimation."""
         return len(self._values)
 
     @property
     def mean(self) -> float:
-        if not self._values:
+        if not self._count:
             return 0.0
-        return sum(self._values) / len(self._values)
+        return self._sum / self._count
+
+    @property
+    def min(self) -> float:
+        """Exact smallest observation (0.0 when empty)."""
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Exact largest observation (0.0 when empty)."""
+        return self._max if self._count else 0.0
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket observation counts (last entry is the +Inf bucket)."""
+        return tuple(self._buckets)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(le_bound, cumulative_count)`` pairs, +Inf bound last."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(BUCKET_BOUNDS, self._buckets):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((math.inf, running + self._buckets[-1]))
+        return pairs
 
     def quantile(self, q: float) -> float:
-        """Exact quantile with linear interpolation between order stats."""
+        """Quantile with linear interpolation over the retained sample.
+
+        Exact while the stream fits the retention cap (or with
+        ``retention=None``); a representative estimate afterwards.
+        """
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile {q} outside [0, 1]")
         if not self._values:
@@ -110,75 +312,225 @@ class Histogram:
 
     def snapshot(self) -> dict[str, Any]:
         payload: dict[str, Any] = {"kind": self.kind, "count": self.count}
-        if self._values:
-            payload.update(
-                min=min(self._values),
-                max=max(self._values),
-                mean=self.mean,
-            )
+        if self._count:
+            payload.update(min=self._min, max=self._max, mean=self.mean)
             for q in SNAPSHOT_QUANTILES:
                 payload[f"p{int(q * 100)}"] = self.quantile(q)
         return payload
 
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-clean state for cross-process merging."""
+        return {
+            "name": self.name,
+            "labels": [list(l) for l in self.labels],
+            "retention": self._retention,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "buckets": list(self._buckets),
+            "values": list(self._values),
+            "stride": self._stride,
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state_dict` into this one.
+
+        Aggregates and bucket counts add exactly; the reservoirs
+        concatenate and re-compact under the receiver's retention, with
+        the stride taken as the max of both sides — deterministic for a
+        fixed merge order.
+        """
+        try:
+            buckets = list(state["buckets"])
+            count = int(state["count"])
+            total = float(state["sum"])
+            values = [float(v) for v in state["values"]]
+            stride = int(state["stride"])
+            low, high = state["min"], state["max"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ObservabilityError(
+                f"histogram {self.name!r}: malformed merge state: {error}"
+            ) from error
+        if len(buckets) != len(self._buckets):
+            raise ObservabilityError(
+                f"histogram {self.name!r}: bucket layout mismatch "
+                f"({len(buckets)} != {len(self._buckets)})"
+            )
+        self._count += count
+        self._sum += total
+        if low is not None and float(low) < self._min:
+            self._min = float(low)
+        if high is not None and float(high) > self._max:
+            self._max = float(high)
+        for index, bucket_count in enumerate(buckets):
+            self._buckets[index] += int(bucket_count)
+        self._values.extend(values)
+        self._stride = max(self._stride, stride)
+        if self._retention is not None:
+            while len(self._values) >= self._retention:
+                self._compact()
+
+
+#: The three metric kinds, by their ``kind`` attribute.
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+#: Registry key: (name, normalized label tuple).
+_MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
 
 class MetricsRegistry:
-    """Named metrics, created on first access.
+    """Named metric families, created on first access.
 
-    Re-requesting a name returns the same instance; requesting it as a
-    different kind raises :class:`ObservabilityError` — a metric name
-    means one thing for the life of the registry.
+    Re-requesting a name (with the same labels) returns the same
+    instance; requesting a name as a different kind — under *any* label
+    set — raises :class:`ObservabilityError`: a metric name means one
+    thing for the life of the registry.
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[_MetricKey, Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, type] = {}
 
     def __len__(self) -> int:
         return len(self._metrics)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        return name in self._kinds
 
     def names(self) -> tuple[str, ...]:
-        return tuple(sorted(self._metrics))
+        """Sorted unique metric (family) names."""
+        return tuple(sorted(self._kinds))
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter)
+    def counter(self, name: str,
+                labels: Mapping[str, str] | None = None) -> Counter:
+        return self._get_or_create(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge)
+    def gauge(self, name: str,
+              labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._get_or_create(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get_or_create(name, Histogram)
+    def histogram(self, name: str,
+                  labels: Mapping[str, str] | None = None, *,
+                  retention: int | None = DEFAULT_HISTOGRAM_RETENTION,
+                  ) -> Histogram:
+        """The named histogram; ``retention`` applies on first creation."""
+        return self._get_or_create(name, Histogram, labels,
+                                   retention=retention)
 
-    def _get_or_create(self, name: str, factory):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = factory(name)
-            self._metrics[name] = metric
-        elif not isinstance(metric, factory):
+    def _get_or_create(self, name: str, factory, labels, **kwargs):
+        # Fast path for the hot loop: an existing metric's name and
+        # labels were validated when it was created, so a hit needs
+        # only the kind check, no regex work.
+        key = (name, normalize_labels(labels) if labels else ())
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if self._kinds.get(name) is not factory:
+                registered = self._kinds[name]
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{registered.kind}, requested as {factory.kind}"
+                )
+            return metric
+        registered = self._kinds.get(_check_name(name))
+        if registered is not None and registered is not factory:
             raise ObservabilityError(
-                f"metric {name!r} already registered as {metric.kind}, "
-                f"requested as {factory.kind}"
+                f"metric {name!r} already registered as "
+                f"{registered.kind}, requested as {factory.kind}"
             )
+        metric = factory(name, key[1], **kwargs)
+        self._metrics[key] = metric
+        self._kinds[name] = factory
         return metric
 
+    def families(self) -> Iterator[tuple[str, str, list[Counter | Gauge |
+                                                        Histogram]]]:
+        """``(name, kind, members)`` per family, name-sorted, members
+        sorted by rendered label suffix (the unlabeled member first)."""
+        by_name: dict[str, list] = {}
+        for (name, _), metric in self._metrics.items():
+            by_name.setdefault(name, []).append(metric)
+        for name in sorted(by_name):
+            members = sorted(by_name[name],
+                             key=lambda m: render_label_suffix(m.labels))
+            yield name, self._kinds[name].kind, members
+
     def snapshot(self) -> dict[str, dict[str, Any]]:
-        """All metrics as a name-sorted JSON-serializable mapping."""
-        return {
-            name: self._metrics[name].snapshot()
-            for name in sorted(self._metrics)
+        """All metrics as a key-sorted JSON-serializable mapping.
+
+        Unlabeled metrics key on their name; labeled members key on
+        ``name{k="v",...}``.
+        """
+        flat = {
+            name + render_label_suffix(labels): metric.snapshot()
+            for (name, labels), metric in self._metrics.items()
         }
+        return {key: flat[key] for key in sorted(flat)}
 
     def to_json(self) -> str:
         """The snapshot as indented, key-sorted JSON text."""
         return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
 
+    def dump_state(self) -> dict[str, Any]:
+        """Full registry state as JSON-clean plain types.
+
+        The shippable twin of :meth:`snapshot`: where snapshots are
+        summaries for humans, the state dump is lossless enough for
+        :meth:`merge_state` to aggregate registries across process
+        boundaries (counter values, gauge values, full histogram
+        bucket/reservoir state).
+        """
+        counters, gauges, histograms = [], [], []
+        for (name, _labels), metric in sorted(
+                self._metrics.items(),
+                key=lambda item: (item[0][0],
+                                  render_label_suffix(item[0][1]))):
+            if isinstance(metric, Counter):
+                counters.append(metric.state_dict())
+            elif isinstance(metric, Gauge):
+                gauges.append(metric.state_dict())
+            else:
+                histograms.append(metric.state_dict())
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counters add, gauges take the incoming value (last write wins,
+        so merge order decides ties), histograms merge exactly on
+        aggregates/buckets and deterministically on reservoirs.  Merging
+        is the parent-side half of cross-process metric aggregation —
+        see :func:`repro.parallel.map_drives`.
+        """
+        try:
+            counter_states = state["counters"]
+            gauge_states = state["gauges"]
+            histogram_states = state["histograms"]
+        except (KeyError, TypeError) as error:
+            raise ObservabilityError(
+                f"malformed registry state: {error}") from error
+        for entry in counter_states:
+            labels = dict(tuple(pair) for pair in entry["labels"])
+            self.counter(entry["name"], labels).inc(float(entry["value"]))
+        for entry in gauge_states:
+            labels = dict(tuple(pair) for pair in entry["labels"])
+            self.gauge(entry["name"], labels).set(float(entry["value"]))
+        for entry in histogram_states:
+            labels = dict(tuple(pair) for pair in entry["labels"])
+            histogram = self.histogram(entry["name"], labels,
+                                       retention=entry.get("retention"))
+            histogram.merge_state(entry)
+
     def render_text(self) -> str:
         """Aligned one-line-per-metric text block for terminals."""
         lines = []
-        width = max((len(name) for name in self._metrics), default=0)
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        keys = {key: key[0] + render_label_suffix(key[1])
+                for key in self._metrics}
+        width = max((len(rendered) for rendered in keys.values()), default=0)
+        for key in sorted(self._metrics, key=lambda k: keys[k]):
+            metric = self._metrics[key]
+            rendered = keys[key]
             if isinstance(metric, Histogram):
                 snap = metric.snapshot()
                 if metric.count:
@@ -188,9 +540,10 @@ class MetricsRegistry:
                     )
                 else:
                     detail = "count=0"
-                lines.append(f"{name:<{width}}  histogram  {detail}")
+                lines.append(f"{rendered:<{width}}  histogram  {detail}")
             else:
                 lines.append(
-                    f"{name:<{width}}  {metric.kind:<9}  {metric.value:g}"
+                    f"{rendered:<{width}}  {metric.kind:<9}  "
+                    f"{metric.value:g}"
                 )
         return "\n".join(lines)

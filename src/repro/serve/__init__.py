@@ -5,8 +5,11 @@ service: :func:`build_bundle` freezes them into a versioned, hashed
 :class:`ModelBundle`; :func:`save_bundle` / :func:`load_bundle`
 round-trip the artifact on disk with typed corruption/staleness
 detection; :class:`StreamScorer` consumes live SMART samples against a
-loaded bundle, byte-identical to offline replay.  The ``repro-serve``
-CLI (:mod:`repro.serve.cli`) fronts all of it from the shell.
+loaded bundle, byte-identical to offline replay; :class:`WatchService`
+(:mod:`repro.serve.watch`) keeps a scorer up behind live ``/metrics`` /
+``/health`` / ``/status`` HTTP surfaces with a flight recorder of
+recent alerts.  The ``repro-serve`` CLI (:mod:`repro.serve.cli`) fronts
+all of it from the shell.
 """
 
 from repro.serve.bundle import (
@@ -23,6 +26,7 @@ from repro.serve.scorer import (
     StreamScorer,
     replay_fleet,
 )
+from repro.serve.watch import WatchService
 
 __all__ = [
     "BUNDLE_SCHEMA_VERSION",
@@ -30,6 +34,7 @@ __all__ = [
     "ModelBundle",
     "MonitorVerdict",
     "StreamScorer",
+    "WatchService",
     "build_bundle",
     "content_hash",
     "load_bundle",

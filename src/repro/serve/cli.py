@@ -9,6 +9,10 @@ consumes the published artifact:
   line per sample;
 * ``replay`` — push a whole dataset through the scorer at maximum
   throughput, fanning drives out over ``--jobs`` workers;
+* ``watch`` — ``score`` with the live telemetry plane attached: while
+  the stream scores, ``/metrics`` (Prometheus), ``/health`` and
+  ``/status`` answer on an HTTP port and a flight recorder keeps the
+  recent alerts (see :mod:`repro.serve.watch`);
 * ``bench`` — measure bundle load latency and scoring throughput on a
   synthetic stream, printing a JSON summary.
 
@@ -17,12 +21,14 @@ Examples::
    repro-characterize --simulate 2000 --export-model fleet.bundle.json
    repro-serve score --bundle fleet.bundle.json < stream.csv
    repro-serve replay --bundle fleet.bundle.json --simulate 500 --jobs 4
+   repro-serve watch --bundle fleet.bundle.json --port 9100 < stream.csv
    repro-serve bench --bundle fleet.bundle.json --rounds 5
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import csv
 import sys
 import time
@@ -35,13 +41,16 @@ from repro.core.serialize import canonical_json_dumps
 from repro.data.loader import load_csv
 from repro.errors import ReproError, ServeError
 from repro.obs import logging as obs_logging
+from repro.obs.export import PeriodicSnapshotWriter
 from repro.obs.observer import (
     NULL_OBSERVER,
     PipelineObserver,
     TelemetryObserver,
 )
+from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
 from repro.serve.bundle import load_bundle
 from repro.serve.scorer import MonitorVerdict, StreamScorer, replay_fleet
+from repro.serve.watch import WatchService
 from repro.sim.config import FleetConfig
 from repro.sim.fleet import simulate_fleet
 
@@ -104,6 +113,50 @@ def build_parser() -> argparse.ArgumentParser:
                              "summary only)")
     replay.add_argument("--alerts-only", action="store_true",
                         help="write only WATCH/CRITICAL verdicts")
+
+    watch = commands.add_parser(
+        "watch", help="score a stream while serving /metrics, /health "
+                      "and /status over HTTP")
+    add_common(watch)
+    watch.add_argument("--input", metavar="PATH", default="-",
+                       help="sample stream: CSV with a "
+                            "'serial,hour,<attributes>' header "
+                            "(default '-': stdin)")
+    watch.add_argument("--output", metavar="PATH", default=None,
+                       help="write JSONL verdicts here (default: stdout)")
+    watch.add_argument("--alerts-only", action="store_true",
+                       help="emit only WATCH/CRITICAL verdicts")
+    watch.add_argument("--host", default="127.0.0.1",
+                       help="telemetry HTTP bind host (default 127.0.0.1)")
+    watch.add_argument("--port", type=int, default=0,
+                       help="telemetry HTTP port (default 0: ephemeral)")
+    watch.add_argument("--port-file", metavar="PATH", default=None,
+                       help="write the bound port here once listening "
+                            "(for scripts scraping an ephemeral port)")
+    watch.add_argument("--batch-size", type=int, default=STREAM_BATCH_SIZE,
+                       metavar="N",
+                       help="samples scored per batch "
+                            f"(default {STREAM_BATCH_SIZE})")
+    watch.add_argument("--throttle", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="sleep between batches (default 0: full speed)")
+    watch.add_argument("--linger", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="keep serving this long after the stream "
+                            "ends (default 0)")
+    watch.add_argument("--recorder-capacity", type=int,
+                       default=DEFAULT_CAPACITY, metavar="N",
+                       help="flight recorder ring size "
+                            f"(default {DEFAULT_CAPACITY})")
+    watch.add_argument("--recorder-dump", metavar="PATH", default=None,
+                       help="dump the flight recorder here at exit "
+                            "(and on crash)")
+    watch.add_argument("--snapshot", metavar="PATH", default=None,
+                       help="periodically write a combined metrics "
+                            "snapshot here")
+    watch.add_argument("--snapshot-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="snapshot refresh interval (default 5)")
 
     bench = commands.add_parser(
         "bench", help="measure bundle load latency and scoring throughput")
@@ -200,6 +253,73 @@ def run_score(args: argparse.Namespace,
         if source is not sys.stdin:
             source.close()
     print(f"scored {scorer.samples_scored} samples from "
+          f"{scorer.drives_tracked} drives: {scorer.alerts_emitted} "
+          f"alerts, {lines} verdicts written", file=sys.stderr)
+    return 0
+
+
+def run_watch(args: argparse.Namespace,
+              observer: PipelineObserver) -> int:
+    """``watch``: score a stream while the telemetry plane answers HTTP."""
+    bundle = load_bundle(args.bundle, observer=observer)
+    recorder = FlightRecorder(capacity=args.recorder_capacity)
+    service = WatchService(bundle, observer=observer, recorder=recorder,
+                           host=args.host, port=args.port)
+    batch_size = max(1, args.batch_size)
+
+    def watch_stream(source: IO[str], sink: IO[str]) -> int:
+        lines = 0
+        batch: list[tuple[str, int, np.ndarray]] = []
+
+        def flush() -> int:
+            verdicts = service.score_batch(batch)
+            batch.clear()
+            if args.throttle > 0:
+                time.sleep(args.throttle)
+            return _write_verdicts(verdicts, sink,
+                                   alerts_only=args.alerts_only)
+
+        with observer.span("watch-stream"):
+            for sample in read_sample_stream(source, bundle.attributes):
+                batch.append(sample)
+                if len(batch) >= batch_size:
+                    lines += flush()
+            lines += flush()
+        return lines
+
+    source = sys.stdin if args.input == "-" else open(args.input, newline="")
+    snapshotter = (PeriodicSnapshotWriter(service.registry, args.snapshot,
+                                          args.snapshot_interval)
+                   if args.snapshot else None)
+    dump_cm = (recorder.guard(args.recorder_dump) if args.recorder_dump
+               else contextlib.nullcontext())
+    with service:
+        if args.port_file:
+            Path(args.port_file).write_text(f"{service.port}\n")
+        print(f"telemetry listening on {service.url} "
+              f"(/metrics /health /status /recorder)", file=sys.stderr)
+        if snapshotter is not None:
+            snapshotter.start()
+        try:
+            with dump_cm:
+                if args.output:
+                    with open(args.output, "w") as sink:
+                        lines = watch_stream(source, sink)
+                else:
+                    lines = watch_stream(source, sys.stdout)
+                if args.linger > 0:
+                    time.sleep(args.linger)
+        finally:
+            if source is not sys.stdin:
+                source.close()
+            if snapshotter is not None:
+                snapshotter.stop()
+    if args.recorder_dump:
+        recorder.dump_jsonl(args.recorder_dump)
+        print(f"flight recorder dumped to {args.recorder_dump}",
+              file=sys.stderr)
+    scorer = service.scorer
+    print(f"watched {scorer.samples_scored} samples from "
           f"{scorer.drives_tracked} drives: {scorer.alerts_emitted} "
           f"alerts, {lines} verdicts written", file=sys.stderr)
     return 0
@@ -319,8 +439,13 @@ def run(args: argparse.Namespace) -> int:
     collect_telemetry = bool(args.verbose or args.log_json
                              or args.trace or args.metrics)
     observer = TelemetryObserver() if collect_telemetry else NULL_OBSERVER
+    if args.command == "watch" and observer is NULL_OBSERVER:
+        # The watch surfaces *are* telemetry: /metrics needs a registry
+        # behind the observer whatever the logging flags say.
+        observer = TelemetryObserver()
 
-    handlers = {"score": run_score, "replay": run_replay, "bench": run_bench}
+    handlers = {"score": run_score, "replay": run_replay,
+                "watch": run_watch, "bench": run_bench}
     status = handlers[args.command](args, observer)
 
     if args.trace:

@@ -27,6 +27,7 @@ any job count returns the same verdict lists in the same order.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
@@ -36,8 +37,9 @@ from repro.core.monitor import AlertLevel, DegradationAlert, DegradationMonitor
 from repro.core.serialize import canonical_json_line
 from repro.core.taxonomy import FailureType
 from repro.errors import ServeError
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import PipelineObserver, resolve_observer
-from repro.parallel import ParallelConfig, map_drives
+from repro.parallel import ParallelConfig, get_worker_observer, map_drives
 from repro.serve.bundle import ModelBundle
 from repro.smart.profile import HealthProfile
 
@@ -118,8 +120,11 @@ class StreamScorer:
         :func:`~repro.serve.bundle.load_bundle`).
     observer:
         Telemetry sink: ``samples_scored`` / ``alerts_emitted``
-        counters, a ``drives_tracked`` gauge, and ``score-batch`` spans
-        around each ``push_many``.
+        counters, a ``drives_tracked`` gauge, a ``verdict_stage``
+        streaming histogram, and ``score-batch`` spans around each
+        ``push_many``.  Telemetry never changes a verdict — scoring
+        with :data:`~repro.obs.observer.NULL_OBSERVER` and with a full
+        registry emits byte-identical verdict streams.
     """
 
     def __init__(self, bundle: ModelBundle, *,
@@ -221,6 +226,8 @@ class StreamScorer:
         if verdict.alerting:
             self._alerts_emitted += 1
             self._observer.count("alerts_emitted")
+        if math.isfinite(verdict.stage):
+            self._observer.observe("verdict_stage", verdict.stage)
         self._observer.gauge("drives_tracked", self.drives_tracked)
         return verdict
 
@@ -234,15 +241,24 @@ class _ReplayTask:
     model reconstruction once per chunk, not once per profile.  Sharing
     one scorer across a chunk only accumulates more per-drive state —
     verdicts are per-drive independent, so it never changes any output.
+
+    The scorer binds :func:`~repro.parallel.get_worker_observer` at
+    build time and rebuilds when the observer changes, so on the thread
+    backend (where one task object outlives a chunk) telemetry always
+    lands in the *current* chunk's capture registry.
     """
 
     payload: dict
     _scorer: StreamScorer | None = None
 
     def __call__(self, profile: HealthProfile) -> list[MonitorVerdict]:
-        if self._scorer is None:
-            self._scorer = StreamScorer(ModelBundle.from_payload(self.payload))
-        return self._scorer.replay_profile(profile)
+        observer = get_worker_observer()
+        scorer = self._scorer
+        if scorer is None or scorer._observer is not observer:
+            scorer = StreamScorer(ModelBundle.from_payload(self.payload),
+                                  observer=observer)
+            self._scorer = scorer
+        return scorer.replay_profile(profile)
 
 
 def replay_fleet(bundle: ModelBundle,
@@ -256,7 +272,11 @@ def replay_fleet(bundle: ModelBundle,
     ``n_jobs``/``backend`` — per-drive state keys on the serial, so
     profiles score independently and the fan-out is a pure performance
     knob.  The caller's observer sees a ``fleet-replay`` span plus the
-    scorer counters replayed from the merged results.
+    true scorer counters: workers emit through their own capture
+    registries and :func:`~repro.parallel.map_drives` merges the deltas
+    back, so ``n_jobs=4`` reports exactly the serial totals.  (An
+    observer without a mergeable registry falls back to parent-side
+    recounting from the returned verdicts.)
     """
     obs = resolve_observer(observer)
     config = ParallelConfig(n_jobs=n_jobs, backend=backend)
@@ -264,9 +284,12 @@ def replay_fleet(bundle: ModelBundle,
     with obs.span("fleet-replay", n_profiles=len(profiles), n_jobs=n_jobs):
         results = map_drives(task, list(profiles), config,
                              observer=obs, label="replay-fanout")
-    for verdicts in results:
-        obs.count("samples_scored", len(verdicts))
-        obs.count("alerts_emitted",
-                  sum(1 for verdict in verdicts if verdict.alerting))
+    if not isinstance(getattr(obs, "metrics", None), MetricsRegistry):
+        # No registry to merge worker deltas into (custom observer):
+        # reconstruct the counters from the verdicts themselves.
+        for verdicts in results:
+            obs.count("samples_scored", len(verdicts))
+            obs.count("alerts_emitted",
+                      sum(1 for verdict in verdicts if verdict.alerting))
     obs.gauge("drives_tracked", len(results))
     return results

@@ -1,0 +1,123 @@
+"""Live tests for the telemetry HTTP server on an ephemeral port."""
+
+import json
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+import pytest
+
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+from repro.obs.http import TelemetryHTTPServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+
+
+def _get(url):
+    """(status, content-type, body-text) for a GET, errors included."""
+    try:
+        with urlopen(url, timeout=5) as response:
+            return (response.status, response.headers["Content-Type"],
+                    response.read().decode("utf-8"))
+    except HTTPError as error:
+        return (error.code, error.headers["Content-Type"],
+                error.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def live_server():
+    registry = MetricsRegistry()
+    registry.counter("samples_scored").inc(17)
+    recorder = FlightRecorder(capacity=8)
+    recorder.record("alert", "watch", serial="D1")
+    state = {"healthy": True}
+    server = TelemetryHTTPServer(
+        registry,
+        health=lambda: {"status": "ok" if state["healthy"] else "degraded"},
+        status=lambda: {"drives_tracked": 3},
+        recorder=recorder,
+    )
+    with server:
+        yield server, registry, recorder, state
+
+
+def test_metrics_endpoint_serves_prometheus_text(live_server):
+    server, _registry, _recorder, _state = live_server
+    status, content_type, body = _get(server.url + "/metrics")
+    assert status == 200
+    assert content_type == PROMETHEUS_CONTENT_TYPE
+    assert "repro_samples_scored_total 17" in body
+
+
+def test_health_endpoint_is_200_then_503(live_server):
+    server, _registry, _recorder, state = live_server
+    status, _ctype, body = _get(server.url + "/health")
+    assert status == 200
+    assert json.loads(body) == {"status": "ok"}
+    state["healthy"] = False
+    status, _ctype, body = _get(server.url + "/health")
+    assert status == 503
+    assert json.loads(body) == {"status": "degraded"}
+
+
+def test_status_endpoint_returns_caller_payload(live_server):
+    server, _registry, _recorder, _state = live_server
+    status, content_type, body = _get(server.url + "/status")
+    assert status == 200
+    assert content_type.startswith("application/json")
+    assert json.loads(body) == {"drives_tracked": 3}
+
+
+def test_recorder_endpoint_serves_ring_as_jsonl(live_server):
+    server, _registry, recorder, _state = live_server
+    status, content_type, body = _get(server.url + "/recorder")
+    assert status == 200
+    assert content_type.startswith("application/jsonl")
+    events = [json.loads(line) for line in body.splitlines()]
+    assert events == recorder.to_dicts()
+    assert events[0]["context"] == {"serial": "D1"}
+
+
+def test_recorder_endpoint_404_without_recorder():
+    with TelemetryHTTPServer(MetricsRegistry()) as server:
+        status, _ctype, body = _get(server.url + "/recorder")
+    assert status == 404
+    assert json.loads(body)["error"] == "no flight recorder"
+
+
+def test_unknown_path_is_404(live_server):
+    server, _registry, _recorder, _state = live_server
+    status, _ctype, body = _get(server.url + "/nope")
+    assert status == 404
+    assert json.loads(body)["path"] == "/nope"
+
+
+def test_every_request_increments_labeled_counter(live_server):
+    server, registry, _recorder, _state = live_server
+    for path in ("/metrics", "/metrics", "/health", "/nope"):
+        _get(server.url + path)
+    snapshot = registry.snapshot()
+    assert snapshot['telemetry_requests{endpoint="metrics"}']["value"] >= 2
+    assert snapshot['telemetry_requests{endpoint="health"}']["value"] >= 1
+    assert snapshot['telemetry_requests{endpoint="other"}']["value"] >= 1
+
+
+def test_defaults_without_callables():
+    registry = MetricsRegistry()
+    with TelemetryHTTPServer(registry) as server:
+        assert server.port != 0
+        assert server.url.startswith("http://127.0.0.1:")
+        status, _ctype, body = _get(server.url + "/health")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+        status, _ctype, body = _get(server.url + "/status")
+        assert json.loads(body) == {}
+
+
+def test_stop_releases_the_port():
+    registry = MetricsRegistry()
+    server = TelemetryHTTPServer(registry).start()
+    host, port = server.host, server.port
+    server.stop()
+    rebound = TelemetryHTTPServer(registry, host=host, port=port)
+    rebound.start()
+    rebound.stop()

@@ -1,11 +1,18 @@
-"""Tests for the metrics registry: kinds, quantiles, snapshots."""
+"""Tests for the metrics registry: kinds, quantiles, snapshots,
+bounded streaming state, labels and cross-process merging."""
 
 import json
+import sys
 
 import pytest
 
 from repro.errors import ObservabilityError
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    DEFAULT_HISTOGRAM_RETENTION,
+    Histogram,
+    MetricsRegistry,
+)
 
 
 def test_counter_accumulates():
@@ -106,3 +113,148 @@ def test_registry_len_and_contains():
     assert "x" in registry
     assert len(registry) == 1
     assert registry.names() == ("x",)
+
+# -- bounded streaming state ----------------------------------------------
+
+
+def test_histogram_streaming_state_is_bounded_over_a_million_samples():
+    """The regression the streaming upgrade exists for: histogram memory
+    must stay O(retention) no matter how long the stream runs."""
+    histogram = Histogram("verdict_stage")
+    for i in range(1_000_000):
+        histogram.observe((i % 1000) / 1000.0)
+    assert histogram.count == 1_000_000
+    assert histogram.retained <= DEFAULT_HISTOGRAM_RETENTION
+    assert sys.getsizeof(histogram._values) < 10 * DEFAULT_HISTOGRAM_RETENTION
+    # exact aggregates survive compaction untouched
+    assert histogram.min == 0.0
+    assert histogram.max == 0.999
+    assert histogram.mean == pytest.approx(0.4995)
+    # quantiles stay close even from the compacted reservoir
+    assert histogram.quantile(0.5) == pytest.approx(0.5, abs=0.02)
+    assert sum(histogram.bucket_counts()) == 1_000_000
+
+
+def test_histogram_quantiles_exact_below_retention_cap():
+    bounded = Histogram("h", retention=DEFAULT_HISTOGRAM_RETENTION)
+    exact = Histogram("h", retention=None)
+    for value in range(1, 1001):
+        bounded.observe(float(value))
+        exact.observe(float(value))
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        assert bounded.quantile(q) == exact.quantile(q)
+
+
+def test_histogram_unbounded_retention_keeps_everything():
+    histogram = Histogram("h", retention=None)
+    for i in range(20_000):
+        histogram.observe(float(i))
+    assert histogram.retained == 20_000
+
+
+def test_histogram_compaction_is_deterministic():
+    a = Histogram("h")
+    b = Histogram("h")
+    for i in range(50_000):
+        a.observe(float(i % 977))
+        b.observe(float(i % 977))
+    assert a._values == b._values
+    assert a.quantile(0.5) == b.quantile(0.5)
+
+
+def test_histogram_cumulative_buckets_end_at_inf():
+    histogram = Histogram("h")
+    histogram.observe(-2.0)
+    histogram.observe(0.3)
+    histogram.observe(1e9)  # beyond the largest finite bound
+    pairs = histogram.cumulative_buckets()
+    assert len(pairs) == len(BUCKET_BOUNDS) + 1
+    assert pairs[-1][0] == float("inf")
+    assert pairs[-1][1] == 3
+    cumulative = [count for _bound, count in pairs]
+    assert cumulative == sorted(cumulative)
+
+
+def test_histogram_retention_must_be_positive():
+    with pytest.raises(ObservabilityError, match="retention"):
+        Histogram("h", retention=0)
+
+
+# -- labels ----------------------------------------------------------------
+
+
+def test_labeled_metrics_are_distinct_series():
+    registry = MetricsRegistry()
+    registry.counter("telemetry_requests", labels={"endpoint": "metrics"}).inc(2)
+    registry.counter("telemetry_requests", labels={"endpoint": "health"}).inc()
+    snapshot = registry.snapshot()
+    assert snapshot['telemetry_requests{endpoint="metrics"}']["value"] == 2.0
+    assert snapshot['telemetry_requests{endpoint="health"}']["value"] == 1.0
+
+
+def test_label_order_does_not_matter():
+    registry = MetricsRegistry()
+    a = registry.counter("c", labels={"x": "1", "y": "2"})
+    b = registry.counter("c", labels={"y": "2", "x": "1"})
+    assert a is b
+
+
+def test_kind_clash_enforced_across_label_sets():
+    registry = MetricsRegistry()
+    registry.counter("x", labels={"a": "1"})
+    with pytest.raises(ObservabilityError, match="already registered"):
+        registry.gauge("x", labels={"b": "2"})
+
+
+def test_metric_names_must_be_snake_case():
+    with pytest.raises(ObservabilityError, match="snake_case"):
+        MetricsRegistry().counter("Bad-Name")
+
+
+# -- cross-process state merging ------------------------------------------
+
+
+def test_merge_state_adds_counters_and_merges_histograms():
+    worker = MetricsRegistry()
+    worker.counter("samples_scored").inc(10)
+    worker.gauge("drives_tracked").set(4)
+    for value in (1.0, 2.0, 3.0):
+        worker.histogram("verdict_stage").observe(value)
+
+    parent = MetricsRegistry()
+    parent.counter("samples_scored").inc(5)
+    parent.merge_state(worker.dump_state())
+    parent.merge_state(worker.dump_state())
+
+    assert parent.counter("samples_scored").value == 25.0
+    assert parent.gauge("drives_tracked").value == 4.0
+    merged = parent.histogram("verdict_stage")
+    assert merged.count == 6
+    assert merged.sum == pytest.approx(12.0)
+    assert merged.min == 1.0 and merged.max == 3.0
+
+
+def test_merge_preserves_labels():
+    worker = MetricsRegistry()
+    worker.counter("telemetry_requests", labels={"endpoint": "metrics"}).inc(3)
+    parent = MetricsRegistry()
+    parent.merge_state(worker.dump_state())
+    key = 'telemetry_requests{endpoint="metrics"}'
+    assert parent.snapshot()[key]["value"] == 3.0
+
+
+def test_merged_equals_single_stream():
+    """Splitting a stream across registries and merging equals one
+    registry that saw everything — the serial==parallel contract."""
+    whole = MetricsRegistry()
+    parts = [MetricsRegistry() for _ in range(4)]
+    for i in range(4000):
+        whole.histogram("h").observe(float(i))
+        parts[i % 4].histogram("h").observe(float(i))
+    merged = MetricsRegistry()
+    for part in parts:
+        merged.merge_state(part.dump_state())
+    a, b = merged.histogram("h"), whole.histogram("h")
+    assert a.count == b.count
+    assert a.sum == b.sum
+    assert a.bucket_counts() == b.bucket_counts()
