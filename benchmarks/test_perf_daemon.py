@@ -1,0 +1,137 @@
+"""Daemon-plane benchmarks: sharded ingest throughput vs the raw scorer.
+
+The cheap tier asserts the shard plane's byte-identity contract at
+bench scale.  ``test_perf_daemon_recorded`` measures columnar ingest
+throughput along the daemon's admission path — ``StreamScorer.push_block``
+as the unsharded baseline, :class:`~repro.serve.shard.ShardSet` at 1, 2
+and 4 shards, and the full :class:`~repro.serve.daemon.ServingDaemon`
+ingest (sink fan-out and accounting included) — and writes the numbers
+to ``benchmarks/output/perf_daemon.json``.  On this 1-CPU container the
+shards are a placement/isolation mechanism, not a speedup, so the
+pinned floor is the *overhead* bound: sharded ingest must stay within a
+constant factor of the raw columnar path.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+
+import numpy as np
+import pytest
+
+import repro.parallel
+from repro.core.serialize import canonical_json_dumps
+from repro.serve.bundle import build_bundle
+from repro.serve.daemon import ServingDaemon
+from repro.serve.scorer import StreamScorer
+from repro.serve.shard import ShardSet
+
+
+def _best_of(fn, repeat=3):
+    times = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+@pytest.fixture(scope="module")
+def daemon_bundle(bench_report):
+    return build_bundle(bench_report)
+
+
+@pytest.fixture(scope="module")
+def columnar_stream(bench_fleet):
+    """~200 drives of hourly samples in columnar (serials, hours, matrix)."""
+    dataset = bench_fleet.dataset
+    profiles = dataset.failed_profiles[:40] + dataset.good_profiles[:160]
+    serials, hours, rows = [], [], []
+    for profile in profiles:
+        for hour, row in zip(profile.hours, profile.matrix):
+            serials.append(profile.serial)
+            hours.append(int(hour))
+            rows.append(np.asarray(row, dtype=np.float64))
+    return serials, hours, np.vstack(rows)
+
+
+def test_sharded_identity_at_bench_scale(daemon_bundle, columnar_stream):
+    serials, hours, matrix = columnar_stream
+    subset = slice(0, 2000)
+    expected = [v.to_json_line() for v in StreamScorer(daemon_bundle)
+                .push_block(serials[subset], hours[subset], matrix[subset])]
+    with ShardSet(daemon_bundle, n_shards=4) as shards:
+        actual = [v.to_json_line() for v in shards.submit(
+            serials[subset], hours[subset], matrix[subset])]
+    assert actual == expected
+
+
+@pytest.mark.tier2
+def test_perf_daemon_recorded(daemon_bundle, columnar_stream, artifact_dir):
+    """Record daemon-path ingest throughput against the raw scorer.
+
+    Identity between the timed paths is covered by the cheap tier above
+    and the serving test suite, so the timings here compare the same
+    verdict stream algorithm-for-algorithm.
+    """
+    serials, hours, matrix = columnar_stream
+    n_samples = len(serials)
+
+    block_s = _best_of(
+        lambda: StreamScorer(daemon_bundle).push_block(serials, hours,
+                                                       matrix),
+        repeat=3)
+
+    def sharded(n_shards):
+        def run():
+            with ShardSet(daemon_bundle, n_shards=n_shards) as shards:
+                shards.submit(serials, hours, matrix)
+        return _best_of(run, repeat=3)
+
+    shard_timings = {n: sharded(n) for n in (1, 2, 4)}
+
+    def daemon_ingest():
+        daemon = ServingDaemon(daemon_bundle, n_shards=4)
+        daemon.ingest(serials, hours, matrix)
+        daemon.stop()
+    daemon_s = _best_of(daemon_ingest, repeat=3)
+
+    # The shard plane rides on push_block; its tax is queue hops and
+    # verdict reassembly.  Keep it a bounded constant factor so a
+    # regression in the hot path cannot hide behind "sharding is slow".
+    overhead = shard_timings[4] / block_s
+    assert overhead < 3.0, (
+        f"4-shard ingest is {overhead:.2f}x the raw columnar path")
+    assert n_samples / daemon_s > 10_000, (
+        f"daemon ingest fell to {n_samples / daemon_s:,.0f} samples/s")
+
+    payload = {
+        "recorded_by": "benchmarks/test_perf_daemon.py"
+                       "::test_perf_daemon_recorded",
+        "environment": {
+            "cpus_available": repro.parallel.available_cpus(),
+            "os_cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "stream": {
+            "n_drives": len(set(serials)),
+            "n_samples": n_samples,
+        },
+        "ingest_throughput": {
+            "push_block_s": block_s,
+            "push_block_samples_per_s": n_samples / block_s,
+            "sharded_s": {str(n): s for n, s in shard_timings.items()},
+            "sharded_samples_per_s": {
+                str(n): n_samples / s for n, s in shard_timings.items()},
+            "daemon_ingest_s": daemon_s,
+            "daemon_ingest_samples_per_s": n_samples / daemon_s,
+            "shard4_overhead_vs_block": overhead,
+            "note": "single CPU: shards are placement, not speedup; "
+                    "the overhead ratio is the pinned contract",
+        },
+    }
+    path = artifact_dir / "perf_daemon.json"
+    path.write_text(canonical_json_dumps(payload) + "\n")

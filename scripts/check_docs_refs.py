@@ -1,29 +1,36 @@
 #!/usr/bin/env python
-"""Lint: every public module must be indexed in ``docs/api.md``.
+"""Lint: the API doc must cover every public module and CLI subcommand.
 
-Walks ``src/repro`` and collects the dotted name of every public module
-— packages (directories with an ``__init__.py``) and non-underscore
-``.py`` files — then checks that each name appears verbatim somewhere
-in ``docs/api.md``.  Modules whose file name starts with ``_`` are
-implementation details and exempt.
+Two checks, both against ``docs/api.md``:
+
+1. Walks ``src/repro`` and collects the dotted name of every public
+   module — packages (directories with an ``__init__.py``) and
+   non-underscore ``.py`` files — then checks that each name appears
+   verbatim somewhere in the doc.  Modules whose file name starts with
+   ``_`` are implementation details and exempt.
+2. Parses ``src/repro/serve/cli.py`` for ``add_parser("name", ...)``
+   calls and checks that every ``repro-serve`` subcommand is documented
+   as ``repro-serve <name>`` in the doc, so a new subcommand cannot
+   ship without its CLI grammar entry.
 
 Run from the repository root::
 
    python scripts/check_docs_refs.py
 
-Exits 1 listing each undocumented module, 0 when clean.  The test suite
-runs this as a regression gate (``tests/test_docs_refs_lint.py``), so a
-new module cannot ship without at least an API-index entry.
+Exits 1 listing each missing item, 0 when clean.  The test suite runs
+this as a regression gate (``tests/test_docs_refs_lint.py``).
 """
 
 from __future__ import annotations
 
+import ast
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
 API_DOC = REPO_ROOT / "docs" / "api.md"
+SERVE_CLI = SRC_ROOT / "serve" / "cli.py"
 
 
 def public_modules(src_root: Path = SRC_ROOT) -> list[str]:
@@ -57,14 +64,51 @@ def undocumented_modules(doc_path: Path = API_DOC) -> list[str]:
     return [name for name in public_modules() if name not in text]
 
 
+def serve_cli_subcommands(cli_path: Path = SERVE_CLI) -> list[str]:
+    """Subcommand names registered by ``repro-serve``'s parser.
+
+    Found syntactically: every ``<x>.add_parser("name", ...)`` call
+    with a literal first argument inside the CLI module.
+    """
+    tree = ast.parse(cli_path.read_text(), filename=str(cli_path))
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_parser"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            names.add(node.args[0].value)
+    return sorted(names)
+
+
+def undocumented_subcommands(doc_path: Path = API_DOC) -> list[str]:
+    """``repro-serve`` subcommands never named in the API doc."""
+    try:
+        text = doc_path.read_text()
+    except OSError:
+        return serve_cli_subcommands()
+    return [name for name in serve_cli_subcommands()
+            if f"repro-serve {name}" not in text]
+
+
 def main() -> int:
+    status = 0
     missing = undocumented_modules()
     if missing:
         print("public modules missing from docs/api.md:", file=sys.stderr)
         for name in missing:
             print(f"  {name}", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    commands = undocumented_subcommands()
+    if commands:
+        print("repro-serve subcommands missing from docs/api.md "
+              "(document as 'repro-serve <name>'):", file=sys.stderr)
+        for name in commands:
+            print(f"  {name}", file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

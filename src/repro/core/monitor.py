@@ -70,6 +70,88 @@ class DegradationAlert:
         return self.estimates[self.likely_type].hours_remaining
 
 
+class DriveStateStore:
+    """Keyed per-drive monitoring state: ring buffers plus last levels.
+
+    All mutable state a streaming scorer accumulates lives here, keyed
+    by drive serial: a bounded deque of the drive's last
+    ``history_hours`` normalized records and the drive's most recent
+    :class:`AlertLevel`.  Extracting it from the monitor makes the
+    state an explicit, snapshottable object — the sharding seam the
+    serving daemon partitions across worker processes (each shard owns
+    one store, and a drive's serial hashes to exactly one shard, so no
+    state is ever split or shared).
+
+    The store is a passive container: it never computes a verdict, so
+    any partitioning of drives across stores leaves every verdict
+    byte-identical to a single-store run.
+    """
+
+    def __init__(self, history_hours: int = DEFAULT_HISTORY_HOURS) -> None:
+        if history_hours < 1:
+            raise ReproError("history_hours must be positive")
+        self._history_hours = history_hours
+        self._history: dict[str, deque[np.ndarray]] = {}
+        self._levels: dict[str, AlertLevel] = {}
+
+    @property
+    def history_hours(self) -> int:
+        """Ring-buffer capacity retained per drive."""
+        return self._history_hours
+
+    @property
+    def n_tracked(self) -> int:
+        """Drives with live ring-buffer state (O(1))."""
+        return len(self._history)
+
+    def record(self, serial: str, normalized: np.ndarray,
+               level: AlertLevel) -> None:
+        """Append one normalized record and set the drive's level."""
+        history = self._history.setdefault(
+            serial, deque(maxlen=self._history_hours)
+        )
+        history.append(normalized)
+        self._levels[serial] = level
+
+    def level_of(self, serial: str) -> AlertLevel:
+        """Last recorded level for a drive (HEALTHY if never seen)."""
+        return self._levels.get(serial, AlertLevel.HEALTHY)
+
+    def drives_at(self, level: AlertLevel) -> list[str]:
+        """Serials currently at exactly ``level``."""
+        return sorted(s for s, l in self._levels.items() if l is level)
+
+    def serials(self) -> list[str]:
+        """All tracked serials, sorted."""
+        return sorted(self._history)
+
+    def history_of(self, serial: str) -> np.ndarray:
+        """Rolling window of normalized records for one drive."""
+        history = self._history.get(serial)
+        if not history:
+            raise ReproError(f"no observations for drive {serial!r}")
+        return np.vstack(list(history))
+
+    def snapshot(self) -> dict:
+        """JSON-clean summary of every tracked drive, sorted by serial.
+
+        The drain/shutdown artifact: per drive, the last severity level
+        and how many records the ring currently retains.  Deterministic
+        for a given state, so snapshots diff cleanly across runs.
+        """
+        return {
+            "history_hours": self._history_hours,
+            "n_tracked": self.n_tracked,
+            "drives": {
+                serial: {
+                    "level": self._levels[serial].name,
+                    "retained": len(history),
+                }
+                for serial, history in sorted(self._history.items())
+            },
+        }
+
+
 class DegradationMonitor:
     """Streaming degradation scorer over trained group predictors.
 
@@ -87,13 +169,19 @@ class DegradationMonitor:
     history_hours:
         Rolling window retained per drive (available to callers for
         trend inspection; the trees themselves act on single records).
+    state:
+        Optional externally-owned :class:`DriveStateStore`; when given
+        its ``history_hours`` must match.  The serving layer passes its
+        own store so per-drive state can be snapshotted and sharded; by
+        default the monitor creates a private one.
     """
 
     def __init__(self, predictor: DegradationPredictor,
                  normalizer: MinMaxNormalizer, *,
                  watch_threshold: float = DEFAULT_WATCH_THRESHOLD,
                  critical_threshold: float = DEFAULT_CRITICAL_THRESHOLD,
-                 history_hours: int = DEFAULT_HISTORY_HOURS) -> None:
+                 history_hours: int = DEFAULT_HISTORY_HOURS,
+                 state: DriveStateStore | None = None) -> None:
         missing = [t for t in FailureType if t not in predictor.trees_]
         if missing:
             raise ReproError(
@@ -108,13 +196,18 @@ class DegradationMonitor:
             )
         if history_hours < 1:
             raise ReproError("history_hours must be positive")
+        if state is not None and state.history_hours != history_hours:
+            raise ReproError(
+                f"state store retains {state.history_hours} hours but the "
+                f"monitor was configured for {history_hours}"
+            )
         self._predictor = predictor
         self._normalizer = normalizer
         self._watch = watch_threshold
         self._critical = critical_threshold
         self._history_hours = history_hours
-        self._history: dict[str, deque[np.ndarray]] = {}
-        self._levels: dict[str, AlertLevel] = {}
+        self._state = state if state is not None \
+            else DriveStateStore(history_hours)
 
     # -- streaming API ----------------------------------------------------
 
@@ -126,10 +219,6 @@ class DegradationMonitor:
         """
         record = np.asarray(record, dtype=np.float64).ravel()
         normalized = self._normalizer.transform(record.reshape(1, -1))[0]
-        history = self._history.setdefault(
-            serial, deque(maxlen=self._history_hours)
-        )
-        history.append(normalized)
 
         estimates: dict[FailureType, RescueEstimate] = {}
         for failure_type in FailureType:
@@ -140,7 +229,7 @@ class DegradationMonitor:
                           key=lambda t: estimates[t].stage)
         stage = estimates[likely_type].stage
         level = self._level_for(stage)
-        self._levels[serial] = level
+        self._state.record(serial, normalized, level)
         return DegradationAlert(
             serial=serial,
             hour=hour,
@@ -170,7 +259,37 @@ class DegradationMonitor:
             np.asarray(record, dtype=np.float64).ravel()
             for _, _, record in samples
         ])
-        normalized = self._normalizer.transform(raw)
+        return self.observe_block(
+            [serial for serial, _, _ in samples],
+            [hour for _, hour, _ in samples],
+            raw,
+        )
+
+    def observe_block(self, serials, hours,
+                      matrix: np.ndarray) -> list[DegradationAlert]:
+        """Ingest a columnar batch: serial list, hour list, raw matrix.
+
+        The zero-copy twin of :meth:`observe_many` for callers that
+        already hold their samples column-wise (the serving daemon's
+        ingest path ships sub-batches between processes in exactly this
+        shape).  Row ``i`` of ``matrix`` is the raw record of
+        ``serials[i]`` at ``hours[i]``; alerts come back in row order
+        and are bit-identical to per-sample :meth:`observe` calls.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ReproError(
+                f"observe_block needs a 2-D record matrix, got "
+                f"{matrix.ndim}-D"
+            )
+        if not (len(serials) == len(hours) == matrix.shape[0]):
+            raise ReproError(
+                f"observe_block column lengths disagree: {len(serials)} "
+                f"serials, {len(hours)} hours, {matrix.shape[0]} rows"
+            )
+        if matrix.shape[0] == 0:
+            return []
+        normalized = self._normalizer.transform(matrix)
         # (n_types, n_samples) stage matrix, one tree evaluation per type.
         types = list(FailureType)
         stages = np.vstack([
@@ -182,11 +301,7 @@ class DegradationMonitor:
         likely_indices = np.argmin(stages, axis=0)
 
         alerts: list[DegradationAlert] = []
-        for position, (serial, hour, _) in enumerate(samples):
-            history = self._history.setdefault(
-                serial, deque(maxlen=self._history_hours)
-            )
-            history.append(normalized[position])
+        for position, serial in enumerate(serials):
             estimates = {
                 failure_type: rescue_estimate(
                     float(stages[type_index, position]), failure_type,
@@ -197,10 +312,10 @@ class DegradationMonitor:
             likely_type = types[int(likely_indices[position])]
             stage = estimates[likely_type].stage
             level = self._level_for(stage)
-            self._levels[serial] = level
+            self._state.record(serial, normalized[position], level)
             alerts.append(DegradationAlert(
                 serial=serial,
-                hour=int(hour),
+                hour=int(hours[position]),
                 level=level,
                 stage=stage,
                 likely_type=likely_type,
@@ -244,24 +359,30 @@ class DegradationMonitor:
     # -- fleet state --------------------------------------------------------
 
     @property
+    def state(self) -> DriveStateStore:
+        """The keyed per-drive state store backing this monitor.
+
+        Exposed so the serving layer can snapshot or relocate a shard's
+        state without reaching into monitor internals.
+        """
+        return self._state
+
+    @property
     def n_tracked(self) -> int:
         """Drives with live ring-buffer state (O(1))."""
-        return len(self._history)
+        return self._state.n_tracked
 
     def level_of(self, serial: str) -> AlertLevel:
         """Last verdict for a drive (HEALTHY if never observed)."""
-        return self._levels.get(serial, AlertLevel.HEALTHY)
+        return self._state.level_of(serial)
 
     def drives_at(self, level: AlertLevel) -> list[str]:
         """Serials currently at exactly ``level``."""
-        return sorted(s for s, l in self._levels.items() if l is level)
+        return self._state.drives_at(level)
 
     def history_of(self, serial: str) -> np.ndarray:
         """Rolling window of normalized records for one drive."""
-        history = self._history.get(serial)
-        if not history:
-            raise ReproError(f"no observations for drive {serial!r}")
-        return np.vstack(list(history))
+        return self._state.history_of(serial)
 
     def _level_for(self, stage: float) -> AlertLevel:
         if stage <= self._critical:

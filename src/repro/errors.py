@@ -91,6 +91,37 @@ class BundleError(ServeError):
     """A model-bundle artifact is corrupt, stale or malformed."""
 
 
+class SinkError(ServeError):
+    """An alert sink is misconfigured or failed to deliver an alert."""
+
+
+class BackpressureError(ServeError):
+    """A bounded shard queue is full; the caller should retry later.
+
+    The serving daemon maps this to HTTP 429 with a ``Retry-After``
+    header.  Admission is all-or-nothing: when this error is raised,
+    *no* sample from the rejected batch was enqueued or scored, so a
+    retried batch never double-scores a drive-hour.
+
+    Attributes
+    ----------
+    shard:
+        Index of the saturated shard.
+    retry_after_s:
+        Suggested wait before retrying, in seconds.
+    """
+
+    def __init__(self, shard: int, retry_after_s: float,
+                 capacity: int) -> None:
+        super().__init__(
+            f"shard {shard} ingest queue is full "
+            f"({capacity} batches in flight); retry in {retry_after_s:g}s"
+        )
+        self.shard = shard
+        self.retry_after_s = retry_after_s
+        self.capacity = capacity
+
+
 class PipelineStageError(ReproError):
     """A pipeline stage crashed on an unexpected (non-library) exception.
 

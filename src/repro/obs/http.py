@@ -19,20 +19,29 @@ and serves the conventional operator endpoints:
     The attached :class:`~repro.obs.recorder.FlightRecorder` ring as
     JSONL (404 when no recorder is attached).
 
+Callers with write traffic (the serving daemon's ``/ingest``) register
+POST handlers through ``post_routes`` — each maps a path to a callable
+from ``(body, query)`` to an :class:`HttpReply`, so the daemon reuses
+this one server for both telemetry and ingestion.
+
 Every request increments the labeled ``telemetry_requests`` counter in
 the served registry, so scrape traffic is itself observable.  The
 server binds ``port=0`` by default — an ephemeral port, read back from
-:attr:`TelemetryHTTPServer.port` — which keeps tests and multi-instance
-hosts collision-free.  Requests are served from daemon threads; the
-scoring thread never blocks on a scrape.
+the :class:`ServerHandle` at :attr:`TelemetryHTTPServer.handle` —
+which keeps tests and multi-instance hosts collision-free.  Requests
+are served from daemon threads; the scoring thread never blocks on a
+scrape.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable
+from pathlib import Path
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qsl
 
 from repro.errors import ObservabilityError
 from repro.obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
@@ -45,13 +54,71 @@ from repro.obs.recorder import FlightRecorder
 _KNOWN_ENDPOINTS = ("/metrics", "/health", "/status", "/recorder")
 
 
+@dataclass(frozen=True, slots=True)
+class ServerHandle:
+    """Where a running HTTP server is actually bound.
+
+    The single documented place a caller reads the live address from:
+    ``port=0`` requests an ephemeral port, and the handle carries the
+    kernel's pick.  Both the daemon and ``repro-serve watch`` publish
+    their address through :meth:`write_port_file` instead of formatting
+    port files by hand, so every port file in the system has the same
+    one-line ``port\\n`` format.
+    """
+
+    host: str
+    port: int
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server (no trailing slash)."""
+        return f"http://{self.host}:{self.port}"
+
+    def write_port_file(self, path: str | Path) -> Path:
+        """Write the bound port (one line, newline-terminated) to ``path``.
+
+        Returns the path written.  Orchestration scripts poll this file
+        to learn the ephemeral port of a service they just launched.
+        """
+        target = Path(path)
+        target.write_text(f"{self.port}\n", encoding="utf-8")
+        return target
+
+
+@dataclass(frozen=True, slots=True)
+class HttpReply:
+    """What a POST route handler returns: status, body, headers.
+
+    ``headers`` carries extras beyond ``Content-Type`` /
+    ``Content-Length`` (the server always sets those) — the daemon uses
+    it for ``Retry-After`` on backpressure replies.
+    """
+
+    status: int
+    body: bytes
+    content_type: str = "application/json; charset=utf-8"
+    headers: tuple[tuple[str, str], ...] = field(default=())
+
+    @classmethod
+    def json(cls, status: int, payload: dict[str, Any],
+             headers: tuple[tuple[str, str], ...] = ()) -> "HttpReply":
+        """Build a JSON reply (sorted keys, newline-terminated)."""
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return cls(status=status, body=body, headers=headers)
+
+
+#: A POST route handler: ``(body, query) -> HttpReply``.  ``query`` is
+#: the parsed query string (last value wins for repeated keys).
+PostHandler = Callable[[bytes, dict[str, str]], HttpReply]
+
+
 def _default_health() -> dict[str, Any]:
     """Fallback liveness payload when the caller supplies none."""
     return {"status": "ok"}
 
 
 class _TelemetryRequestHandler(BaseHTTPRequestHandler):
-    """Routes GETs to the telemetry endpoints; logs via repro.obs."""
+    """Routes GETs/POSTs to the telemetry endpoints; logs via repro.obs."""
 
     server_version = "repro-telemetry/1"
     protocol_version = "HTTP/1.1"
@@ -85,10 +152,41 @@ class _TelemetryRequestHandler(BaseHTTPRequestHandler):
         else:
             self._reply_json(404, {"error": "not found", "path": path})
 
-    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+    def do_POST(self) -> None:  # noqa: N802 — http.server's contract
+        server: "_BoundServer" = self.server  # type: ignore[assignment]
+        path, _, raw_query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
+        handler = server.post_routes.get(path)
+        endpoint = path if handler is not None else "other"
+        server.registry.counter(
+            "telemetry_requests",
+            labels={"endpoint": endpoint.lstrip("/") or "other"},
+        ).inc()
+        if handler is None:
+            self._reply_json(404, {"error": "not found", "path": path})
+            return
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        body = self.rfile.read(length) if length > 0 else b""
+        query = dict(parse_qsl(raw_query))
+        try:
+            reply = handler(body, query)
+        except Exception as error:
+            # Route-handler crashes must not kill the connection thread
+            # silently; reply 500 and leave the trace in the log.
+            server.logger.error("POST %s handler failed: %s", path, error)
+            self._reply_json(500, {"error": f"{type(error).__name__}: "
+                                            f"{error}"})
+            return
+        self._reply(reply.status, reply.content_type, reply.body,
+                    extra=reply.headers)
+
+    def _reply(self, code: int, content_type: str, body: bytes,
+               extra: tuple[tuple[str, str], ...] = ()) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -111,11 +209,13 @@ class _BoundServer(ThreadingHTTPServer):
                  registry: MetricsRegistry,
                  health: Callable[[], dict[str, Any]],
                  status: Callable[[], dict[str, Any]],
-                 recorder: FlightRecorder | None) -> None:
+                 recorder: FlightRecorder | None,
+                 post_routes: Mapping[str, PostHandler]) -> None:
         self.registry = registry
         self.health = health
         self.status = status
         self.recorder = recorder
+        self.post_routes = dict(post_routes)
         self.logger = get_logger("obs.http")
         super().__init__(address, _TelemetryRequestHandler)
 
@@ -134,15 +234,20 @@ class TelemetryHTTPServer:
         Zero-argument callable returning the ``/status`` JSON payload.
     recorder:
         Optional flight recorder served as JSONL at ``/recorder``.
+    post_routes:
+        Optional mapping of path to POST handler (``(body, query) ->
+        HttpReply``); unknown POST paths answer 404.  Registered paths
+        get their own ``telemetry_requests`` endpoint label.
     host / port:
         Bind address; ``port=0`` (default) picks an ephemeral port,
-        readable from :attr:`port` after :meth:`start`.
+        readable from :attr:`handle` after construction.
     """
 
     def __init__(self, registry: MetricsRegistry, *,
                  health: Callable[[], dict[str, Any]] | None = None,
                  status: Callable[[], dict[str, Any]] | None = None,
                  recorder: FlightRecorder | None = None,
+                 post_routes: Mapping[str, PostHandler] | None = None,
                  host: str = "127.0.0.1", port: int = 0) -> None:
         try:
             self._server = _BoundServer(
@@ -150,12 +255,19 @@ class TelemetryHTTPServer:
                 health if health is not None else _default_health,
                 status if status is not None else dict,
                 recorder,
+                post_routes if post_routes is not None else {},
             )
         except OSError as error:
             raise ObservabilityError(
                 f"cannot bind telemetry server to {host}:{port}: {error}"
             ) from error
         self._thread: threading.Thread | None = None
+
+    @property
+    def handle(self) -> ServerHandle:
+        """The bound address as a :class:`ServerHandle`."""
+        return ServerHandle(host=self._server.server_address[0],
+                            port=self._server.server_address[1])
 
     @property
     def host(self) -> str:
@@ -170,7 +282,7 @@ class TelemetryHTTPServer:
     @property
     def url(self) -> str:
         """Base URL of the serving endpoints."""
-        return f"http://{self.host}:{self.port}"
+        return self.handle.url
 
     def start(self) -> "TelemetryHTTPServer":
         """Serve in a daemon thread (idempotent); returns self."""

@@ -98,6 +98,21 @@ def effective_jobs(n_jobs: int | None) -> int:
     return int(n_jobs)
 
 
+def validate_backend(backend: str) -> str:
+    """Check an executor backend name and return it unchanged.
+
+    The single place the :data:`BACKENDS` contract is enforced — used
+    by :class:`ParallelConfig` and by the serving daemon's shard layer,
+    so both reject unknown backends with the same
+    :class:`~repro.errors.ParallelError` message.
+    """
+    if backend not in BACKENDS:
+        raise ParallelError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
 @dataclass(frozen=True, slots=True)
 class RetryPolicy:
     """How a fan-out behaves when workers fail.
@@ -174,10 +189,7 @@ class ParallelConfig:
     def __post_init__(self) -> None:
         if self.n_jobs < 0:
             raise ParallelError(f"n_jobs must be >= 0, got {self.n_jobs}")
-        if self.backend not in BACKENDS:
-            raise ParallelError(
-                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
-            )
+        validate_backend(self.backend)
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ParallelError("chunk_size must be at least 1")
 

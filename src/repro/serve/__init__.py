@@ -8,8 +8,12 @@ detection; :class:`StreamScorer` consumes live SMART samples against a
 loaded bundle, byte-identical to offline replay; :class:`WatchService`
 (:mod:`repro.serve.watch`) keeps a scorer up behind live ``/metrics`` /
 ``/health`` / ``/status`` HTTP surfaces with a flight recorder of
-recent alerts.  The ``repro-serve`` CLI (:mod:`repro.serve.cli`) fronts
-all of it from the shell.
+recent alerts; :class:`ServingDaemon` (:mod:`repro.serve.daemon`) is
+the fleet-scale always-on form — per-drive state sharded by consistent
+hash across workers (:mod:`repro.serve.shard`), HTTP ingestion with
+explicit backpressure, and pluggable alert sinks
+(:mod:`repro.serve.sinks`).  The ``repro-serve`` CLI
+(:mod:`repro.serve.cli`) fronts all of it from the shell.
 """
 
 from repro.serve.bundle import (
@@ -21,23 +25,40 @@ from repro.serve.bundle import (
     load_bundle,
     save_bundle,
 )
+from repro.serve.daemon import ServingDaemon
 from repro.serve.scorer import (
     MonitorVerdict,
     StreamScorer,
     replay_fleet,
 )
+from repro.serve.shard import HashRing, ShardSet
+from repro.serve.sinks import (
+    AlertSink,
+    CallbackAlertSink,
+    JsonlAlertSink,
+    WebhookAlertSink,
+    parse_sink_spec,
+)
 from repro.serve.watch import WatchService
 
 __all__ = [
+    "AlertSink",
     "BUNDLE_SCHEMA_VERSION",
+    "CallbackAlertSink",
     "GroupArtifact",
+    "HashRing",
+    "JsonlAlertSink",
     "ModelBundle",
     "MonitorVerdict",
+    "ServingDaemon",
+    "ShardSet",
     "StreamScorer",
     "WatchService",
+    "WebhookAlertSink",
     "build_bundle",
     "content_hash",
     "load_bundle",
+    "parse_sink_spec",
     "replay_fleet",
     "save_bundle",
 ]

@@ -13,6 +13,11 @@ consumes the published artifact:
   the stream scores, ``/metrics`` (Prometheus), ``/health`` and
   ``/status`` answer on an HTTP port and a flight recorder keeps the
   recent alerts (see :mod:`repro.serve.watch`);
+* ``daemon`` — the fleet-scale serving process: samples arrive over
+  HTTP (``POST /ingest``), score on ``--shards`` consistent-hash
+  shards with bounded queues and explicit 429 backpressure, and alerts
+  fan out to ``--alert-sink`` destinations; SIGTERM drains gracefully
+  (see :mod:`repro.serve.daemon` and ``docs/operations.md``);
 * ``bench`` — measure bundle load latency and scoring throughput on a
   synthetic stream, printing a JSON summary.
 
@@ -22,6 +27,8 @@ Examples::
    repro-serve score --bundle fleet.bundle.json < stream.csv
    repro-serve replay --bundle fleet.bundle.json --simulate 500 --jobs 4
    repro-serve watch --bundle fleet.bundle.json --port 9100 < stream.csv
+   repro-serve daemon --bundle fleet.bundle.json --shards 4 --port 9200 \\
+       --alert-sink jsonl:alerts.jsonl
    repro-serve bench --bundle fleet.bundle.json --rounds 5
 """
 
@@ -30,7 +37,9 @@ from __future__ import annotations
 import argparse
 import contextlib
 import csv
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import IO, Iterator
@@ -49,7 +58,10 @@ from repro.obs.observer import (
 )
 from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
 from repro.serve.bundle import load_bundle
+from repro.serve.daemon import ServingDaemon
 from repro.serve.scorer import MonitorVerdict, StreamScorer, replay_fleet
+from repro.serve.shard import DEFAULT_QUEUE_CAPACITY
+from repro.serve.sinks import parse_sink_spec
 from repro.serve.watch import WatchService
 from repro.sim.config import FleetConfig
 from repro.sim.fleet import simulate_fleet
@@ -157,6 +169,42 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--snapshot-interval", type=float, default=5.0,
                        metavar="SECONDS",
                        help="snapshot refresh interval (default 5)")
+
+    daemon = commands.add_parser(
+        "daemon", help="serve scoring over HTTP: sharded state, bounded "
+                       "queues, alert sinks, graceful drain")
+    add_common(daemon)
+    daemon.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="shard workers; drives spread by consistent "
+                             "hash of serial (default 1)")
+    daemon.add_argument("--backend", default="thread",
+                        choices=("thread", "process"),
+                        help="shard worker backend (default thread)")
+    daemon.add_argument("--queue-capacity", type=int,
+                        default=DEFAULT_QUEUE_CAPACITY, metavar="N",
+                        help="batches in flight per shard before 429 "
+                             f"(default {DEFAULT_QUEUE_CAPACITY})")
+    daemon.add_argument("--host", default="127.0.0.1",
+                        help="HTTP bind host (default 127.0.0.1)")
+    daemon.add_argument("--port", type=int, default=0,
+                        help="HTTP port (default 0: ephemeral)")
+    daemon.add_argument("--port-file", metavar="PATH", default=None,
+                        help="write the bound port here once listening "
+                             "(for scripts scraping an ephemeral port)")
+    daemon.add_argument("--alert-sink", action="append", default=[],
+                        metavar="SPEC",
+                        help="alert destination, repeatable: jsonl:PATH "
+                             "or webhook:URL")
+    daemon.add_argument("--recorder-capacity", type=int,
+                        default=DEFAULT_CAPACITY, metavar="N",
+                        help="flight recorder ring size "
+                             f"(default {DEFAULT_CAPACITY})")
+    daemon.add_argument("--retry-after", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="Retry-After hint on 429 replies (default 1)")
+    daemon.add_argument("--final-snapshot", metavar="PATH", default=None,
+                        help="write per-shard state snapshots here at "
+                             "shutdown (atomic)")
 
     bench = commands.add_parser(
         "bench", help="measure bundle load latency and scoring throughput")
@@ -295,7 +343,7 @@ def run_watch(args: argparse.Namespace,
                else contextlib.nullcontext())
     with service:
         if args.port_file:
-            Path(args.port_file).write_text(f"{service.port}\n")
+            service.handle.write_port_file(args.port_file)
         print(f"telemetry listening on {service.url} "
               f"(/metrics /health /status /recorder)", file=sys.stderr)
         if snapshotter is not None:
@@ -322,6 +370,43 @@ def run_watch(args: argparse.Namespace,
     print(f"watched {scorer.samples_scored} samples from "
           f"{scorer.drives_tracked} drives: {scorer.alerts_emitted} "
           f"alerts, {lines} verdicts written", file=sys.stderr)
+    return 0
+
+
+def run_daemon(args: argparse.Namespace,
+               observer: PipelineObserver) -> int:
+    """``daemon``: serve sharded scoring over HTTP until drained.
+
+    Blocks in :meth:`ServingDaemon.serve_forever` until SIGTERM/SIGINT
+    (installed only when running on the main thread) or ``POST /drain``
+    asks for a graceful stop; every admitted batch finishes scoring and
+    the optional ``--final-snapshot`` document is written before exit.
+    """
+    bundle = load_bundle(args.bundle, observer=observer)
+    sinks = [parse_sink_spec(spec) for spec in args.alert_sink]
+    recorder = FlightRecorder(capacity=args.recorder_capacity)
+    daemon = ServingDaemon(
+        bundle, n_shards=args.shards, backend=args.backend,
+        queue_capacity=args.queue_capacity, sinks=sinks,
+        observer=observer, recorder=recorder,
+        host=args.host, port=args.port,
+        retry_after_s=args.retry_after,
+        final_snapshot=args.final_snapshot,
+    )
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum,
+                          lambda _signum, _frame: daemon.request_stop())
+    daemon.start()
+    if args.port_file:
+        daemon.handle.write_port_file(args.port_file)
+    print(f"serving daemon on {daemon.url} "
+          f"({args.shards} shard(s), {args.backend} backend; "
+          f"POST /ingest, /drain; GET /metrics /health /status /recorder)",
+          file=sys.stderr)
+    daemon.serve_forever()
+    print(f"daemon drained: {daemon.samples_accepted} samples accepted, "
+          f"{daemon.alerts_emitted} alerts emitted", file=sys.stderr)
     return 0
 
 
@@ -439,13 +524,14 @@ def run(args: argparse.Namespace) -> int:
     collect_telemetry = bool(args.verbose or args.log_json
                              or args.trace or args.metrics)
     observer = TelemetryObserver() if collect_telemetry else NULL_OBSERVER
-    if args.command == "watch" and observer is NULL_OBSERVER:
-        # The watch surfaces *are* telemetry: /metrics needs a registry
+    if args.command in ("watch", "daemon") and observer is NULL_OBSERVER:
+        # These surfaces *are* telemetry: /metrics needs a registry
         # behind the observer whatever the logging flags say.
         observer = TelemetryObserver()
 
     handlers = {"score": run_score, "replay": run_replay,
-                "watch": run_watch, "bench": run_bench}
+                "watch": run_watch, "daemon": run_daemon,
+                "bench": run_bench}
     status = handlers[args.command](args, observer)
 
     if args.trace:

@@ -1,0 +1,430 @@
+"""The fleet-scale serving daemon: sharded scoring behind HTTP.
+
+:class:`ServingDaemon` is the always-on composition of the serving
+stack: a :class:`~repro.serve.shard.ShardSet` (keyed per-drive state,
+consistent-hash placement, bounded queues), the telemetry plane of
+:mod:`repro.obs.http` (``/metrics``, ``/health``, ``/status``,
+``/recorder``), an HTTP ingestion endpoint, and pluggable
+:mod:`~repro.serve.sinks` for alert delivery.
+
+``POST /ingest`` accepts either a JSON document::
+
+    {"samples": [["serial", hour, [v1, v2, ...]], ...]}
+
+or JSONL (``Content-Type: application/jsonl`` or ``?format=jsonl``),
+one object per line::
+
+    {"serial": "...", "hour": 123, "values": [v1, v2, ...]}
+
+The default reply is a JSON summary ``{"accepted": n, "alerts": m}``;
+``?verdicts=all`` (or ``=alerts``) returns the canonical verdict JSON
+lines instead — byte-identical to offline ``repro-serve score`` output
+for the same samples, for any shard count.  A malformed body answers
+400; a saturated shard answers **429 with a ``Retry-After`` header**,
+and the rejected batch is never partially scored (all-or-nothing
+admission, see :mod:`repro.serve.shard`).
+
+``POST /drain`` asks the daemon to stop: in-flight batches finish,
+every shard emits its state snapshot, the optional final-snapshot file
+is written atomically, and :meth:`serve_forever` returns.  The CLI
+wires SIGTERM/SIGINT to the same path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.serialize import canonical_json_dumps
+from repro.errors import BackpressureError, ServeError, SinkError
+from repro.obs.http import HttpReply, TelemetryHTTPServer, ServerHandle
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import PipelineObserver, TelemetryObserver
+from repro.obs.recorder import FlightRecorder
+from repro.serve.bundle import BUNDLE_SCHEMA_VERSION, ModelBundle, content_hash
+from repro.serve.scorer import MonitorVerdict
+from repro.serve.shard import DEFAULT_QUEUE_CAPACITY, ShardSet
+from repro.serve.sinks import AlertSink
+
+#: Recorder events shown inline in the ``/status`` payload.
+DEFAULT_STATUS_TAIL = 20
+
+#: ``Retry-After`` seconds suggested on 429 replies by default.
+DEFAULT_RETRY_AFTER_S = 1.0
+
+
+def _parse_json_batch(body: bytes) -> tuple[list[str], list[int], list[list[float]]]:
+    """Decode the JSON document ingest form into columnar samples."""
+    document = json.loads(body.decode("utf-8"))
+    if not isinstance(document, dict) or "samples" not in document:
+        raise ServeError(
+            'expected {"samples": [[serial, hour, values], ...]}')
+    serials: list[str] = []
+    hours: list[int] = []
+    rows: list[list[float]] = []
+    for entry in document["samples"]:
+        serial, hour, values = entry
+        serials.append(str(serial))
+        hours.append(int(hour))
+        rows.append([float(value) for value in values])
+    return serials, hours, rows
+
+
+def _parse_jsonl_batch(body: bytes) -> tuple[list[str], list[int], list[list[float]]]:
+    """Decode the JSONL ingest form (one sample object per line)."""
+    serials: list[str] = []
+    hours: list[int] = []
+    rows: list[list[float]] = []
+    for line_number, line in enumerate(body.decode("utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        try:
+            serials.append(str(record["serial"]))
+            hours.append(int(record["hour"]))
+            rows.append([float(value) for value in record["values"]])
+        except (KeyError, TypeError) as error:
+            raise ServeError(
+                f"line {line_number}: expected keys serial/hour/values "
+                f"({error})") from error
+    return serials, hours, rows
+
+
+class ServingDaemon:
+    """A long-running sharded scorer with ingestion and telemetry HTTP.
+
+    Parameters
+    ----------
+    bundle:
+        The model bundle to serve; its content hash and schema version
+        are the ``/health`` identity.
+    n_shards / backend / queue_capacity / throttle_s / retry_after_s:
+        Shard-plane knobs, passed to :class:`~repro.serve.shard.ShardSet`.
+    sinks:
+        Alert sinks notified of every WATCH/CRITICAL verdict after
+        scoring.  Sink failures are counted (``alert_sink_errors``) and
+        logged to the flight recorder, never propagated to the sender.
+    observer:
+        Telemetry sink; must expose a metrics registry (the
+        ``/metrics`` source).  Defaults to a fresh
+        :class:`~repro.obs.observer.TelemetryObserver`.
+    recorder:
+        Flight recorder for alert/lifecycle events.
+    host / port:
+        HTTP bind address; ``port=0`` picks an ephemeral port (read it
+        from :attr:`handle`).
+    status_tail:
+        Recorder events embedded in each ``/status`` payload.
+    final_snapshot:
+        Optional path; on shutdown the daemon writes a JSON document
+        with per-shard state snapshots and totals there (atomically —
+        temp file then ``os.replace``).
+    """
+
+    def __init__(self, bundle: ModelBundle, *, n_shards: int = 1,
+                 backend: str = "thread",
+                 queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+                 sinks: Sequence[AlertSink] = (),
+                 observer: PipelineObserver | None = None,
+                 recorder: FlightRecorder | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 status_tail: int = DEFAULT_STATUS_TAIL,
+                 throttle_s: float = 0.0,
+                 retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+                 final_snapshot: str | Path | None = None) -> None:
+        self._observer = (observer if observer is not None
+                          else TelemetryObserver())
+        registry = getattr(self._observer, "metrics", None)
+        if not isinstance(registry, MetricsRegistry):
+            raise ServeError(
+                "serving daemon needs an observer with a metrics registry "
+                f"(got {type(self._observer).__name__}); pass a "
+                "TelemetryObserver"
+            )
+        self._registry = registry
+        self._bundle = bundle
+        self._bundle_sha256 = content_hash(bundle.to_payload())
+        self._sinks = list(sinks)
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        self._status_tail = status_tail
+        self._retry_after_s = float(retry_after_s)
+        self._final_snapshot = (Path(final_snapshot)
+                                if final_snapshot is not None else None)
+        self._shards = ShardSet(
+            bundle, n_shards=n_shards, backend=backend,
+            queue_capacity=queue_capacity, observer=self._observer,
+            throttle_s=throttle_s, retry_after_s=retry_after_s,
+        )
+        self._lock = threading.Lock()
+        self._samples_accepted = 0
+        self._alerts_emitted = 0
+        self._stop_requested = threading.Event()
+        self._stopped = False
+        self._snapshots: list[dict[str, Any]] = []
+        self._server = TelemetryHTTPServer(
+            registry,
+            health=self.health_payload,
+            status=self.status_payload,
+            recorder=self.recorder,
+            post_routes={
+                "/ingest": self._handle_ingest,
+                "/drain": self._handle_drain,
+            },
+            host=host, port=port,
+        )
+
+    # -- ingestion --------------------------------------------------------
+
+    def ingest(self, serials: Sequence[str], hours: Sequence[int],
+               matrix: Iterable[Iterable[float]]) -> list[MonitorVerdict]:
+        """Score one columnar batch through the shard plane (library API).
+
+        The HTTP endpoint decodes into exactly this call.  Raises
+        :class:`~repro.errors.BackpressureError` when a target shard is
+        saturated (nothing enqueued) and :class:`~repro.errors.ServeError`
+        on malformed batches.  Alerting verdicts fan out to the
+        configured sinks before this returns.
+        """
+        block = np.asarray(matrix, dtype=np.float64)
+        verdicts = self._shards.submit(serials, hours, block)
+        alerting = [verdict for verdict in verdicts if verdict.alerting]
+        with self._lock:
+            self._samples_accepted += len(verdicts)
+            self._alerts_emitted += len(alerting)
+        for verdict in alerting:
+            self.recorder.record(
+                "alert",
+                f"drive {verdict.serial} {verdict.level} "
+                f"at hour {verdict.hour}",
+                serial=verdict.serial, hour=verdict.hour,
+                level=verdict.level, stage=verdict.stage,
+                likely_type=verdict.likely_type,
+            )
+            self._emit_to_sinks(verdict)
+        return verdicts
+
+    def _count_ingest(self, outcome: str) -> None:
+        """Bump the labeled ``ingest_requests`` counter for one request."""
+        self._registry.counter("ingest_requests",
+                               labels={"outcome": outcome}).inc()
+
+    def _emit_to_sinks(self, verdict: MonitorVerdict) -> None:
+        """Deliver one alert to every sink; failures are counted, not raised."""
+        for sink in self._sinks:
+            try:
+                sink.emit(verdict)
+                self._observer.count("alert_sink_emits")
+            except SinkError as error:
+                self._observer.count("alert_sink_errors")
+                self.recorder.record(
+                    "sink-error", str(error), sink=sink.describe())
+
+    def _handle_ingest(self, body: bytes, query: dict[str, str]) -> HttpReply:
+        """``POST /ingest``: decode, admit, score, reply.
+
+        ``?format=jsonl`` forces the line-oriented form; otherwise the
+        body is parsed as the JSON document form first and as JSONL if
+        that fails (a JSONL body is never a single valid JSON document
+        with a ``samples`` key, so the fallback is unambiguous).
+        """
+        try:
+            if query.get("format") == "jsonl":
+                serials, hours, rows = _parse_jsonl_batch(body)
+            else:
+                try:
+                    serials, hours, rows = _parse_json_batch(body)
+                except (ServeError, ValueError):
+                    serials, hours, rows = _parse_jsonl_batch(body)
+        except (ServeError, ValueError, TypeError) as error:
+            self._count_ingest("bad_request")
+            return HttpReply.json(400, {"error": f"malformed batch: {error}"})
+        if not serials:
+            self._count_ingest("ok")
+            return HttpReply.json(200, {"accepted": 0, "alerts": 0})
+        try:
+            verdicts = self.ingest(serials, hours, rows)
+        except BackpressureError as error:
+            self._count_ingest("backpressure")
+            return HttpReply.json(
+                429,
+                {"error": str(error), "shard": error.shard,
+                 "retry_after_s": error.retry_after_s},
+                headers=(("Retry-After", f"{error.retry_after_s:g}"),),
+            )
+        except ServeError as error:
+            self._count_ingest("bad_request")
+            return HttpReply.json(400, {"error": str(error)})
+        self._count_ingest("ok")
+        self._observer.count("ingest_samples", len(verdicts))
+        wanted = query.get("verdicts")
+        if wanted in ("all", "alerts"):
+            chosen = (verdicts if wanted == "all"
+                      else [v for v in verdicts if v.alerting])
+            body_out = "".join(verdict.to_json_line() + "\n"
+                               for verdict in chosen).encode("utf-8")
+            return HttpReply(200, body_out,
+                             content_type="application/jsonl; charset=utf-8")
+        alerts = sum(1 for verdict in verdicts if verdict.alerting)
+        return HttpReply.json(200, {"accepted": len(verdicts),
+                                    "alerts": alerts})
+
+    def _handle_drain(self, body: bytes, query: dict[str, str]) -> HttpReply:
+        """``POST /drain``: request a graceful stop, reply immediately."""
+        self.request_stop()
+        return HttpReply.json(202, {"status": "draining"})
+
+    # -- payloads ---------------------------------------------------------
+
+    def health_payload(self) -> dict[str, Any]:
+        """The ``/health`` body: liveness plus serving-model identity."""
+        return {
+            "status": "draining" if self._stop_requested.is_set() else "ok",
+            "bundle_sha256": self._bundle_sha256,
+            "schema_version": BUNDLE_SCHEMA_VERSION,
+        }
+
+    def status_payload(self) -> dict[str, Any]:
+        """The ``/status`` body: shard plane, sink list, recorder tail."""
+        with self._lock:
+            samples = self._samples_accepted
+            alerts = self._alerts_emitted
+        return {
+            "n_shards": self._shards.n_shards,
+            "backend": self._shards.backend,
+            "queue_capacity": self._shards.queue_capacity,
+            "inflight": self._shards.inflight(),
+            "drives_tracked": self._shards.drives_tracked(),
+            "samples_accepted": samples,
+            "alerts_emitted": alerts,
+            "alert_rate": (alerts / samples) if samples else 0.0,
+            "sinks": [sink.describe() for sink in self._sinks],
+            "draining": self._stop_requested.is_set(),
+            "flight_recorder": {
+                "total_recorded": self.recorder.total_recorded,
+                "dropped": self.recorder.dropped,
+                "tail": self.recorder.to_dicts(self._status_tail),
+            },
+        }
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def handle(self) -> ServerHandle:
+        """The bound HTTP address (host, port, url, port-file writer)."""
+        return self._server.handle
+
+    @property
+    def url(self) -> str:
+        """Base URL of the daemon's endpoints."""
+        return self._server.handle.url
+
+    @property
+    def observer(self) -> PipelineObserver:
+        """The telemetry sink every scored batch reports through."""
+        return self._observer
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry served at ``/metrics``."""
+        return self._registry
+
+    @property
+    def shards(self) -> ShardSet:
+        """The shard plane (placement, capacities, inflight counts)."""
+        return self._shards
+
+    @property
+    def samples_accepted(self) -> int:
+        """Samples admitted and scored since start."""
+        with self._lock:
+            return self._samples_accepted
+
+    @property
+    def alerts_emitted(self) -> int:
+        """Verdicts above HEALTHY since start."""
+        with self._lock:
+            return self._alerts_emitted
+
+    @property
+    def final_snapshots(self) -> list[dict[str, Any]]:
+        """Per-shard state snapshots collected at shutdown (post-stop)."""
+        return list(self._snapshots)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "ServingDaemon":
+        """Start the HTTP surface (idempotent); returns self."""
+        self._server.start()
+        self.recorder.record(
+            "lifecycle", "serving daemon started",
+            url=self.url, bundle_sha256=self._bundle_sha256,
+            n_shards=self._shards.n_shards, backend=self._shards.backend)
+        return self
+
+    def request_stop(self) -> None:
+        """Ask the daemon to drain and stop (non-blocking, signal-safe)."""
+        self._stop_requested.set()
+
+    def serve_forever(self, poll_s: float = 0.2) -> None:
+        """Block until :meth:`request_stop` (or ``POST /drain``), then stop."""
+        while not self._stop_requested.wait(timeout=poll_s):
+            pass
+        self.stop()
+
+    def stop(self) -> list[dict[str, Any]]:
+        """Drain shards, write the final snapshot, stop HTTP (idempotent).
+
+        Every admitted batch finishes scoring before workers exit; the
+        returned (and stored) snapshots carry each shard's counters and
+        keyed drive state.
+        """
+        with self._lock:
+            if self._stopped:
+                return list(self._snapshots)
+            self._stopped = True
+        self._stop_requested.set()
+        self._snapshots = self._shards.stop()
+        if self._final_snapshot is not None:
+            self._write_final_snapshot(self._final_snapshot)
+        for sink in self._sinks:
+            try:
+                sink.close()
+            except SinkError as error:
+                self.recorder.record(
+                    "sink-error", str(error), sink=sink.describe())
+        self.recorder.record(
+            "lifecycle", "serving daemon stopped",
+            samples_accepted=self._samples_accepted,
+            alerts_emitted=self._alerts_emitted)
+        self._server.stop()
+        return list(self._snapshots)
+
+    def _write_final_snapshot(self, path: Path) -> None:
+        """Atomically write the shutdown snapshot document."""
+        document = {
+            "bundle_sha256": self._bundle_sha256,
+            "schema_version": BUNDLE_SCHEMA_VERSION,
+            "n_shards": self._shards.n_shards,
+            "backend": self._shards.backend,
+            "samples_accepted": self._samples_accepted,
+            "alerts_emitted": self._alerts_emitted,
+            "shards": self._snapshots,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_name(path.name + ".tmp")
+        temporary.write_text(canonical_json_dumps(document) + "\n",
+                             encoding="utf-8")
+        os.replace(temporary, path)
+
+    def __enter__(self) -> "ServingDaemon":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.stop()
+        return False

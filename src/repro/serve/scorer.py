@@ -33,7 +33,8 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.monitor import AlertLevel, DegradationAlert, DegradationMonitor
+from repro.core.monitor import (AlertLevel, DegradationAlert,
+                                DegradationMonitor, DriveStateStore)
 from repro.core.serialize import canonical_json_line
 from repro.core.taxonomy import FailureType
 from repro.errors import ServeError
@@ -128,14 +129,18 @@ class StreamScorer:
     """
 
     def __init__(self, bundle: ModelBundle, *,
-                 observer: PipelineObserver | None = None) -> None:
+                 observer: PipelineObserver | None = None,
+                 state: DriveStateStore | None = None) -> None:
         self._bundle = bundle
         self._observer = resolve_observer(observer)
+        self._state = state if state is not None \
+            else DriveStateStore(bundle.history_hours)
         self._monitor = DegradationMonitor(
             bundle.predictor(), bundle.normalizer(),
             watch_threshold=bundle.watch_threshold,
             critical_threshold=bundle.critical_threshold,
             history_hours=bundle.history_hours,
+            state=self._state,
         )
         self._samples_scored = 0
         self._alerts_emitted = 0
@@ -168,6 +173,35 @@ class StreamScorer:
             alerts = self._monitor.observe_many(checked)
         return [self._account(alert) for alert in alerts]
 
+    def push_block(self, serials: Sequence[str], hours: Sequence[int],
+                   matrix: np.ndarray) -> list[MonitorVerdict]:
+        """Score a columnar batch: serials, hours, and a raw record matrix.
+
+        Row ``i`` of ``matrix`` is the raw record for ``serials[i]`` at
+        ``hours[i]``.  Verdicts equal per-sample :meth:`push` calls in
+        row order; the columnar shape exists so the serving daemon can
+        ship sub-batches between shard workers without per-sample
+        Python-object overhead.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self._bundle.n_attributes:
+            raise ServeError(
+                f"record matrix has shape {matrix.shape}, bundle expects "
+                f"(n, {self._bundle.n_attributes}) "
+                f"({', '.join(self._bundle.attributes)})"
+            )
+        if len(serials) != matrix.shape[0] or len(hours) != matrix.shape[0]:
+            raise ServeError(
+                f"column lengths disagree: {len(serials)} serials, "
+                f"{len(hours)} hours, {matrix.shape[0]} record rows"
+            )
+        if matrix.shape[0] == 0:
+            return []
+        with self._observer.span("score-batch", n_samples=matrix.shape[0]):
+            alerts = self._monitor.observe_block(
+                list(serials), [int(hour) for hour in hours], matrix)
+        return [self._account(alert) for alert in alerts]
+
     def replay_profile(self, profile: HealthProfile) -> list[MonitorVerdict]:
         """Stream one profile's samples through the scorer, in order."""
         return self.push_many(
@@ -181,6 +215,15 @@ class StreamScorer:
     def bundle(self) -> ModelBundle:
         """The artifact this scorer was built from."""
         return self._bundle
+
+    @property
+    def state(self) -> DriveStateStore:
+        """The keyed per-drive state store (the sharding seam).
+
+        A daemon shard snapshots or relocates a scorer's fleet state
+        through this store; the scorer itself never copies it.
+        """
+        return self._state
 
     @property
     def samples_scored(self) -> int:

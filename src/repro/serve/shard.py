@@ -1,0 +1,407 @@
+"""Consistent-hash sharding of per-drive scoring state across workers.
+
+The serving daemon's horizontal seam: a :class:`ShardSet` owns ``n``
+shard workers, each holding one :class:`~repro.serve.scorer.StreamScorer`
+(and therefore one keyed
+:class:`~repro.core.monitor.DriveStateStore`).  Drives map to shards by
+consistent hash of their serial (:class:`HashRing` — sha256-based, so
+the mapping is stable across processes and Python hash seeds), which
+keeps every drive's ring-buffer history and last level whole inside
+exactly one shard no matter how batches arrive.
+
+Sharding is a pure performance knob: verdicts are per-sample functions
+of the record (and per-drive state keys on the serial), so a
+:meth:`ShardSet.submit` returns byte-identical verdicts for any shard
+count — the daemon's golden tests pin shard counts 1, 2 and 4 against
+offline ``repro-serve score``.
+
+Backpressure is explicit and all-or-nothing: the parent tracks batches
+in flight per shard, and a batch whose target shard is at capacity is
+rejected with :class:`~repro.errors.BackpressureError` *before any
+sample of it is enqueued* — a rejected batch is never half-scored, so
+retries cannot double-count a drive-hour.
+
+Workers run with the null observer; the parent re-accounts
+``samples_scored`` / ``alerts_emitted`` / ``verdict_stage`` /
+``drives_tracked`` from the verdicts that come back, so telemetry
+totals match the unsharded path exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import queue
+import threading
+import time
+from bisect import bisect_right
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import BackpressureError, ServeError
+from repro.obs.observer import NULL_OBSERVER, PipelineObserver, resolve_observer
+from repro.parallel import validate_backend
+from repro.serve.bundle import ModelBundle
+from repro.serve.scorer import MonitorVerdict, StreamScorer
+
+#: Virtual nodes per shard on the hash ring; enough for <2% imbalance
+#: at single-digit shard counts without measurable lookup cost.
+DEFAULT_VNODES = 64
+
+#: Batches in flight per shard before admission rejects with 429.
+DEFAULT_QUEUE_CAPACITY = 64
+
+#: Sentinel task asking a worker to snapshot its state and exit.
+_STOP = None
+
+
+def _point(key: str) -> int:
+    """Map a string to a stable 64-bit ring position (sha256 prefix).
+
+    Never Python's ``hash()`` — that is salted per process, and shard
+    placement must agree between the parent and forked workers.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hash ring mapping drive serials to shard indices.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards (>= 1).
+    vnodes:
+        Virtual nodes per shard; more vnodes smooth the key
+        distribution at slightly higher setup cost.
+    """
+
+    def __init__(self, n_shards: int, *,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if n_shards < 1:
+            raise ServeError(f"n_shards must be >= 1, got {n_shards}")
+        if vnodes < 1:
+            raise ServeError(f"vnodes must be >= 1, got {vnodes}")
+        self._n_shards = n_shards
+        pairs = sorted(
+            (_point(f"shard-{shard}-vnode-{vnode}"), shard)
+            for shard in range(n_shards)
+            for vnode in range(vnodes)
+        )
+        self._points = [point for point, _ in pairs]
+        self._shards = [shard for _, shard in pairs]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards on the ring."""
+        return self._n_shards
+
+    def shard_of(self, serial: str) -> int:
+        """The shard owning ``serial`` (first vnode clockwise)."""
+        index = bisect_right(self._points, _point(serial))
+        return self._shards[index % len(self._shards)]
+
+
+def _shard_worker(shard: int, payload: dict, tasks: Any, results: Any,
+                  throttle_s: float) -> None:
+    """One shard's scoring loop (runs in a thread or a child process).
+
+    Consumes ``(request_id, serials, hours, matrix)`` tasks, scores
+    them on a private :class:`StreamScorer` (null observer — the parent
+    re-accounts telemetry), and replies ``("verdicts", request_id,
+    shard, verdicts)``.  A scoring failure replies ``("error", ...)``
+    with the message instead of killing the worker.  The ``_STOP``
+    sentinel makes the worker emit a final ``("snapshot", ...)`` with
+    its counters and state snapshot, then exit.
+    """
+    scorer = StreamScorer(ModelBundle.from_payload(payload),
+                          observer=NULL_OBSERVER)
+    while True:
+        task = tasks.get()
+        if task is _STOP or task is None:
+            results.put(("snapshot", -1, shard, {
+                "shard": shard,
+                "samples_scored": scorer.samples_scored,
+                "alerts_emitted": scorer.alerts_emitted,
+                "drives_tracked": scorer.drives_tracked,
+                "state": scorer.state.snapshot(),
+            }))
+            return
+        request_id, serials, hours, matrix = task
+        if throttle_s > 0.0:
+            time.sleep(throttle_s)
+        try:
+            verdicts = scorer.push_block(serials, hours, matrix)
+        except Exception as error:
+            results.put(("error", request_id, shard,
+                         f"{type(error).__name__}: {error}"))
+            continue
+        results.put(("verdicts", request_id, shard, verdicts))
+
+
+class _PendingRequest:
+    """Parent-side bookkeeping for one in-flight submit."""
+
+    __slots__ = ("parts", "done", "results", "errors")
+
+    def __init__(self, n_parts: int) -> None:
+        self.parts = n_parts
+        self.done = threading.Event()
+        self.results: dict[int, list[MonitorVerdict]] = {}
+        self.errors: list[str] = []
+
+
+class ShardSet:
+    """A fleet of shard workers behind one synchronous ``submit`` API.
+
+    Parameters
+    ----------
+    bundle:
+        The model bundle every shard scores with.
+    n_shards:
+        Worker count; drives spread across them by consistent hash.
+    backend:
+        ``"thread"`` (workers are threads, zero serialization cost) or
+        ``"process"`` (workers are child processes — real CPU
+        parallelism for the scoring math).  Validated by
+        :func:`repro.parallel.validate_backend`.
+    queue_capacity:
+        Batches in flight per shard before :meth:`submit` rejects with
+        :class:`~repro.errors.BackpressureError`.
+    observer:
+        Parent-side telemetry sink; workers themselves are silent.
+    throttle_s:
+        Artificial per-batch delay inside each worker.  A load-testing
+        knob: the backpressure and drain tests use it to hold batches
+        in flight deterministically.  Leave at ``0.0`` in production.
+    retry_after_s:
+        The wait hint carried by raised backpressure errors.
+    """
+
+    def __init__(self, bundle: ModelBundle, *, n_shards: int = 1,
+                 backend: str = "thread",
+                 queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+                 observer: PipelineObserver | None = None,
+                 throttle_s: float = 0.0,
+                 retry_after_s: float = 1.0) -> None:
+        if queue_capacity < 1:
+            raise ServeError(
+                f"queue_capacity must be >= 1, got {queue_capacity}")
+        validate_backend(backend)
+        self._bundle = bundle
+        self._backend = backend
+        self._capacity = queue_capacity
+        self._observer = resolve_observer(observer)
+        self._throttle_s = float(throttle_s)
+        self._retry_after_s = float(retry_after_s)
+        self._ring = HashRing(n_shards)
+        self._lock = threading.Lock()
+        self._inflight = [0] * n_shards
+        self._pending: dict[int, _PendingRequest] = {}
+        self._next_request = 0
+        self._stopped = False
+        self._seen: set[str] = set()
+        self._snapshots: list[dict[str, Any] | None] = [None] * n_shards
+        self._all_snapshots = threading.Event()
+
+        payload = bundle.to_payload()
+        if backend == "process":
+            context = multiprocessing.get_context()
+            self._results: Any = context.Queue()
+            self._tasks = [context.Queue() for _ in range(n_shards)]
+            self._workers: list[Any] = [
+                context.Process(
+                    target=_shard_worker,
+                    args=(shard, payload, self._tasks[shard],
+                          self._results, self._throttle_s),
+                    name=f"repro-shard-{shard}", daemon=True)
+                for shard in range(n_shards)
+            ]
+        else:
+            self._results = queue.Queue()
+            self._tasks = [queue.Queue() for _ in range(n_shards)]
+            self._workers = [
+                threading.Thread(
+                    target=_shard_worker,
+                    args=(shard, payload, self._tasks[shard],
+                          self._results, self._throttle_s),
+                    name=f"repro-shard-{shard}", daemon=True)
+                for shard in range(n_shards)
+            ]
+        for worker in self._workers:
+            worker.start()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-shard-collector", daemon=True)
+        self._collector.start()
+
+    # -- public surface ---------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shard workers."""
+        return self._ring.n_shards
+
+    @property
+    def backend(self) -> str:
+        """Worker backend ("thread" or "process")."""
+        return self._backend
+
+    @property
+    def queue_capacity(self) -> int:
+        """Batches in flight per shard before backpressure."""
+        return self._capacity
+
+    @property
+    def ring(self) -> HashRing:
+        """The consistent hash ring used for placement."""
+        return self._ring
+
+    def shard_of(self, serial: str) -> int:
+        """Which shard owns a drive's state."""
+        return self._ring.shard_of(serial)
+
+    def submit(self, serials: Sequence[str], hours: Sequence[int],
+               matrix: np.ndarray) -> list[MonitorVerdict]:
+        """Score one columnar batch; verdicts return in input row order.
+
+        Splits the batch by shard placement, enqueues one sub-batch per
+        involved shard, and blocks until all parts are scored.
+        Admission is all-or-nothing: if *any* involved shard is at
+        capacity, the whole batch is rejected with
+        :class:`~repro.errors.BackpressureError` and no sample of it is
+        enqueued.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ServeError(
+                f"submit needs a 2-D record matrix, got {matrix.ndim}-D")
+        if len(serials) != matrix.shape[0] or len(hours) != matrix.shape[0]:
+            raise ServeError(
+                f"column lengths disagree: {len(serials)} serials, "
+                f"{len(hours)} hours, {matrix.shape[0]} record rows")
+        if matrix.shape[0] == 0:
+            return []
+
+        by_shard: dict[int, list[int]] = {}
+        for row, serial in enumerate(serials):
+            by_shard.setdefault(self._ring.shard_of(serial), []).append(row)
+
+        with self._lock:
+            if self._stopped:
+                raise ServeError("ShardSet is stopped; no new batches")
+            saturated = [shard for shard in by_shard
+                         if self._inflight[shard] >= self._capacity]
+            if saturated:
+                raise BackpressureError(
+                    saturated[0], self._retry_after_s, self._capacity)
+            request_id = self._next_request
+            self._next_request += 1
+            pending = _PendingRequest(len(by_shard))
+            self._pending[request_id] = pending
+            for shard in by_shard:
+                self._inflight[shard] += 1
+            self._seen.update(serials)
+            # Enqueue under the same lock: stop() appends its sentinels
+            # under this lock too, so an admitted batch's tasks always
+            # sit ahead of the stop sentinel — drain can never skip an
+            # admitted batch.  The queues are unbounded, so these puts
+            # cannot block while the lock is held.
+            for shard, rows in by_shard.items():
+                self._tasks[shard].put((
+                    request_id,
+                    [serials[row] for row in rows],
+                    [int(hours[row]) for row in rows],
+                    matrix[rows],
+                ))
+
+        pending.done.wait()
+        with self._lock:
+            del self._pending[request_id]
+        if pending.errors:
+            raise ServeError(
+                f"shard scoring failed: {'; '.join(pending.errors)}")
+
+        verdicts: list[MonitorVerdict | None] = [None] * matrix.shape[0]
+        for shard, rows in by_shard.items():
+            for row, verdict in zip(rows, pending.results[shard]):
+                verdicts[row] = verdict
+        out = [verdict for verdict in verdicts if verdict is not None]
+        self._account(out)
+        return out
+
+    def inflight(self) -> list[int]:
+        """Current batches in flight, per shard (a telemetry snapshot)."""
+        with self._lock:
+            return list(self._inflight)
+
+    def drives_tracked(self) -> int:
+        """Distinct drives admitted so far (sum of all shards' state)."""
+        with self._lock:
+            return len(self._seen)
+
+    def stop(self) -> list[dict[str, Any]]:
+        """Drain every shard and return their final snapshots.
+
+        Sends the stop sentinel behind all queued work, so every
+        admitted batch is scored before its worker exits (graceful
+        drain).  Idempotent: repeated calls return the same snapshots.
+        """
+        with self._lock:
+            already = self._stopped
+            self._stopped = True
+            if not already:
+                for shard_queue in self._tasks:
+                    shard_queue.put(_STOP)
+        self._all_snapshots.wait()
+        for worker in self._workers:
+            worker.join(timeout=30.0)
+        self._collector.join(timeout=30.0)
+        return [dict(snapshot) for snapshot in self._snapshots
+                if snapshot is not None]
+
+    # -- internals --------------------------------------------------------
+
+    def _account(self, verdicts: list[MonitorVerdict]) -> None:
+        """Parent-side telemetry for one scored batch."""
+        if not verdicts:
+            return
+        self._observer.count("samples_scored", len(verdicts))
+        alerting = sum(1 for verdict in verdicts if verdict.alerting)
+        if alerting:
+            self._observer.count("alerts_emitted", alerting)
+        for verdict in verdicts:
+            if np.isfinite(verdict.stage):
+                self._observer.observe("verdict_stage", verdict.stage)
+        self._observer.gauge("drives_tracked", self.drives_tracked())
+
+    def _collect(self) -> None:
+        """Collector loop: route worker replies to waiting submitters."""
+        finished = 0
+        while finished < self._ring.n_shards:
+            kind, request_id, shard, body = self._results.get()
+            if kind == "snapshot":
+                self._snapshots[shard] = body
+                finished += 1
+                continue
+            with self._lock:
+                pending = self._pending.get(request_id)
+                self._inflight[shard] -= 1
+                if pending is None:
+                    continue
+                if kind == "error":
+                    pending.errors.append(f"shard {shard}: {body}")
+                else:
+                    pending.results[shard] = body
+                pending.parts -= 1
+                if pending.parts == 0:
+                    pending.done.set()
+        self._all_snapshots.set()
+
+    def __enter__(self) -> "ShardSet":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.stop()
+        return False

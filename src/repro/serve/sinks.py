@@ -1,0 +1,191 @@
+"""Pluggable alert delivery for the serving daemon.
+
+When the daemon scores a sample above HEALTHY it pushes the verdict to
+every configured :class:`AlertSink`.  Three shapes cover the common
+operational setups:
+
+:class:`JsonlAlertSink`
+    Appends one canonical JSON line per alert to a file — the durable
+    default; ``tail -f`` is the minimum viable pager.
+:class:`WebhookAlertSink`
+    POSTs each alert as JSON to an HTTP endpoint (stdlib ``urllib``
+    only) — for chat-ops bridges and incident routers.
+:class:`CallbackAlertSink`
+    Hands each alert to an in-process callable — for embedding the
+    daemon as a library.
+
+Sinks receive only alerting verdicts, after scoring is complete, so a
+slow or failing sink can never change a verdict or block admission.
+Delivery failures raise :class:`~repro.errors.SinkError` from
+:meth:`AlertSink.emit`; the daemon catches these, counts them under
+``alert_sink_errors``, and keeps serving.
+
+:func:`parse_sink_spec` turns the CLI's ``--alert-sink`` strings
+(``jsonl:PATH``, ``webhook:URL``) into sink instances.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import SinkError
+from repro.serve.scorer import MonitorVerdict
+
+#: Webhook delivery timeout (seconds) unless the caller overrides it.
+DEFAULT_WEBHOOK_TIMEOUT_S = 5.0
+
+
+class AlertSink:
+    """Interface every alert sink implements.
+
+    ``emit`` delivers one alerting verdict; ``close`` releases any
+    resources (idempotent).  Subclasses raise
+    :class:`~repro.errors.SinkError` on delivery failure so the daemon
+    can count and survive it.
+    """
+
+    #: Short name used in ``/status`` payloads and error messages.
+    kind = "null"
+
+    def emit(self, verdict: MonitorVerdict) -> None:
+        """Deliver one alerting verdict (no-op in the base class)."""
+
+    def close(self) -> None:
+        """Release sink resources (no-op in the base class)."""
+
+    def describe(self) -> str:
+        """One-line, human-readable identity for status payloads."""
+        return self.kind
+
+
+class JsonlAlertSink(AlertSink):
+    """Appends alerts as canonical JSON lines to a file.
+
+    The file is opened lazily on the first alert and flushed after
+    every line, so a crashed daemon leaves no half-written alert and an
+    operator's ``tail -f`` sees alerts immediately.
+    """
+
+    kind = "jsonl"
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._file: Any = None
+
+    @property
+    def path(self) -> Path:
+        """Destination file."""
+        return self._path
+
+    def emit(self, verdict: MonitorVerdict) -> None:
+        """Append one canonical JSON line (create the file on demand)."""
+        try:
+            if self._file is None:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self._path.open("a", encoding="utf-8")
+            self._file.write(verdict.to_json_line() + "\n")
+            self._file.flush()
+        except OSError as error:
+            raise SinkError(
+                f"jsonl sink cannot write {self._path}: {error}") from error
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def describe(self) -> str:
+        """``jsonl:<path>``."""
+        return f"jsonl:{self._path}"
+
+
+class WebhookAlertSink(AlertSink):
+    """POSTs each alert as a JSON document to an HTTP endpoint."""
+
+    kind = "webhook"
+
+    def __init__(self, url: str, *,
+                 timeout_s: float = DEFAULT_WEBHOOK_TIMEOUT_S) -> None:
+        if not url.startswith(("http://", "https://")):
+            raise SinkError(f"webhook sink needs an http(s) URL, got {url!r}")
+        self._url = url
+        self._timeout_s = timeout_s
+
+    @property
+    def url(self) -> str:
+        """Destination endpoint."""
+        return self._url
+
+    def emit(self, verdict: MonitorVerdict) -> None:
+        """POST the verdict; non-2xx or transport failure is SinkError."""
+        body = (verdict.to_json_line() + "\n").encode("utf-8")
+        request = urllib.request.Request(
+            self._url, data=body, method="POST",
+            headers={"Content-Type": "application/json; charset=utf-8"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self._timeout_s) as reply:
+                code = reply.status
+        except urllib.error.HTTPError as error:
+            raise SinkError(
+                f"webhook {self._url} answered {error.code}") from error
+        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            raise SinkError(
+                f"webhook {self._url} unreachable: {error}") from error
+        if not 200 <= code < 300:
+            raise SinkError(f"webhook {self._url} answered {code}")
+
+    def describe(self) -> str:
+        """``webhook:<url>``."""
+        return f"webhook:{self._url}"
+
+
+class CallbackAlertSink(AlertSink):
+    """Hands each alert to an in-process callable (library embedding)."""
+
+    kind = "callback"
+
+    def __init__(self, callback: Callable[[MonitorVerdict], None]) -> None:
+        if not callable(callback):
+            raise SinkError("callback sink needs a callable")
+        self._callback = callback
+
+    def emit(self, verdict: MonitorVerdict) -> None:
+        """Invoke the callback; its exceptions become SinkError."""
+        try:
+            self._callback(verdict)
+        except Exception as error:
+            raise SinkError(
+                f"callback sink raised {type(error).__name__}: {error}"
+            ) from error
+
+    def describe(self) -> str:
+        """``callback:<name>``."""
+        name = getattr(self._callback, "__name__", type(self._callback).__name__)
+        return f"callback:{name}"
+
+
+def parse_sink_spec(spec: str) -> AlertSink:
+    """Build a sink from a CLI spec string.
+
+    Accepted forms (the ``--alert-sink`` grammar):
+
+    - ``jsonl:PATH`` — append alerts to a JSONL file.
+    - ``webhook:URL`` — POST alerts to an http(s) endpoint.
+    """
+    scheme, separator, rest = spec.partition(":")
+    if not separator or not rest:
+        raise SinkError(
+            f"malformed sink spec {spec!r}; expected jsonl:PATH or "
+            f"webhook:URL")
+    if scheme == "jsonl":
+        return JsonlAlertSink(rest)
+    if scheme == "webhook":
+        return WebhookAlertSink(rest)
+    raise SinkError(
+        f"unknown sink scheme {scheme!r} in {spec!r}; expected jsonl "
+        f"or webhook")

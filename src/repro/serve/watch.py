@@ -165,6 +165,11 @@ class WatchService:
         return self._registry
 
     @property
+    def handle(self):
+        """The bound address as an :class:`~repro.obs.http.ServerHandle`."""
+        return self._server.handle
+
+    @property
     def host(self) -> str:
         """Bound HTTP host."""
         return self._server.host

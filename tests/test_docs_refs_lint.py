@@ -1,7 +1,7 @@
-"""Regression gate: every public module is indexed in ``docs/api.md``.
+"""Regression gate: ``docs/api.md`` covers modules and CLI subcommands.
 
 Runs ``scripts/check_docs_refs.py`` the way CI would, and unit-tests the
-collector so a silently broken lint cannot pass the gate.
+collectors so a silently broken lint cannot pass the gate.
 """
 
 import subprocess
@@ -12,7 +12,12 @@ REPO_ROOT = Path(__file__).parent.parent
 SCRIPT = REPO_ROOT / "scripts" / "check_docs_refs.py"
 
 sys.path.insert(0, str(SCRIPT.parent))
-from check_docs_refs import public_modules, undocumented_modules  # noqa: E402
+from check_docs_refs import (  # noqa: E402
+    public_modules,
+    serve_cli_subcommands,
+    undocumented_modules,
+    undocumented_subcommands,
+)
 
 
 def test_api_doc_indexes_every_public_module():
@@ -54,3 +59,24 @@ def test_mentioned_modules_are_not_flagged(tmp_path):
     doc = tmp_path / "api.md"
     doc.write_text(" ".join(public_modules()))
     assert undocumented_modules(doc) == []
+
+
+def test_serve_subcommands_are_collected():
+    names = serve_cli_subcommands()
+    assert "score" in names
+    assert "watch" in names
+    assert "daemon" in names
+    assert "bench" in names
+
+
+def test_documented_subcommands_are_not_flagged(tmp_path):
+    doc = tmp_path / "api.md"
+    doc.write_text(" ".join(f"repro-serve {name}"
+                            for name in serve_cli_subcommands()))
+    assert undocumented_subcommands(doc) == []
+
+
+def test_bare_subcommand_mention_is_not_enough(tmp_path):
+    doc = tmp_path / "api.md"
+    doc.write_text(" ".join(serve_cli_subcommands()))
+    assert undocumented_subcommands(doc) == serve_cli_subcommands()

@@ -2,12 +2,12 @@
 
 import json
 from urllib.error import HTTPError
-from urllib.request import urlopen
+from urllib.request import Request, urlopen
 
 import pytest
 
 from repro.obs.export import PROMETHEUS_CONTENT_TYPE
-from repro.obs.http import TelemetryHTTPServer
+from repro.obs.http import HttpReply, ServerHandle, TelemetryHTTPServer
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import FlightRecorder
 
@@ -20,6 +20,18 @@ def _get(url):
                     response.read().decode("utf-8"))
     except HTTPError as error:
         return (error.code, error.headers["Content-Type"],
+                error.read().decode("utf-8"))
+
+
+def _post(url, body=b""):
+    """(status, headers, body-text) for a POST, errors included."""
+    request = Request(url, data=body, method="POST")
+    try:
+        with urlopen(request, timeout=5) as response:
+            return (response.status, dict(response.headers),
+                    response.read().decode("utf-8"))
+    except HTTPError as error:
+        return (error.code, dict(error.headers),
                 error.read().decode("utf-8"))
 
 
@@ -121,3 +133,75 @@ def test_stop_releases_the_port():
     rebound = TelemetryHTTPServer(registry, host=host, port=port)
     rebound.start()
     rebound.stop()
+
+
+# -- server handle ----------------------------------------------------------
+
+def test_handle_carries_the_bound_address(tmp_path):
+    with TelemetryHTTPServer(MetricsRegistry()) as server:
+        handle = server.handle
+        assert isinstance(handle, ServerHandle)
+        assert handle.host == server.host
+        assert handle.port == server.port != 0
+        assert handle.url == server.url == f"http://{handle.host}:{handle.port}"
+        port_file = handle.write_port_file(tmp_path / "port.txt")
+        assert port_file.read_text() == f"{handle.port}\n"
+        assert int(port_file.read_text()) == handle.port
+
+
+# -- POST routes ------------------------------------------------------------
+
+@pytest.fixture()
+def post_server():
+    registry = MetricsRegistry()
+    calls = []
+
+    def echo(body, query):
+        calls.append((body, query))
+        return HttpReply.json(201, {"got": body.decode("utf-8"),
+                                    "query": query},
+                              headers=(("Retry-After", "2"),))
+
+    def boom(body, query):
+        raise RuntimeError("handler exploded")
+
+    server = TelemetryHTTPServer(
+        registry, post_routes={"/echo": echo, "/boom": boom})
+    with server:
+        yield server, registry, calls
+
+
+def test_post_route_receives_body_and_query(post_server):
+    server, _registry, calls = post_server
+    status, headers, body = _post(server.url + "/echo?mode=fast&mode=slow",
+                                  b"hello")
+    assert status == 201
+    assert headers["Retry-After"] == "2"  # extra headers pass through
+    assert json.loads(body) == {"got": "hello",
+                                "query": {"mode": "slow"}}  # last wins
+    assert calls == [(b"hello", {"mode": "slow"})]
+
+
+def test_unknown_post_path_is_404(post_server):
+    server, _registry, _calls = post_server
+    status, _headers, body = _post(server.url + "/nope", b"x")
+    assert status == 404
+    assert json.loads(body)["path"] == "/nope"
+
+
+def test_post_handler_crash_is_500_not_a_dead_socket(post_server):
+    server, _registry, _calls = post_server
+    status, _headers, body = _post(server.url + "/boom", b"x")
+    assert status == 500
+    assert "RuntimeError" in json.loads(body)["error"]
+    # The server survives the crash and keeps answering.
+    assert _post(server.url + "/echo", b"alive")[0] == 201
+
+
+def test_post_requests_count_under_their_own_label(post_server):
+    server, registry, _calls = post_server
+    _post(server.url + "/echo", b"x")
+    _post(server.url + "/missing", b"x")
+    snapshot = registry.snapshot()
+    assert snapshot['telemetry_requests{endpoint="echo"}']["value"] == 1
+    assert snapshot['telemetry_requests{endpoint="other"}']["value"] == 1

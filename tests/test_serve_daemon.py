@@ -1,0 +1,334 @@
+"""End-to-end tests for the serving daemon: HTTP in, verdicts out.
+
+The daemon's acceptance criteria live here: HTTP-ingested verdicts are
+byte-identical to offline ``repro-serve score`` output for shard counts
+1, 2 and 4; a saturated shard answers 429 with a ``Retry-After`` header
+and never partially scores the rejected batch; ``POST /drain`` (and the
+CLI's signal path) drains in-flight work and writes the final snapshot;
+and alert sinks receive exactly the alerting verdicts.
+"""
+
+import csv
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs.observer import NULL_OBSERVER
+from repro.serve.bundle import build_bundle, save_bundle
+from repro.serve.cli import main as serve_main
+from repro.serve.daemon import ServingDaemon
+from repro.serve.sinks import CallbackAlertSink, JsonlAlertSink
+
+from tests.test_obs_http import _get, _post
+
+
+@pytest.fixture(scope="module")
+def bundle(mid_report):
+    return build_bundle(mid_report, seed=7)
+
+
+@pytest.fixture(scope="module")
+def bundle_path(bundle, tmp_path_factory):
+    path = tmp_path_factory.mktemp("daemon") / "fleet.bundle.json"
+    save_bundle(bundle, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def samples(mid_fleet):
+    """(serial, hour, values) rows mixing failed and good drives."""
+    dataset = mid_fleet.dataset
+    profiles = dataset.failed_profiles[:4] + dataset.good_profiles[:8]
+    rows = []
+    for profile in profiles:
+        keep = None if profile.failed else 6
+        for hour, row in zip(profile.hours[:keep], profile.matrix[:keep]):
+            rows.append((profile.serial, int(hour),
+                         [float(v) for v in row]))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def score_reference(bundle, bundle_path, samples, tmp_path_factory):
+    """Offline ``repro-serve score`` output bytes for the sample stream."""
+    root = tmp_path_factory.mktemp("daemon-golden")
+    stream = root / "stream.csv"
+    with open(stream, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["serial", "hour", *bundle.attributes])
+        for serial, hour, values in samples:
+            writer.writerow([serial, hour, *(repr(v) for v in values)])
+    output = root / "score.jsonl"
+    assert serve_main(["score", "--bundle", str(bundle_path),
+                       "--input", str(stream),
+                       "--output", str(output)]) == 0
+    return output.read_bytes()
+
+
+def _json_doc(batch):
+    """The JSON-document ingest body for a slice of sample rows."""
+    return json.dumps(
+        {"samples": [[serial, hour, values]
+                     for serial, hour, values in batch]}).encode("utf-8")
+
+
+def _batches(rows, size=64):
+    return [rows[i:i + size] for i in range(0, len(rows), size)]
+
+
+# -- byte identity over HTTP ------------------------------------------------
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_http_verdicts_byte_identical_to_score_cli(bundle, samples,
+                                                   score_reference,
+                                                   n_shards):
+    """The golden contract: POST /ingest?verdicts=all replies, batch by
+    batch, concatenate to exactly the offline score output."""
+    collected = b""
+    with ServingDaemon(bundle, n_shards=n_shards) as daemon:
+        for batch in _batches(samples):
+            status, headers, body = _post(
+                daemon.url + "/ingest?verdicts=all", _json_doc(batch))
+            assert status == 200
+            assert headers["Content-Type"].startswith("application/jsonl")
+            collected += body.encode("utf-8")
+        assert daemon.samples_accepted == len(samples)
+    assert collected == score_reference
+
+
+def test_verdicts_alerts_filter_returns_only_alerting(bundle, samples):
+    with ServingDaemon(bundle) as daemon:
+        lines = []
+        for batch in _batches(samples):
+            status, _headers, body = _post(
+                daemon.url + "/ingest?verdicts=alerts", _json_doc(batch))
+            assert status == 200
+            lines.extend(body.splitlines())
+        assert daemon.alerts_emitted > 0
+        assert len(lines) == daemon.alerts_emitted
+    assert all(json.loads(line)["level"] != "HEALTHY" for line in lines)
+
+
+def test_jsonl_ingest_form(bundle, samples):
+    batch = samples[:32]
+    body = "".join(
+        json.dumps({"serial": serial, "hour": hour, "values": values}) + "\n"
+        for serial, hour, values in batch).encode("utf-8")
+    with ServingDaemon(bundle) as daemon:
+        # Explicit ?format=jsonl and the auto-detect fallback both work.
+        for url in (daemon.url + "/ingest?format=jsonl",
+                    daemon.url + "/ingest"):
+            status, _headers, reply = _post(url, body)
+            assert status == 200
+            assert json.loads(reply)["accepted"] == len(batch)
+        assert daemon.samples_accepted == 2 * len(batch)
+
+
+def test_malformed_bodies_are_400(bundle):
+    cases = (
+        b"not json at all",
+        b'{"rows": []}',                       # wrong document shape
+        b'{"serial": "X"}\n',                  # JSONL missing keys
+        b'{"samples": [["X", 1, [1.0, 2.0]]]}',  # wrong attribute count
+    )
+    with ServingDaemon(bundle) as daemon:
+        for body in cases:
+            status, _headers, reply = _post(daemon.url + "/ingest", body)
+            assert status == 400, body
+            assert "error" in json.loads(reply)
+        status, _headers, reply = _post(daemon.url + "/ingest",
+                                        b'{"samples": []}')
+        assert status == 200
+        assert json.loads(reply) == {"accepted": 0, "alerts": 0}
+        metrics = _get(daemon.url + "/metrics")[2]
+        assert ('repro_ingest_requests_total{outcome="bad_request"} 4'
+                in metrics)
+
+
+# -- backpressure -----------------------------------------------------------
+
+def test_saturated_shard_answers_429_with_retry_after(bundle, samples):
+    """Concurrent posts against capacity 1: the loser gets 429 + a
+    Retry-After hint, and its samples are never scored."""
+    daemon = ServingDaemon(bundle, n_shards=1, queue_capacity=1,
+                           throttle_s=0.4, retry_after_s=2.5).start()
+    barrier = threading.Barrier(3)
+    replies = []
+
+    def poster(batch):
+        barrier.wait()
+        replies.append((_post(daemon.url + "/ingest", _json_doc(batch)),
+                        len(batch)))
+
+    threads = [threading.Thread(target=poster, args=(samples[:200],))
+               for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+
+    accepted = [n for (status, _h, _b), n in replies if status == 200]
+    rejected = [(headers, body) for (status, headers, body), _n in replies
+                if status == 429]
+    assert accepted and rejected
+    headers, body = rejected[0]
+    assert headers["Retry-After"] == "2.5"
+    payload = json.loads(body)
+    assert payload["retry_after_s"] == 2.5
+    assert payload["shard"] == 0
+    metrics = _get(daemon.url + "/metrics")[2]
+    assert 'repro_ingest_requests_total{outcome="backpressure"}' in metrics
+    snapshots = daemon.stop()
+    # All-or-nothing: exactly the accepted posts' samples were scored.
+    assert sum(s["samples_scored"] for s in snapshots) == sum(accepted)
+    assert daemon.samples_accepted == sum(accepted)
+
+
+# -- drain and shutdown -----------------------------------------------------
+
+def test_drain_endpoint_stops_serve_forever(bundle, samples, tmp_path):
+    snapshot_path = tmp_path / "final.json"
+    daemon = ServingDaemon(bundle, n_shards=2,
+                           final_snapshot=snapshot_path).start()
+    loop = threading.Thread(target=daemon.serve_forever)
+    loop.start()
+    for batch in _batches(samples[:300]):
+        assert _post(daemon.url + "/ingest", _json_doc(batch))[0] == 200
+    status, _headers, body = _post(daemon.url + "/drain", b"")
+    assert status == 202
+    assert json.loads(body) == {"status": "draining"}
+    loop.join(timeout=30)
+    assert not loop.is_alive()
+
+    document = json.loads(snapshot_path.read_text())
+    assert document["samples_accepted"] == 300
+    assert document["n_shards"] == 2
+    assert document["bundle_sha256"] == daemon.health_payload()["bundle_sha256"]
+    assert sum(s["samples_scored"] for s in document["shards"]) == 300
+    assert daemon.final_snapshots == document["shards"]
+
+
+def test_health_reports_draining_after_stop_request(bundle):
+    daemon = ServingDaemon(bundle).start()
+    try:
+        status, _ctype, body = _get(daemon.url + "/health")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        daemon.request_stop()
+        status, _ctype, body = _get(daemon.url + "/health")
+        assert status == 503  # load balancers stop routing to a drainer
+        assert json.loads(body)["status"] == "draining"
+    finally:
+        daemon.stop()
+
+
+def test_status_payload_describes_the_shard_plane(bundle, samples, tmp_path):
+    sink = JsonlAlertSink(tmp_path / "alerts.jsonl")
+    with ServingDaemon(bundle, n_shards=2, sinks=[sink]) as daemon:
+        _post(daemon.url + "/ingest", _json_doc(samples[:100]))
+        payload = json.loads(_get(daemon.url + "/status")[2])
+    assert payload["n_shards"] == 2
+    assert payload["backend"] == "thread"
+    assert payload["samples_accepted"] == 100
+    assert payload["sinks"] == [f"jsonl:{tmp_path / 'alerts.jsonl'}"]
+    assert payload["draining"] is False
+    assert payload["inflight"] == [0, 0]
+
+
+# -- sinks ------------------------------------------------------------------
+
+def test_alerting_verdicts_fan_out_to_sinks(bundle, samples, tmp_path):
+    path = tmp_path / "alerts.jsonl"
+    seen = []
+    daemon = ServingDaemon(
+        bundle, sinks=[JsonlAlertSink(path), CallbackAlertSink(seen.append)])
+    verdicts = daemon.ingest(*_columnar(samples))
+    daemon.stop()
+    alerting = [v for v in verdicts if v.alerting]
+    assert alerting
+    assert path.read_text().splitlines() \
+        == [v.to_json_line() for v in alerting]
+    assert seen == alerting
+    assert (daemon.registry.counter("alert_sink_emits").value
+            == 2 * len(alerting))
+    assert daemon.recorder.events_of("alert")
+
+
+def test_sink_failures_are_counted_never_raised(bundle, samples):
+    def explode(_verdict):
+        raise RuntimeError("pager down")
+
+    daemon = ServingDaemon(bundle, sinks=[CallbackAlertSink(explode)])
+    verdicts = daemon.ingest(*_columnar(samples))
+    daemon.stop()
+    assert [v for v in verdicts if v.alerting]  # scoring was unaffected
+    assert (daemon.registry.counter("alert_sink_errors").value
+            == daemon.alerts_emitted > 0)
+    errors = daemon.recorder.events_of("sink-error")
+    assert errors and errors[0].context["sink"] == "callback:explode"
+
+
+def _columnar(rows):
+    serials = [serial for serial, _hour, _values in rows]
+    hours = [hour for _serial, hour, _values in rows]
+    matrix = [values for _serial, _hour, values in rows]
+    return serials, hours, matrix
+
+
+# -- configuration ----------------------------------------------------------
+
+def test_daemon_requires_metrics_observer(bundle):
+    with pytest.raises(ServeError, match="metrics registry"):
+        ServingDaemon(bundle, observer=NULL_OBSERVER)
+
+
+def test_stop_is_idempotent(bundle, samples):
+    daemon = ServingDaemon(bundle).start()
+    daemon.ingest(*_columnar(samples[:50]))
+    assert daemon.stop() == daemon.stop()
+
+
+# -- CLI --------------------------------------------------------------------
+
+def test_daemon_cli_end_to_end(bundle_path, samples, tmp_path, capsys):
+    """The operator path: launch, discover the port, ingest, drain."""
+    import time
+
+    port_file = tmp_path / "port.txt"
+    alerts = tmp_path / "alerts.jsonl"
+    snapshot = tmp_path / "final.json"
+    result = {}
+
+    def run():
+        result["status"] = serve_main(
+            ["daemon", "--bundle", str(bundle_path),
+             "--shards", "2",
+             "--port-file", str(port_file),
+             "--alert-sink", f"jsonl:{alerts}",
+             "--final-snapshot", str(snapshot)])
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    deadline = time.monotonic() + 30
+    while not port_file.exists() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    url = f"http://127.0.0.1:{int(port_file.read_text())}"
+
+    status, _headers, body = _post(url + "/ingest", _json_doc(samples[:200]))
+    assert status == 200
+    accepted = json.loads(body)
+    assert accepted["accepted"] == 200
+    assert _post(url + "/drain", b"")[0] == 202
+    thread.join(timeout=30)
+    assert result["status"] == 0
+
+    document = json.loads(snapshot.read_text())
+    assert document["samples_accepted"] == 200
+    assert document["n_shards"] == 2
+    if accepted["alerts"]:
+        assert len(alerts.read_text().splitlines()) == accepted["alerts"]
+    err = capsys.readouterr().err
+    assert "serving daemon on" in err
+    assert "daemon drained: 200 samples accepted" in err
