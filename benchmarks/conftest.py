@@ -19,10 +19,14 @@ Run with::
 
 from __future__ import annotations
 
+import os
+import platform
 from pathlib import Path
 
+import numpy as np
 import pytest
 
+import repro.parallel
 from repro.core.serialize import canonical_json_dumps
 from repro.experiments.common import (
     default_fleet,
@@ -53,6 +57,21 @@ def pytest_sessionfinish(session, exitstatus):
         "trace": _TELEMETRY.tracer.to_dict(),
     }
     (OUTPUT_DIR / "telemetry.json").write_text(canonical_json_dumps(payload))
+
+
+def bench_environment() -> dict:
+    """The host descriptor every recorded ``perf_*.json`` embeds.
+
+    One definition so every benchmark stamps the same keys; throughput
+    comparisons across recordings are only meaningful when the
+    environment matches.
+    """
+    return {
+        "cpus_available": repro.parallel.available_cpus(),
+        "os_cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
 
 
 @pytest.fixture(scope="session")

@@ -3,7 +3,10 @@
 Exercises the regression differ against the committed
 ``benchmarks/output/perf_ml.json``: the baseline compared to itself is
 clean (exit 0), and a candidate whose SVC connectivity speedup dropped
-30% trips the 20% threshold (exit 1).
+30% trips the 20% threshold (exit 1).  The serving-plane throughput
+keys (``*samples_per_s`` in ``perf_serve.json`` / ``perf_daemon.json``
+/ ``perf_columnar.json``) are pinned the same way, including numeric
+leaves of dict-valued keys like ``sharded_samples_per_s``.
 """
 
 import json
@@ -48,6 +51,46 @@ def test_regressed_candidate_fails(tmp_path):
     mild = tmp_path / "mild.json"
     mild.write_text(json.dumps(payload))
     assert _run([str(BASELINE), str(mild)]).returncode == 0
+
+
+@pytest.mark.tier2
+def test_samples_per_s_keys_are_pinned(tmp_path):
+    """Throughput keys fail the differ on >20% drops, pass within."""
+    baseline = {
+        "scoring_throughput": {
+            "columnar_s": 0.03,
+            "columnar_samples_per_s": 1_000_000.0,
+            "speedup": 40.0,
+            "identical_verdicts": True,
+        },
+        "shard_scaling": {
+            "sharded_samples_per_s": {"1": 50_000.0, "4": 150_000.0},
+        },
+    }
+    base_path = tmp_path / "base.json"
+    base_path.write_text(json.dumps(baseline))
+
+    clean = _run([str(base_path), str(base_path)])
+    assert clean.returncode == 0, clean.stderr
+    assert "scoring_throughput.columnar_samples_per_s" in clean.stdout
+    assert "shard_scaling.sharded_samples_per_s.4" in clean.stdout
+    # Wall-clock seconds and booleans stay context, never pinned.
+    assert "columnar_s " not in clean.stdout
+    assert "identical_verdicts" not in clean.stdout
+
+    doctored = json.loads(base_path.read_text())
+    doctored["scoring_throughput"]["columnar_samples_per_s"] *= 0.7
+    bad_path = tmp_path / "bad.json"
+    bad_path.write_text(json.dumps(doctored))
+    result = _run([str(base_path), str(bad_path)])
+    assert result.returncode == 1
+    assert "scoring_throughput.columnar_samples_per_s" in result.stderr
+
+    mild = json.loads(base_path.read_text())
+    mild["shard_scaling"]["sharded_samples_per_s"]["4"] *= 0.9
+    mild_path = tmp_path / "mild.json"
+    mild_path.write_text(json.dumps(mild))
+    assert _run([str(base_path), str(mild_path)]).returncode == 0
 
 
 @pytest.mark.tier2

@@ -11,14 +11,12 @@ writes the speedups to ``benchmarks/output/perf_ml.json`` — the file
 ``docs/performance.md``.
 """
 
-import os
-import platform
 import time
 
 import numpy as np
 import pytest
 
-import repro.parallel
+from conftest import bench_environment
 from repro.core.serialize import canonical_json_dumps
 from repro.ml._reference import (
     ReferenceGaussianHMM,
@@ -203,12 +201,7 @@ def test_perf_ml_recorded(artifact_dir):
     payload = {
         "recorded_by": "benchmarks/test_ml_microbench.py"
                        "::test_perf_ml_recorded",
-        "environment": {
-            "cpus_available": repro.parallel.available_cpus(),
-            "os_cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "environment": bench_environment(),
         "svc_connectivity_n500": {
             "pairwise_loop_s": svc_loop_s,
             "batched_s": svc_batched_s,

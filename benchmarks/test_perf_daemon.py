@@ -14,14 +14,12 @@ constant factor of the raw columnar path.
 
 from __future__ import annotations
 
-import os
-import platform
 import time
 
 import numpy as np
 import pytest
 
-import repro.parallel
+from conftest import bench_environment
 from repro.core.serialize import canonical_json_dumps
 from repro.serve.bundle import build_bundle
 from repro.serve.daemon import ServingDaemon
@@ -110,12 +108,7 @@ def test_perf_daemon_recorded(daemon_bundle, columnar_stream, artifact_dir):
     payload = {
         "recorded_by": "benchmarks/test_perf_daemon.py"
                        "::test_perf_daemon_recorded",
-        "environment": {
-            "cpus_available": repro.parallel.available_cpus(),
-            "os_cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "environment": bench_environment(),
         "stream": {
             "n_drives": len(set(serials)),
             "n_samples": n_samples,

@@ -15,14 +15,12 @@ machine-relative ``speedup`` ratio (uninstrumented over instrumented,
 
 from __future__ import annotations
 
-import os
-import platform
 import time
 
 import numpy as np
 import pytest
 
-import repro.parallel
+from conftest import bench_environment
 from repro.core.serialize import canonical_json_dumps
 from repro.obs.export import render_prometheus
 from repro.obs.metrics import Histogram
@@ -111,12 +109,7 @@ def test_perf_obs_recorded(obs_bundle, obs_samples, artifact_dir):
 
     payload = {
         "recorded_by": "benchmarks/test_perf_obs.py::test_perf_obs_recorded",
-        "environment": {
-            "cpus_available": repro.parallel.available_cpus(),
-            "os_cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "environment": bench_environment(),
         "stream": {"n_samples": n_samples},
         "scoring_overhead": {
             "bare_s": bare_s,

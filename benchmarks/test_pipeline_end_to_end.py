@@ -13,15 +13,13 @@ numbers in ``benchmarks/output/perf_baseline.json`` — the table quoted
 by ``docs/performance.md``.
 """
 
-import os
-import platform
 import tempfile
 import time
 
 import numpy as np
 import pytest
 
-import repro.parallel
+from conftest import bench_environment
 from repro.core.pipeline import CharacterizationPipeline
 from repro.core.serialize import canonical_json_dumps
 from repro.core.signatures import (
@@ -190,12 +188,7 @@ def test_perf_baseline_recorded(artifact_dir):
         "recorded_by": "benchmarks/test_pipeline_end_to_end.py"
                        "::test_perf_baseline_recorded",
         "fleet": {"n_drives": 1000, "seed": 13, "n_failed": len(failed)},
-        "environment": {
-            "cpus_available": repro.parallel.available_cpus(),
-            "os_cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "environment": bench_environment(),
         "signature_math_vectorization": {
             "per_record_loop_s": loop_s,
             "vectorized_s": vector_s,

@@ -2,13 +2,22 @@
 """Diff two benchmark JSON files and fail on speedup regressions.
 
 The benchmark harness records before/after comparisons as nested JSON
-(``benchmarks/output/perf_ml.json``, ``perf_baseline.json``).  The
-*pinned* metrics are the keys named ``speedup`` — machine-relative
-ratios, so a committed baseline from one host is comparable to a fresh
-run on another.  This script walks both files, matches pinned metrics
-by dotted path, and exits non-zero when any candidate speedup falls
-more than ``--threshold`` (default 20%) below its baseline, or when a
-baseline metric disappeared.
+(``benchmarks/output/perf_ml.json``, ``perf_serve.json``,
+``perf_daemon.json``, ``perf_columnar.json``, ...).  Two kinds of keys
+are *pinned*:
+
+- keys named ``speedup`` — machine-relative ratios, so a committed
+  baseline from one host is comparable to a fresh run on another;
+- numeric keys ending ``samples_per_s`` — serving-plane throughputs
+  (including dict-valued ones like ``sharded_samples_per_s`` whose
+  numeric leaves are pinned individually).  These move with the
+  hardware, so only compare recordings stamped with the same
+  ``environment`` block.
+
+This script walks both files, matches pinned metrics by dotted path,
+and exits non-zero when any candidate value falls more than
+``--threshold`` (default 20%) below its baseline, or when a baseline
+metric disappeared.
 
 Run from the repository root::
 
@@ -27,21 +36,36 @@ import sys
 from pathlib import Path
 from typing import Any, Iterator
 
-#: A pinned metric is any key with this exact name; everything else in
-#: the payloads (wall-clock seconds, environment, notes) is context.
+#: A pinned metric is any key with this exact name or ending with this
+#: suffix; everything else in the payloads (wall-clock seconds,
+#: environment, notes) is context.
 PINNED_KEY = "speedup"
+PINNED_SUFFIX = "samples_per_s"
 
 
-def pinned_metrics(payload: Any, prefix: str = "") -> Iterator[tuple[str, float]]:
-    """Yield (dotted path, value) for every pinned metric in ``payload``."""
-    if not isinstance(payload, dict):
-        return
-    for key, value in payload.items():
-        path = f"{prefix}.{key}" if prefix else key
-        if key == PINNED_KEY and isinstance(value, (int, float)):
-            yield path, float(value)
-        else:
-            yield from pinned_metrics(value, path)
+def pinned_metrics(payload: Any, prefix: str = "",
+                   pinned: bool = False) -> Iterator[tuple[str, float]]:
+    """Yield (dotted path, value) for every pinned metric in ``payload``.
+
+    A pinned key with a dict value (e.g. ``sharded_samples_per_s``
+    keyed by shard count) pins each numeric leaf underneath it.
+    """
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else key
+            yield from pinned_metrics(
+                value, path,
+                pinned or key == PINNED_KEY or key.endswith(PINNED_SUFFIX))
+    elif (pinned and isinstance(payload, (int, float))
+          and not isinstance(payload, bool)):
+        yield prefix, float(payload)
+
+
+def _fmt(path: str, value: float) -> str:
+    """Render a pinned value with its unit (ratio ``x`` vs samples/s)."""
+    if PINNED_SUFFIX in path:
+        return f"{value:,.0f}"
+    return f"{value:.2f}x"
 
 
 def compare(baseline: dict, candidate: dict,
@@ -60,10 +84,12 @@ def compare(baseline: dict, candidate: dict,
         if change < -threshold:
             verdict = "REGRESSION"
             failures.append(
-                f"{path}: {base_value:.2f}x -> {cand_value:.2f}x "
+                f"{path}: {_fmt(path, base_value)} -> "
+                f"{_fmt(path, cand_value)} "
                 f"({change:+.1%}, allowed -{threshold:.0%})"
             )
-        lines.append(f"{path:45s} {base_value:8.2f}x {cand_value:8.2f}x "
+        lines.append(f"{path:45s} {_fmt(path, base_value):>12s} "
+                     f"{_fmt(path, cand_value):>12s} "
                      f"{change:+8.1%}  {verdict}")
     return lines, failures
 
@@ -93,7 +119,7 @@ def main(argv: list[str] | None = None) -> int:
     if not lines and not failures:
         print("no pinned metrics found in baseline", file=sys.stderr)
         return 2
-    header = f"{'metric':45s} {'baseline':>9s} {'candidate':>9s} {'change':>8s}"
+    header = f"{'metric':45s} {'baseline':>12s} {'candidate':>12s} {'change':>8s}"
     print(header)
     for line in lines:
         print(line)

@@ -1,0 +1,462 @@
+"""Struct-of-arrays drive state and block verdicts for the hot path.
+
+The streaming monitor's original :class:`~repro.core.monitor.DriveStateStore`
+keeps one Python deque of per-record numpy arrays per drive — clear, but
+every observed sample allocates an array object and every batch walks a
+Python loop.  At fleet scale (ROADMAP item 2: millions of drives, hourly
+ticks) the per-drive objects *are* the cost.
+
+This module is the columnar replacement:
+
+* :class:`ColumnStateStore` — one preallocated 3-D ring buffer for the
+  whole store (``drives x history_hours x attributes``) plus flat
+  per-row cursor/count/level/last-hour arrays and a serial→row map.
+  Rows are recycled when drives are evicted and the arrays grow by
+  doubling, so a churning million-drive fleet has bounded memory and no
+  per-drive allocation on the healthy path.
+* :class:`AlertBlock` — the struct-of-arrays result of scoring one tick
+  of samples: per-type stage and remaining-hour matrices, likely-type
+  indices and level codes.  Materializing
+  :class:`~repro.core.monitor.DegradationAlert` objects is deferred to
+  :meth:`AlertBlock.alerts` / :meth:`AlertBlock.alert_at`, so callers
+  that only need counts (or only the rare alerting rows) never pay for
+  per-sample Python objects.
+
+Both classes are byte-identity preserving: a
+:class:`~repro.core.monitor.DegradationMonitor` running on a
+:class:`ColumnStateStore` emits exactly the verdicts the deque-backed
+store produced, and ``AlertBlock.alerts()`` equals the scalar
+``observe`` loop bit for bit (pinned by ``tests/test_core_columnar.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.monitor import AlertLevel, DegradationAlert
+
+#: Rows allocated on a store's first write; growth doubles from here.
+DEFAULT_INITIAL_ROWS = 256
+
+
+class ColumnStateStore:
+    """Keyed per-drive monitoring state in struct-of-arrays layout.
+
+    A drop-in replacement for
+    :class:`~repro.core.monitor.DriveStateStore`: the scalar surface
+    (``record`` / ``level_of`` / ``drives_at`` / ``serials`` /
+    ``history_of`` / ``snapshot``) matches exactly, so the monitor's
+    per-sample path runs unchanged on either store.  On top of it sits
+    the columnar surface the batched kernel uses:
+    :meth:`record_block` updates every ring touched by a tick with
+    fancy-indexed writes, and :meth:`evict_idle` recycles the rows of
+    drives not seen since a cutoff hour.
+
+    Layout
+    ------
+    ``rings`` is one ``(capacity, history_hours, n_attributes)`` float64
+    array; row ``r`` is drive ``r``'s ring buffer, written circularly at
+    cursor ``pos[r]``.  ``counts[r]`` is how many records the ring
+    retains, ``levels[r]`` the last severity code, ``last_hours[r]`` the
+    maximum hour observed (the eviction clock).  ``serial -> row`` lives
+    in one dict; evicted rows go to a free list and are handed to new
+    drives before the arrays grow (by doubling).
+
+    The store is a passive container — it never computes a verdict — so
+    any partitioning of drives across stores leaves every verdict
+    byte-identical to a single-store run.
+    """
+
+    def __init__(self, history_hours: int, *,
+                 initial_rows: int = DEFAULT_INITIAL_ROWS) -> None:
+        if history_hours < 1:
+            raise ReproError("history_hours must be positive")
+        if initial_rows < 1:
+            raise ReproError("initial_rows must be positive")
+        self._history_hours = int(history_hours)
+        self._initial_rows = int(initial_rows)
+        self._n_attributes: int | None = None
+        self._rings: np.ndarray | None = None
+        self._pos: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self._levels: np.ndarray | None = None
+        self._last_hours: np.ndarray | None = None
+        self._rows: dict[str, int] = {}
+        self._row_serials: list[str | None] = []
+        self._free: list[int] = []
+        self._drives_evicted = 0
+
+    # -- scalar surface (DriveStateStore-compatible) ----------------------
+
+    @property
+    def history_hours(self) -> int:
+        """Ring-buffer capacity retained per drive."""
+        return self._history_hours
+
+    @property
+    def n_tracked(self) -> int:
+        """Drives with live ring-buffer state (O(1))."""
+        return len(self._rows)
+
+    @property
+    def drives_evicted(self) -> int:
+        """Total drives recycled by :meth:`evict_idle` since creation."""
+        return self._drives_evicted
+
+    @property
+    def capacity(self) -> int:
+        """Allocated ring rows (grows by doubling, never shrinks)."""
+        return len(self._row_serials)
+
+    def record(self, serial: str, normalized: np.ndarray,
+               level: "AlertLevel", hour: int | None = None) -> None:
+        """Append one normalized record and set the drive's level."""
+        normalized = np.asarray(normalized, dtype=np.float64).ravel()
+        self._ensure_layout(normalized.shape[0])
+        row = self._row_for(serial, normalized.shape[0])
+        assert (self._rings is not None and self._pos is not None
+                and self._counts is not None and self._levels is not None
+                and self._last_hours is not None)
+        position = self._pos[row]
+        self._rings[row, position] = normalized
+        self._pos[row] = (position + 1) % self._history_hours
+        if self._counts[row] < self._history_hours:
+            self._counts[row] += 1
+        self._levels[row] = level.value
+        if hour is not None and hour > self._last_hours[row]:
+            self._last_hours[row] = hour
+
+    def level_of(self, serial: str) -> "AlertLevel":
+        """Last recorded level for a drive (HEALTHY if never seen)."""
+        from repro.core.monitor import AlertLevel
+        row = self._rows.get(serial)
+        if row is None:
+            return AlertLevel.HEALTHY
+        assert self._levels is not None
+        return AlertLevel(int(self._levels[row]))
+
+    def drives_at(self, level: "AlertLevel") -> list[str]:
+        """Serials currently at exactly ``level``."""
+        assert self._levels is not None or not self._rows
+        return sorted(serial for serial, row in self._rows.items()
+                      if int(self._levels[row]) == level.value)
+
+    def serials(self) -> list[str]:
+        """All tracked serials, sorted."""
+        return sorted(self._rows)
+
+    def history_of(self, serial: str) -> np.ndarray:
+        """Rolling window of normalized records for one drive.
+
+        Rows come back oldest-first, exactly as the deque-backed store
+        stacked them; the returned array is a fresh copy.
+        """
+        row = self._rows.get(serial)
+        if row is None:
+            raise ReproError(f"no observations for drive {serial!r}")
+        assert (self._rings is not None and self._pos is not None
+                and self._counts is not None)
+        count = int(self._counts[row])
+        position = int(self._pos[row])
+        if count < self._history_hours:
+            return self._rings[row, :count].copy()
+        return np.concatenate([self._rings[row, position:],
+                               self._rings[row, :position]])
+
+    def snapshot(self) -> dict:
+        """JSON-clean summary of every tracked drive, sorted by serial.
+
+        Field-compatible with the deque-backed store's snapshot, plus
+        the store's ``drives_evicted`` counter.
+        """
+        from repro.core.monitor import AlertLevel
+        drives = {}
+        for serial in sorted(self._rows):
+            row = self._rows[serial]
+            assert self._levels is not None and self._counts is not None
+            drives[serial] = {
+                "level": AlertLevel(int(self._levels[row])).name,
+                "retained": int(self._counts[row]),
+            }
+        return {
+            "history_hours": self._history_hours,
+            "n_tracked": self.n_tracked,
+            "drives_evicted": self._drives_evicted,
+            "drives": drives,
+        }
+
+    # -- columnar surface -------------------------------------------------
+
+    def record_block(self, serials: Sequence[str], normalized: np.ndarray,
+                     level_codes: np.ndarray,
+                     hours: np.ndarray | Sequence[int]) -> None:
+        """Apply one tick of records to every touched ring at once.
+
+        Row ``i`` of ``normalized`` is appended to ``serials[i]``'s ring
+        and that drive's level/last-hour state updated — semantically
+        identical to calling :meth:`record` once per row, in order,
+        including when a serial repeats within the block (later rows
+        overwrite earlier ring slots exactly as sequential appends
+        would).  The healthy fast path allocates nothing per drive: one
+        row-index gather, one fancy-indexed ring write, flat cursor
+        arithmetic.
+        """
+        normalized = np.asarray(normalized, dtype=np.float64)
+        n = normalized.shape[0]
+        if n == 0:
+            return
+        rows = self._rows_for_block(serials, normalized.shape[1])
+        assert (self._rings is not None and self._pos is not None
+                and self._counts is not None and self._levels is not None
+                and self._last_hours is not None)
+        hours = np.asarray(hours, dtype=np.int64)
+        level_codes = np.asarray(level_codes)
+        history = self._history_hours
+
+        # Occurrence index of each row within the block (stable order):
+        # the k-th sample of a drive lands k slots past its cursor.
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        starts = np.empty(n, dtype=bool)
+        starts[0] = True
+        starts[1:] = sorted_rows[1:] != sorted_rows[:-1]
+        group_start = np.maximum.accumulate(
+            np.where(starts, np.arange(n), 0))
+        occurrence = np.empty(n, dtype=np.int64)
+        occurrence[order] = np.arange(n) - group_start
+
+        group_ends = np.flatnonzero(
+            np.concatenate([starts[1:], np.ones(1, dtype=bool)]))
+        last_of_group = order[group_ends]          # last sample per drive
+        unique_rows = sorted_rows[group_ends]
+        per_row_total = occurrence[last_of_group] + 1
+
+        # Only the last ``history`` occurrences per drive survive a
+        # sequential append loop; dropping the overwritten ones keeps
+        # every (row, slot) write target unique, so the fancy write is
+        # order-independent.
+        slots = (self._pos[rows] + occurrence) % history
+        keep = occurrence >= (per_row_total[
+            np.searchsorted(unique_rows, rows)] - history)
+        self._rings[rows[keep], slots[keep]] = normalized[keep]
+
+        self._pos[unique_rows] = (
+            self._pos[unique_rows] + per_row_total) % history
+        self._counts[unique_rows] = np.minimum(
+            self._counts[unique_rows] + per_row_total, history)
+        self._levels[unique_rows] = level_codes[last_of_group]
+        np.maximum.at(self._last_hours, rows, hours)
+
+    def evict_idle(self, before_hour: int) -> int:
+        """Recycle every drive last observed strictly before ``before_hour``.
+
+        Evicted drives vanish from the tracked set (``level_of`` returns
+        HEALTHY again, ``history_of`` raises) and their rows go to the
+        free list for the next new serial — columnar row recycling makes
+        a churning fleet's memory proportional to the *live* drive
+        count, not the all-time serial count.  Returns how many drives
+        were evicted; the running total is :attr:`drives_evicted`.
+        """
+        if not self._rows:
+            return 0
+        assert self._last_hours is not None and self._counts is not None
+        evicted = [serial for serial, row in self._rows.items()
+                   if self._last_hours[row] < before_hour]
+        for serial in evicted:
+            row = self._rows.pop(serial)
+            self._row_serials[row] = None
+            self._counts[row] = 0
+            assert self._pos is not None and self._levels is not None
+            self._pos[row] = 0
+            self._levels[row] = 0
+            self._last_hours[row] = np.iinfo(np.int64).min
+            self._free.append(row)
+        self._drives_evicted += len(evicted)
+        return len(evicted)
+
+    def rows_of(self, serials: Sequence[str]) -> np.ndarray:
+        """Ring-row indices for ``serials`` (rows are assigned on demand).
+
+        Exposed for tests and diagnostics; :meth:`record_block` resolves
+        rows internally.
+        """
+        if self._n_attributes is None:
+            raise ReproError("store has no recorded attributes yet")
+        return self._rows_for_block(serials, self._n_attributes)
+
+    # -- internals --------------------------------------------------------
+
+    def _ensure_layout(self, n_attributes: int) -> None:
+        """Allocate (or validate) the column arrays for a record width."""
+        if self._n_attributes is None:
+            self._n_attributes = int(n_attributes)
+            capacity = self._initial_rows
+            self._rings = np.zeros(
+                (capacity, self._history_hours, n_attributes),
+                dtype=np.float64)
+            self._pos = np.zeros(capacity, dtype=np.int64)
+            self._counts = np.zeros(capacity, dtype=np.int64)
+            self._levels = np.zeros(capacity, dtype=np.int8)
+            self._last_hours = np.full(capacity, np.iinfo(np.int64).min,
+                                       dtype=np.int64)
+            self._row_serials = [None] * capacity
+            self._free = list(range(capacity - 1, -1, -1))
+            return
+        if n_attributes != self._n_attributes:
+            raise ReproError(
+                f"record has {n_attributes} attributes, store was laid "
+                f"out for {self._n_attributes}")
+
+    def _grow(self) -> None:
+        """Double every column array, pushing new rows onto the free list."""
+        assert (self._rings is not None and self._pos is not None
+                and self._counts is not None and self._levels is not None
+                and self._last_hours is not None)
+        old = len(self._row_serials)
+        new = old * 2
+        rings = np.zeros((new,) + self._rings.shape[1:], dtype=np.float64)
+        rings[:old] = self._rings
+        self._rings = rings
+        self._pos = np.concatenate(
+            [self._pos, np.zeros(old, dtype=np.int64)])
+        self._counts = np.concatenate(
+            [self._counts, np.zeros(old, dtype=np.int64)])
+        self._levels = np.concatenate(
+            [self._levels, np.zeros(old, dtype=np.int8)])
+        self._last_hours = np.concatenate(
+            [self._last_hours,
+             np.full(old, np.iinfo(np.int64).min, dtype=np.int64)])
+        self._row_serials.extend([None] * old)
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _row_for(self, serial: str, n_attributes: int) -> int:
+        """The (possibly new) ring row owning ``serial``."""
+        row = self._rows.get(serial)
+        if row is not None:
+            return row
+        self._ensure_layout(n_attributes)
+        if not self._free:
+            self._grow()
+        row = self._free.pop()
+        self._rows[serial] = row
+        self._row_serials[row] = serial
+        return row
+
+    def _rows_for_block(self, serials: Sequence[str],
+                        n_attributes: int) -> np.ndarray:
+        """Row index per sample, assigning rows to unseen serials."""
+        self._ensure_layout(n_attributes)
+        rows = np.empty(len(serials), dtype=np.int64)
+        lookup = self._rows
+        for index, serial in enumerate(serials):
+            row = lookup.get(serial)
+            if row is None:
+                row = self._row_for(serial, n_attributes)
+            rows[index] = row
+        return rows
+
+
+class AlertBlock:
+    """Struct-of-arrays verdicts for one scored block of samples.
+
+    Holds the vectorized kernel's raw outputs — a per-failure-type stage
+    matrix plus the argmin type index and the severity code per sample —
+    without materializing any per-sample Python object.  :meth:`alerts`
+    (all rows) and :meth:`alert_at` (one row, used for the rare alerting
+    drives) rebuild :class:`~repro.core.monitor.DegradationAlert` values
+    bit-identical to the scalar ``observe`` path: the rescue-clock
+    inversion deliberately runs per materialized row through the scalar
+    :func:`~repro.core.rescue.rescue_estimate` (numpy's vectorized
+    ``pow`` is allowed to differ from libm by an ulp, so a precomputed
+    remaining-hours matrix could not honor byte-identity).
+    """
+
+    __slots__ = ("serials", "hours", "stages",
+                 "likely_indices", "level_codes", "types")
+
+    def __init__(self, serials: Sequence[str], hours: np.ndarray,
+                 stages: np.ndarray,
+                 likely_indices: np.ndarray, level_codes: np.ndarray,
+                 types: tuple) -> None:
+        self.serials = list(serials)
+        self.hours = hours
+        self.stages = stages            # (n_types, n_samples)
+        self.likely_indices = likely_indices
+        self.level_codes = level_codes
+        self.types = types
+
+    def __len__(self) -> int:
+        return len(self.serials)
+
+    @property
+    def n_alerting(self) -> int:
+        """Samples whose severity sits above HEALTHY."""
+        return int(np.count_nonzero(self.level_codes))
+
+    def alerting_rows(self) -> np.ndarray:
+        """Indices of the samples above HEALTHY (usually few)."""
+        return np.flatnonzero(self.level_codes)
+
+    def finite_stages(self) -> np.ndarray:
+        """The likely-type stage per sample, finite entries only."""
+        picked = self.stages[self.likely_indices,
+                             np.arange(self.stages.shape[1])]
+        return picked[np.isfinite(picked)]
+
+    def alert_at(self, row: int) -> "DegradationAlert":
+        """Materialize one row as a scalar-path-identical alert."""
+        from repro.core.monitor import AlertLevel, DegradationAlert
+        from repro.core.rescue import rescue_estimate
+        estimates = {
+            failure_type: rescue_estimate(
+                float(self.stages[type_index, row]), failure_type)
+            for type_index, failure_type in enumerate(self.types)
+        }
+        likely_type = self.types[int(self.likely_indices[row])]
+        return DegradationAlert(
+            serial=self.serials[row],
+            hour=int(self.hours[row]),
+            level=AlertLevel(int(self.level_codes[row])),
+            stage=estimates[likely_type].stage,
+            likely_type=likely_type,
+            estimates=estimates,
+        )
+
+    def alerts(self) -> list["DegradationAlert"]:
+        """Materialize every row (the compatibility slow path).
+
+        Same alerts as ``alert_at`` over every row, but with the array
+        reads hoisted to whole-column ``tolist()`` conversions — the
+        per-element numpy scalar overhead dominates when a caller
+        really does want all N objects.
+        """
+        from repro.core.monitor import AlertLevel, DegradationAlert
+        from repro.core.rescue import rescue_estimate
+        levels = {level.value: level for level in AlertLevel}
+        stage_columns = [column.tolist() for column in self.stages]
+        hours = self.hours.tolist()
+        likely = self.likely_indices.tolist()
+        codes = self.level_codes.tolist()
+        types = self.types
+        out = []
+        for row, serial in enumerate(self.serials):
+            estimates = {
+                failure_type: rescue_estimate(stage_columns[type_index][row],
+                                              failure_type)
+                for type_index, failure_type in enumerate(types)
+            }
+            likely_type = types[likely[row]]
+            out.append(DegradationAlert(
+                serial=serial,
+                hour=hours[row],
+                level=levels[codes[row]],
+                stage=estimates[likely_type].stage,
+                likely_type=likely_type,
+                estimates=estimates,
+            ))
+        return out

@@ -25,9 +25,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.columnar import AlertBlock, ColumnStateStore
 from repro.core.prediction import DegradationPredictor
 from repro.core.rescue import RescueEstimate, rescue_estimate
-from repro.core.signature_models import PREDICTION_WINDOW_BY_TYPE
 from repro.core.taxonomy import FailureType
 from repro.errors import ReproError
 from repro.smart.normalization import MinMaxNormalizer
@@ -93,6 +93,8 @@ class DriveStateStore:
         self._history_hours = history_hours
         self._history: dict[str, deque[np.ndarray]] = {}
         self._levels: dict[str, AlertLevel] = {}
+        self._last_hours: dict[str, int] = {}
+        self._drives_evicted = 0
 
     @property
     def history_hours(self) -> int:
@@ -104,14 +106,45 @@ class DriveStateStore:
         """Drives with live ring-buffer state (O(1))."""
         return len(self._history)
 
+    @property
+    def drives_evicted(self) -> int:
+        """Total drives dropped by :meth:`evict_idle` since creation."""
+        return self._drives_evicted
+
     def record(self, serial: str, normalized: np.ndarray,
-               level: AlertLevel) -> None:
-        """Append one normalized record and set the drive's level."""
+               level: AlertLevel, hour: int | None = None) -> None:
+        """Append one normalized record and set the drive's level.
+
+        ``hour`` feeds the idle-eviction clock; omitting it leaves the
+        drive's last-seen hour unchanged (such drives only age out
+        relative to hours they did report).
+        """
         history = self._history.setdefault(
             serial, deque(maxlen=self._history_hours)
         )
         history.append(normalized)
         self._levels[serial] = level
+        if hour is not None and hour > self._last_hours.get(
+                serial, -(2 ** 63)):
+            self._last_hours[serial] = hour
+
+    def evict_idle(self, before_hour: int) -> int:
+        """Drop every drive last observed strictly before ``before_hour``.
+
+        The deque-backed twin of
+        :meth:`repro.core.columnar.ColumnStateStore.evict_idle`, kept
+        semantically identical so the scalar and columnar paths stay
+        interchangeable: evicted drives vanish from the tracked set and
+        a reappearing serial starts from a fresh, empty ring.
+        """
+        evicted = [serial for serial in self._history
+                   if self._last_hours.get(serial, -(2 ** 63)) < before_hour]
+        for serial in evicted:
+            del self._history[serial]
+            self._levels.pop(serial, None)
+            self._last_hours.pop(serial, None)
+        self._drives_evicted += len(evicted)
+        return len(evicted)
 
     def level_of(self, serial: str) -> AlertLevel:
         """Last recorded level for a drive (HEALTHY if never seen)."""
@@ -142,6 +175,7 @@ class DriveStateStore:
         return {
             "history_hours": self._history_hours,
             "n_tracked": self.n_tracked,
+            "drives_evicted": self._drives_evicted,
             "drives": {
                 serial: {
                     "level": self._levels[serial].name,
@@ -170,10 +204,12 @@ class DegradationMonitor:
         Rolling window retained per drive (available to callers for
         trend inspection; the trees themselves act on single records).
     state:
-        Optional externally-owned :class:`DriveStateStore`; when given
-        its ``history_hours`` must match.  The serving layer passes its
-        own store so per-drive state can be snapshotted and sharded; by
-        default the monitor creates a private one.
+        Optional externally-owned state store — the deque-backed
+        :class:`DriveStateStore` or the struct-of-arrays
+        :class:`~repro.core.columnar.ColumnStateStore`; when given its
+        ``history_hours`` must match.  The serving layer passes its own
+        store so per-drive state can be snapshotted and sharded; by
+        default the monitor creates a private deque-backed one.
     """
 
     def __init__(self, predictor: DegradationPredictor,
@@ -181,7 +217,8 @@ class DegradationMonitor:
                  watch_threshold: float = DEFAULT_WATCH_THRESHOLD,
                  critical_threshold: float = DEFAULT_CRITICAL_THRESHOLD,
                  history_hours: int = DEFAULT_HISTORY_HOURS,
-                 state: DriveStateStore | None = None) -> None:
+                 state: DriveStateStore | ColumnStateStore | None = None,
+                 ) -> None:
         missing = [t for t in FailureType if t not in predictor.trees_]
         if missing:
             raise ReproError(
@@ -229,7 +266,7 @@ class DegradationMonitor:
                           key=lambda t: estimates[t].stage)
         stage = estimates[likely_type].stage
         level = self._level_for(stage)
-        self._state.record(serial, normalized, level)
+        self._state.record(serial, normalized, level, hour=int(hour))
         return DegradationAlert(
             serial=serial,
             hour=hour,
@@ -270,11 +307,33 @@ class DegradationMonitor:
         """Ingest a columnar batch: serial list, hour list, raw matrix.
 
         The zero-copy twin of :meth:`observe_many` for callers that
-        already hold their samples column-wise (the serving daemon's
-        ingest path ships sub-batches between processes in exactly this
-        shape).  Row ``i`` of ``matrix`` is the raw record of
-        ``serials[i]`` at ``hours[i]``; alerts come back in row order
-        and are bit-identical to per-sample :meth:`observe` calls.
+        already hold their samples column-wise.  Row ``i`` of ``matrix``
+        is the raw record of ``serials[i]`` at ``hours[i]``; alerts come
+        back in row order and are bit-identical to per-sample
+        :meth:`observe` calls.  Internally this is
+        :meth:`observe_columns` plus full alert materialization —
+        callers that can consume the struct-of-arrays
+        :class:`~repro.core.columnar.AlertBlock` directly should, and
+        skip the per-sample objects entirely.
+        """
+        return self.observe_columns(serials, hours, matrix).alerts()
+
+    def observe_columns(self, serials, hours,
+                        matrix: np.ndarray) -> AlertBlock:
+        """Score one columnar batch as a single set of array ops.
+
+        The streaming hot path: normalization, the per-group tree
+        evaluations and the severity thresholds each run once over the
+        whole batch (the rescue-clock inversion stays scalar, computed
+        lazily per materialized alert so its libm rounding is exactly
+        the per-sample path's), and the per-drive
+        ring state updates with one fancy-indexed write when the store
+        is a :class:`~repro.core.columnar.ColumnStateStore` (the scalar
+        per-sample loop remains only for legacy deque-backed stores).
+        Nothing is allocated per healthy drive; the returned
+        :class:`~repro.core.columnar.AlertBlock` materializes
+        :class:`DegradationAlert` objects lazily and bit-identically to
+        :meth:`observe`.
         """
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:
@@ -287,11 +346,15 @@ class DegradationMonitor:
                 f"observe_block column lengths disagree: {len(serials)} "
                 f"serials, {len(hours)} hours, {matrix.shape[0]} rows"
             )
+        types = tuple(FailureType)
+        hours = np.asarray(hours, dtype=np.int64)
         if matrix.shape[0] == 0:
-            return []
+            empty = np.empty((len(types), 0), dtype=np.float64)
+            return AlertBlock([], hours, empty,
+                              np.empty(0, dtype=np.int64),
+                              np.empty(0, dtype=np.int8), types)
         normalized = self._normalizer.transform(matrix)
         # (n_types, n_samples) stage matrix, one tree evaluation per type.
-        types = list(FailureType)
         stages = np.vstack([
             self._predictor.tree_for(failure_type).predict(normalized)
             for failure_type in types
@@ -299,29 +362,21 @@ class DegradationMonitor:
         # First minimal stage in FailureType order — exactly the tie
         # semantics of ``min`` over the insertion-ordered estimates dict.
         likely_indices = np.argmin(stages, axis=0)
+        picked = stages[likely_indices, np.arange(stages.shape[1])]
+        level_codes = ((picked <= self._watch).astype(np.int8)
+                       + (picked <= self._critical).astype(np.int8))
 
-        alerts: list[DegradationAlert] = []
-        for position, serial in enumerate(serials):
-            estimates = {
-                failure_type: rescue_estimate(
-                    float(stages[type_index, position]), failure_type,
-                    window=PREDICTION_WINDOW_BY_TYPE[failure_type],
-                )
-                for type_index, failure_type in enumerate(types)
-            }
-            likely_type = types[int(likely_indices[position])]
-            stage = estimates[likely_type].stage
-            level = self._level_for(stage)
-            self._state.record(serial, normalized[position], level)
-            alerts.append(DegradationAlert(
-                serial=serial,
-                hour=int(hours[position]),
-                level=level,
-                stage=stage,
-                likely_type=likely_type,
-                estimates=estimates,
-            ))
-        return alerts
+        if isinstance(self._state, ColumnStateStore):
+            self._state.record_block(serials, normalized, level_codes,
+                                     hours)
+        else:
+            for position, serial in enumerate(serials):
+                self._state.record(
+                    serial, normalized[position],
+                    AlertLevel(int(level_codes[position])),
+                    hour=int(hours[position]))
+        return AlertBlock(serials, hours, stages,
+                          likely_indices, level_codes, types)
 
     def observe_profile(self, profile) -> list[DegradationAlert]:
         """Replay a :class:`HealthProfile` through the monitor."""
@@ -359,7 +414,7 @@ class DegradationMonitor:
     # -- fleet state --------------------------------------------------------
 
     @property
-    def state(self) -> DriveStateStore:
+    def state(self) -> DriveStateStore | ColumnStateStore:
         """The keyed per-drive state store backing this monitor.
 
         Exposed so the serving layer can snapshot or relocate a shard's

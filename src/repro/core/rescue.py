@@ -16,6 +16,7 @@ shows no degradation yet and at least the full window remains.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -65,7 +66,8 @@ def estimate_remaining_hours(stage: float, failure_type: FailureType, *,
         Degradation-window size ``d`` in hours; defaults to the paper's
         per-group prediction windows (12 / 380 / 24).
     """
-    if not np.isfinite(stage):
+    stage = float(stage)
+    if not math.isfinite(stage):
         raise SignatureError("degradation stage must be finite")
     if stage >= 0.0:
         return float("inf")
@@ -74,7 +76,10 @@ def estimate_remaining_hours(stage: float, failure_type: FailureType, *,
     if window < 1:
         raise SignatureError("window must be at least 1 hour")
     order = CANONICAL_ORDER_BY_TYPE[failure_type]
-    clipped = float(np.clip(stage, -1.0, 0.0))
+    # stage is known negative here, so clipping to [-1, 0] reduces to a
+    # floor at -1 (plain float ops; the ``**`` inversion itself must
+    # stay Python pow — see the AlertBlock docstring on numpy's pow).
+    clipped = stage if stage >= -1.0 else -1.0
     return window * (clipped + 1.0) ** (1.0 / order)
 
 

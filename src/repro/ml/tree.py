@@ -25,6 +25,11 @@ import numpy as np
 
 from repro.errors import ModelError
 
+# Below this many rows ``predict`` walks rows individually instead of
+# descending in lock-step; the crossover sits where ``depth`` rounds of
+# whole-batch array ops stop paying for themselves.
+_WALK_THRESHOLD = 8
+
 
 @dataclass(slots=True)
 class TreeNode:
@@ -77,6 +82,9 @@ class RegressionTree:
         self.root_: TreeNode | None = None
         self.n_features_: int | None = None
         self.feature_names_: tuple[str, ...] | None = None
+        self._flat_: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                           np.ndarray, int] | None = None
+        self._flat_lists_: tuple[list, list, list, list, list] | None = None
 
     def fit(self, features: np.ndarray, targets: np.ndarray,
             feature_names: tuple[str, ...] | list[str] | None = None) -> "RegressionTree":
@@ -101,6 +109,8 @@ class RegressionTree:
         node_indices = np.arange(features.shape[0])
         self.root_ = self._grow(columns, targets, sorted_indices,
                                 node_indices, depth=0)
+        self._flat_ = None
+        self._flat_lists_ = None
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
@@ -113,25 +123,41 @@ class RegressionTree:
             raise ModelError(
                 f"expected {self.n_features_} features, got {features.shape[1]}"
             )
-        # Route whole index sets down the tree instead of walking rows one
-        # at a time: each node partitions its batch with one vectorized
-        # comparison, so prediction costs O(n * depth) numpy operations.
-        out = np.empty(features.shape[0], dtype=np.float64)
-        frontier: list[tuple[TreeNode, np.ndarray]] = [
-            (self.root_, np.arange(features.shape[0]))
-        ]
-        while frontier:
-            node, indices = frontier.pop()
-            if indices.shape[0] == 0:
-                continue
-            if node.is_leaf:
-                out[indices] = node.value
-                continue
-            assert node.left is not None and node.right is not None
-            goes_left = features[indices, node.feature_index] < node.threshold
-            frontier.append((node.left, indices[goes_left]))
-            frontier.append((node.right, indices[~goes_left]))
-        return out
+        # Route all rows down the tree in lock-step over a flattened node
+        # table: depth iterations of gather/compare/select, no per-node
+        # Python work.  Leaves self-loop (threshold +inf, both children
+        # pointing back at the leaf), so every row can take exactly
+        # ``depth`` steps and land on its leaf regardless of path length.
+        # Each step applies the same strict ``value < threshold`` routing
+        # as a node-by-node walk, so predictions are bit-identical.
+        feature, threshold, left, right, value, depth = self._flattened()
+        n_rows = features.shape[0]
+        if n_rows == 0:
+            return np.empty(0, dtype=np.float64)
+        if n_rows <= _WALK_THRESHOLD:
+            # Tiny batches: ``depth`` rounds of array ops cost more than
+            # they save, so walk each row node by node over plain-list
+            # mirrors of the same table (Python floats compare with the
+            # same IEEE semantics, so routing is unchanged).
+            feature_l, threshold_l, left_l, right_l, value_l = \
+                self._flattened_lists()
+            out = np.empty(n_rows, dtype=np.float64)
+            inf = np.inf
+            for row in range(n_rows):
+                row_values = features[row].tolist()
+                node = 0
+                while threshold_l[node] != inf:
+                    node = (left_l[node]
+                            if row_values[feature_l[node]] < threshold_l[node]
+                            else right_l[node])
+                out[row] = value_l[node]
+            return out
+        nodes = np.zeros(n_rows, dtype=np.intp)
+        rows = np.arange(n_rows)
+        for _ in range(depth):
+            goes_left = features[rows, feature[nodes]] < threshold[nodes]
+            nodes = np.where(goes_left, left[nodes], right[nodes])
+        return value[nodes]
 
     def depth(self) -> int:
         """Maximum depth of the fitted tree."""
@@ -289,9 +315,67 @@ class RegressionTree:
                 and len(tree.feature_names_) != n_features):
             raise ModelError("tree payload feature_names length mismatch")
         tree.root_ = decode(encoded_root, depth=0)
+        tree._flat_ = None
+        tree._flat_lists_ = None
         return tree
 
     # -- internals ---------------------------------------------------------
+
+    def _flattened(self) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                  np.ndarray, np.ndarray, int]:
+        """Flatten the node graph into arrays for lock-step prediction.
+
+        Built lazily on first predict after a fit/deserialize and cached;
+        leaves are encoded with ``threshold = +inf`` and both child slots
+        pointing at themselves so the descent loop needs no leaf mask.
+        """
+        if self._flat_ is not None:
+            return self._flat_
+        root = self._require_root()
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[float] = []
+
+        def visit(node: TreeNode) -> int:
+            index = len(values)
+            values.append(node.value)
+            features.append(0)
+            thresholds.append(np.inf)
+            lefts.append(index)
+            rights.append(index)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                features[index] = node.feature_index
+                thresholds[index] = node.threshold
+                lefts[index] = visit(node.left)
+                rights[index] = visit(node.right)
+            return index
+
+        visit(root)
+        self._flat_ = (
+            np.asarray(features, dtype=np.intp),
+            np.asarray(thresholds, dtype=np.float64),
+            np.asarray(lefts, dtype=np.intp),
+            np.asarray(rights, dtype=np.intp),
+            np.asarray(values, dtype=np.float64),
+            self._depth_of(root),
+        )
+        return self._flat_
+
+    def _flattened_lists(self) -> tuple[list, list, list, list, list]:
+        """Plain-list mirror of :meth:`_flattened` for the per-row walk.
+
+        List indexing and Python-float comparison avoid the per-element
+        numpy scalar overhead that dominates single-sample prediction.
+        """
+        if self._flat_lists_ is None:
+            feature, threshold, left, right, value, _ = self._flattened()
+            self._flat_lists_ = (feature.tolist(), threshold.tolist(),
+                                 left.tolist(), right.tolist(),
+                                 value.tolist())
+        return self._flat_lists_
 
     def _grow(self, columns: np.ndarray, targets: np.ndarray,
               sorted_indices: np.ndarray, node_indices: np.ndarray,

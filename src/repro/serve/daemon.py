@@ -47,7 +47,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import PipelineObserver, TelemetryObserver
 from repro.obs.recorder import FlightRecorder
 from repro.serve.bundle import BUNDLE_SCHEMA_VERSION, ModelBundle, content_hash
-from repro.serve.scorer import MonitorVerdict
+from repro.serve.scorer import MonitorVerdict, VerdictBlock
 from repro.serve.shard import DEFAULT_QUEUE_CAPACITY, ShardSet
 from repro.serve.sinks import AlertSink
 
@@ -58,42 +58,70 @@ DEFAULT_STATUS_TAIL = 20
 DEFAULT_RETRY_AFTER_S = 1.0
 
 
-def _parse_json_batch(body: bytes) -> tuple[list[str], list[int], list[list[float]]]:
-    """Decode the JSON document ingest form into columnar samples."""
+def _columns_from(serials: list[str], hours: list[int],
+                  flat: list[float], width: int) -> tuple[
+                      list[str], list[int], np.ndarray]:
+    """Shape flat parsed values into the columnar ``(serials, hours, matrix)``.
+
+    One reshape instead of one list object per sample — the parsers
+    append every value to a single flat buffer and this helper turns it
+    into the 2-D record matrix the shard plane consumes.
+    """
+    matrix = np.asarray(flat, dtype=np.float64).reshape(len(serials), width)
+    return serials, hours, matrix
+
+
+def _parse_json_batch(body: bytes) -> tuple[list[str], list[int], np.ndarray]:
+    """Decode the JSON document ingest form straight into column arrays."""
     document = json.loads(body.decode("utf-8"))
     if not isinstance(document, dict) or "samples" not in document:
         raise ServeError(
             'expected {"samples": [[serial, hour, values], ...]}')
     serials: list[str] = []
     hours: list[int] = []
-    rows: list[list[float]] = []
+    flat: list[float] = []
+    width = -1
     for entry in document["samples"]:
         serial, hour, values = entry
+        if width < 0:
+            width = len(values)
+        elif len(values) != width:
+            raise ServeError(
+                f"sample {len(serials)}: {len(values)} values where "
+                f"earlier samples had {width}")
         serials.append(str(serial))
         hours.append(int(hour))
-        rows.append([float(value) for value in values])
-    return serials, hours, rows
+        flat.extend(float(value) for value in values)
+    return _columns_from(serials, hours, flat, max(width, 0))
 
 
-def _parse_jsonl_batch(body: bytes) -> tuple[list[str], list[int], list[list[float]]]:
-    """Decode the JSONL ingest form (one sample object per line)."""
+def _parse_jsonl_batch(body: bytes) -> tuple[list[str], list[int], np.ndarray]:
+    """Decode the JSONL ingest form straight into column arrays."""
     serials: list[str] = []
     hours: list[int] = []
-    rows: list[list[float]] = []
+    flat: list[float] = []
+    width = -1
     for line_number, line in enumerate(body.decode("utf-8").splitlines(), 1):
         line = line.strip()
         if not line:
             continue
         record = json.loads(line)
         try:
+            values = record["values"]
+            if width < 0:
+                width = len(values)
+            elif len(values) != width:
+                raise ServeError(
+                    f"line {line_number}: {len(values)} values where "
+                    f"earlier lines had {width}")
             serials.append(str(record["serial"]))
             hours.append(int(record["hour"]))
-            rows.append([float(value) for value in record["values"]])
+            flat.extend(float(value) for value in values)
         except (KeyError, TypeError) as error:
             raise ServeError(
                 f"line {line_number}: expected keys serial/hour/values "
                 f"({error})") from error
-    return serials, hours, rows
+    return _columns_from(serials, hours, flat, max(width, 0))
 
 
 class ServingDaemon:
@@ -183,21 +211,34 @@ class ServingDaemon:
 
     def ingest(self, serials: Sequence[str], hours: Sequence[int],
                matrix: Iterable[Iterable[float]]) -> list[MonitorVerdict]:
-        """Score one columnar batch through the shard plane (library API).
+        """Score one columnar batch and materialize every verdict.
 
-        The HTTP endpoint decodes into exactly this call.  Raises
+        :meth:`ingest_block` plus per-sample
+        :class:`~repro.serve.scorer.MonitorVerdict` objects, kept for
+        library callers; the HTTP endpoint consumes the columnar block
+        directly and only materializes what the reply needs.
+        """
+        return self.ingest_block(serials, hours, matrix).verdicts()
+
+    def ingest_block(self, serials: Sequence[str], hours: Sequence[int],
+                     matrix: Iterable[Iterable[float]]) -> VerdictBlock:
+        """Score one columnar batch through the shard plane.
+
+        The daemon's hot path: the batch stays struct-of-arrays from
+        HTTP parse to shard scoring to reply accounting.  Raises
         :class:`~repro.errors.BackpressureError` when a target shard is
         saturated (nothing enqueued) and :class:`~repro.errors.ServeError`
-        on malformed batches.  Alerting verdicts fan out to the
+        on malformed batches.  Only the (rare) alerting rows are
+        materialized — each fans out to the flight recorder and the
         configured sinks before this returns.
         """
-        block = np.asarray(matrix, dtype=np.float64)
-        verdicts = self._shards.submit(serials, hours, block)
-        alerting = [verdict for verdict in verdicts if verdict.alerting]
+        columns = np.asarray(matrix, dtype=np.float64)
+        block = self._shards.submit_block(serials, hours, columns)
         with self._lock:
-            self._samples_accepted += len(verdicts)
-            self._alerts_emitted += len(alerting)
-        for verdict in alerting:
+            self._samples_accepted += len(block)
+            self._alerts_emitted += block.n_alerting
+        for row in block.alerting_rows():
+            verdict = block.verdict_at(int(row))
             self.recorder.record(
                 "alert",
                 f"drive {verdict.serial} {verdict.level} "
@@ -207,7 +248,7 @@ class ServingDaemon:
                 likely_type=verdict.likely_type,
             )
             self._emit_to_sinks(verdict)
-        return verdicts
+        return block
 
     def _count_ingest(self, outcome: str) -> None:
         """Bump the labeled ``ingest_requests`` counter for one request."""
@@ -248,7 +289,7 @@ class ServingDaemon:
             self._count_ingest("ok")
             return HttpReply.json(200, {"accepted": 0, "alerts": 0})
         try:
-            verdicts = self.ingest(serials, hours, rows)
+            block = self.ingest_block(serials, hours, rows)
         except BackpressureError as error:
             self._count_ingest("backpressure")
             return HttpReply.json(
@@ -261,18 +302,17 @@ class ServingDaemon:
             self._count_ingest("bad_request")
             return HttpReply.json(400, {"error": str(error)})
         self._count_ingest("ok")
-        self._observer.count("ingest_samples", len(verdicts))
+        self._observer.count("ingest_samples", len(block))
         wanted = query.get("verdicts")
         if wanted in ("all", "alerts"):
-            chosen = (verdicts if wanted == "all"
-                      else [v for v in verdicts if v.alerting])
-            body_out = "".join(verdict.to_json_line() + "\n"
-                               for verdict in chosen).encode("utf-8")
+            lines = (block.to_json_lines() if wanted == "all"
+                     else [block.verdict_at(int(row)).to_json_line()
+                           for row in block.alerting_rows()])
+            body_out = "".join(line + "\n" for line in lines).encode("utf-8")
             return HttpReply(200, body_out,
                              content_type="application/jsonl; charset=utf-8")
-        alerts = sum(1 for verdict in verdicts if verdict.alerting)
-        return HttpReply.json(200, {"accepted": len(verdicts),
-                                    "alerts": alerts})
+        return HttpReply.json(200, {"accepted": len(block),
+                                    "alerts": block.n_alerting})
 
     def _handle_drain(self, body: bytes, query: dict[str, str]) -> HttpReply:
         """``POST /drain``: request a graceful stop, reply immediately."""

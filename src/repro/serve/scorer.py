@@ -4,11 +4,16 @@
 loads a :class:`~repro.serve.bundle.ModelBundle`, reconstructs the exact
 training-time models, and consumes SMART samples incrementally —
 ``push(serial, hour, record)`` for one sample, ``push_many`` for a
-batch.  Per-drive state lives in the ring buffers the underlying
-:class:`~repro.core.monitor.DegradationMonitor` keeps (a bounded deque
-of normalized records per serial plus the last severity level), so
-memory stays O(drives x history_hours) no matter how long the stream
-runs.
+batch, ``score_block`` for the columnar hot path.  Per-drive state
+lives in a struct-of-arrays
+:class:`~repro.core.columnar.ColumnStateStore` (one preallocated ring
+buffer for the whole scorer — drives x history_hours x attributes —
+with recycled rows and doubling growth), so memory stays
+O(live drives x history_hours) no matter how long the stream runs and
+the healthy path allocates nothing per drive.  ``score_block`` returns
+a :class:`VerdictBlock`: verdict columns, not verdict objects —
+:class:`MonitorVerdict` materialization is deferred to the rare
+alerting rows (or to callers that explicitly ask for all of them).
 
 The contract that makes the scorer trustworthy is *byte-identity with
 offline replay*: feeding a profile's samples through ``push`` (or
@@ -33,13 +38,15 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.columnar import AlertBlock, ColumnStateStore
 from repro.core.monitor import (AlertLevel, DegradationAlert,
                                 DegradationMonitor, DriveStateStore)
 from repro.core.serialize import canonical_json_line
 from repro.core.taxonomy import FailureType
 from repro.errors import ServeError
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.observer import PipelineObserver, resolve_observer
+from repro.obs.observer import (NULL_OBSERVER, PipelineObserver,
+                                resolve_observer)
 from repro.parallel import ParallelConfig, get_worker_observer, map_drives
 from repro.serve.bundle import ModelBundle
 from repro.smart.profile import HealthProfile
@@ -111,6 +118,97 @@ class MonitorVerdict:
         return canonical_json_line(self.to_dict())
 
 
+@dataclass(frozen=True, slots=True)
+class VerdictBlock:
+    """Struct-of-arrays verdicts for one scored columnar batch.
+
+    The serving twin of :class:`~repro.core.columnar.AlertBlock`:
+    verdict *columns* (stages, severity codes, likely-type indices)
+    instead of verdict objects.  Summary counts and alerting-row lookups are
+    array ops; :class:`MonitorVerdict` objects are built only on demand
+    — per alerting row for sink delivery, or for every row when a
+    caller explicitly materializes (``verdicts()`` /
+    ``to_json_lines()``, whose output is byte-identical to the
+    per-sample ``push`` path).
+    """
+
+    block: AlertBlock
+
+    def __len__(self) -> int:
+        return len(self.block)
+
+    @property
+    def serials(self) -> list[str]:
+        """Drive serial per scored row, in input order."""
+        return self.block.serials
+
+    @property
+    def n_alerting(self) -> int:
+        """Rows whose severity sits above HEALTHY."""
+        return self.block.n_alerting
+
+    def alerting_rows(self) -> np.ndarray:
+        """Indices of the rows above HEALTHY (usually few)."""
+        return self.block.alerting_rows()
+
+    def finite_stages(self) -> np.ndarray:
+        """Likely-type stage per row, finite entries only (telemetry)."""
+        return self.block.finite_stages()
+
+    def verdict_at(self, row: int) -> MonitorVerdict:
+        """Materialize one row (bit-identical to the scalar path)."""
+        return MonitorVerdict.from_alert(self.block.alert_at(row))
+
+    def verdicts(self) -> list[MonitorVerdict]:
+        """Materialize every row — the compatibility slow path."""
+        return [self.verdict_at(row) for row in range(len(self.block))]
+
+    def to_json_lines(self) -> list[str]:
+        """Canonical JSON line per row, byte-identical to ``push``."""
+        return [self.verdict_at(row).to_json_line()
+                for row in range(len(self.block))]
+
+    @classmethod
+    def empty(cls) -> "VerdictBlock":
+        """A zero-row block (the verdict of an empty batch)."""
+        types = tuple(FailureType)
+        columns = np.empty((len(types), 0), dtype=np.float64)
+        return cls(AlertBlock([], np.empty(0, dtype=np.int64),
+                              columns,
+                              np.empty(0, dtype=np.int64),
+                              np.empty(0, dtype=np.int8), types))
+
+    @classmethod
+    def gather(cls, serials: Sequence[str], hours: Sequence[int],
+               parts: Sequence[tuple[Sequence[int], "VerdictBlock"]],
+               ) -> "VerdictBlock":
+        """Reassemble one block from scattered sub-blocks.
+
+        ``parts`` pairs each sub-block with the row indices (into the
+        full batch) it scored; the shard plane uses this to stitch
+        per-shard results back into input row order without
+        materializing a single verdict object.
+        """
+        if not parts:
+            raise ServeError("gather needs at least one sub-block")
+        first = parts[0][1].block
+        n = len(serials)
+        n_types = first.stages.shape[0]
+        stages = np.empty((n_types, n), dtype=np.float64)
+        likely = np.empty(n, dtype=np.int64)
+        codes = np.empty(n, dtype=np.int8)
+        for rows, part in parts:
+            rows = np.asarray(rows, dtype=np.int64)
+            sub = part.block
+            stages[:, rows] = sub.stages
+            likely[rows] = sub.likely_indices
+            codes[rows] = sub.level_codes
+        return cls(AlertBlock(list(serials),
+                              np.asarray(hours, dtype=np.int64),
+                              stages, likely, codes,
+                              first.types))
+
+
 class StreamScorer:
     """Incremental degradation scorer over a model bundle.
 
@@ -130,11 +228,12 @@ class StreamScorer:
 
     def __init__(self, bundle: ModelBundle, *,
                  observer: PipelineObserver | None = None,
-                 state: DriveStateStore | None = None) -> None:
+                 state: DriveStateStore | ColumnStateStore | None = None,
+                 ) -> None:
         self._bundle = bundle
         self._observer = resolve_observer(observer)
         self._state = state if state is not None \
-            else DriveStateStore(bundle.history_hours)
+            else ColumnStateStore(bundle.history_hours)
         self._monitor = DegradationMonitor(
             bundle.predictor(), bundle.normalizer(),
             watch_threshold=bundle.watch_threshold,
@@ -175,13 +274,27 @@ class StreamScorer:
 
     def push_block(self, serials: Sequence[str], hours: Sequence[int],
                    matrix: np.ndarray) -> list[MonitorVerdict]:
-        """Score a columnar batch: serials, hours, and a raw record matrix.
+        """Score a columnar batch and materialize every verdict.
 
         Row ``i`` of ``matrix`` is the raw record for ``serials[i]`` at
         ``hours[i]``.  Verdicts equal per-sample :meth:`push` calls in
-        row order; the columnar shape exists so the serving daemon can
-        ship sub-batches between shard workers without per-sample
-        Python-object overhead.
+        row order.  This is :meth:`score_block` plus full
+        materialization — callers that can consume the columnar
+        :class:`VerdictBlock` should, and skip the per-sample objects.
+        """
+        return self.score_block(serials, hours, matrix).verdicts()
+
+    def score_block(self, serials: Sequence[str], hours: Sequence[int],
+                    matrix: np.ndarray) -> VerdictBlock:
+        """Score a columnar batch as one set of batched array ops.
+
+        The streaming hot path: one normalizer pass, one tree
+        evaluation per failure group, one fancy-indexed ring update for
+        every drive in the batch — no per-sample Python objects.  The
+        returned :class:`VerdictBlock` carries verdict columns;
+        materializing it reproduces :meth:`push` byte for byte (the
+        golden tests pin this offline, across shard counts and over
+        live HTTP ingest).
         """
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[1] != self._bundle.n_attributes:
@@ -196,11 +309,26 @@ class StreamScorer:
                 f"{len(hours)} hours, {matrix.shape[0]} record rows"
             )
         if matrix.shape[0] == 0:
-            return []
+            return VerdictBlock(self._monitor.observe_columns([], [], matrix))
         with self._observer.span("score-batch", n_samples=matrix.shape[0]):
-            alerts = self._monitor.observe_block(
-                list(serials), [int(hour) for hour in hours], matrix)
-        return [self._account(alert) for alert in alerts]
+            block = self._monitor.observe_columns(
+                list(serials), hours, matrix)
+        self._account_block(block)
+        return VerdictBlock(block)
+
+    def evict_idle(self, before_hour: int) -> int:
+        """Recycle state of drives last observed before ``before_hour``.
+
+        Bounds a churning fleet's memory: evicted serials free their
+        ring row (columnar store) or deque (legacy store) and start
+        fresh if they reappear.  Returns the evicted count and bumps
+        the ``drives_evicted`` counter.
+        """
+        evicted = self._state.evict_idle(int(before_hour))
+        if evicted:
+            self._observer.count("drives_evicted", evicted)
+            self._observer.gauge("drives_tracked", self.drives_tracked)
+        return evicted
 
     def replay_profile(self, profile: HealthProfile) -> list[MonitorVerdict]:
         """Stream one profile's samples through the scorer, in order."""
@@ -217,7 +345,7 @@ class StreamScorer:
         return self._bundle
 
     @property
-    def state(self) -> DriveStateStore:
+    def state(self) -> DriveStateStore | ColumnStateStore:
         """The keyed per-drive state store (the sharding seam).
 
         A daemon shard snapshots or relocates a scorer's fleet state
@@ -260,6 +388,26 @@ class StreamScorer:
                 f"({', '.join(self._bundle.attributes)})"
             )
         return record
+
+    def _account_block(self, block: AlertBlock) -> None:
+        """Block-wise telemetry: same totals as per-verdict accounting.
+
+        The healthy fast path (no observer) costs two integer adds; a
+        real observer sees exactly the counter increments, histogram
+        observations and final gauge value the scalar path emits.
+        """
+        n_samples = len(block)
+        n_alerting = block.n_alerting
+        self._samples_scored += n_samples
+        self._alerts_emitted += n_alerting
+        if self._observer is NULL_OBSERVER:
+            return
+        self._observer.count("samples_scored", n_samples)
+        if n_alerting:
+            self._observer.count("alerts_emitted", n_alerting)
+        for stage in block.finite_stages():
+            self._observer.observe("verdict_stage", float(stage))
+        self._observer.gauge("drives_tracked", self.drives_tracked)
 
     def _account(self, alert: DegradationAlert) -> MonitorVerdict:
         """Convert an alert and update the scorer's telemetry."""

@@ -43,7 +43,7 @@ from repro.errors import BackpressureError, ServeError
 from repro.obs.observer import NULL_OBSERVER, PipelineObserver, resolve_observer
 from repro.parallel import validate_backend
 from repro.serve.bundle import ModelBundle
-from repro.serve.scorer import MonitorVerdict, StreamScorer
+from repro.serve.scorer import MonitorVerdict, StreamScorer, VerdictBlock
 
 #: Virtual nodes per shard on the hash ring; enough for <2% imbalance
 #: at single-digit shard counts without measurable lookup cost.
@@ -109,12 +109,16 @@ def _shard_worker(shard: int, payload: dict, tasks: Any, results: Any,
     """One shard's scoring loop (runs in a thread or a child process).
 
     Consumes ``(request_id, serials, hours, matrix)`` tasks, scores
-    them on a private :class:`StreamScorer` (null observer — the parent
-    re-accounts telemetry), and replies ``("verdicts", request_id,
-    shard, verdicts)``.  A scoring failure replies ``("error", ...)``
-    with the message instead of killing the worker.  The ``_STOP``
-    sentinel makes the worker emit a final ``("snapshot", ...)`` with
-    its counters and state snapshot, then exit.
+    each one *as one columnar block* on a private :class:`StreamScorer`
+    (null observer — the parent re-accounts telemetry), and replies
+    ``("verdicts", request_id, shard, block)`` with the
+    struct-of-arrays :class:`~repro.serve.scorer.VerdictBlock` — on the
+    process backend that pickles a handful of numpy arrays instead of a
+    Python list of verdict objects.  A scoring failure replies
+    ``("error", ...)`` with the message instead of killing the worker.
+    The ``_STOP`` sentinel makes the worker emit a final
+    ``("snapshot", ...)`` with its counters and state snapshot, then
+    exit.
     """
     scorer = StreamScorer(ModelBundle.from_payload(payload),
                           observer=NULL_OBSERVER)
@@ -133,12 +137,12 @@ def _shard_worker(shard: int, payload: dict, tasks: Any, results: Any,
         if throttle_s > 0.0:
             time.sleep(throttle_s)
         try:
-            verdicts = scorer.push_block(serials, hours, matrix)
+            block = scorer.score_block(serials, hours, matrix)
         except Exception as error:
             results.put(("error", request_id, shard,
                          f"{type(error).__name__}: {error}"))
             continue
-        results.put(("verdicts", request_id, shard, verdicts))
+        results.put(("verdicts", request_id, shard, block))
 
 
 class _PendingRequest:
@@ -149,7 +153,7 @@ class _PendingRequest:
     def __init__(self, n_parts: int) -> None:
         self.parts = n_parts
         self.done = threading.Event()
-        self.results: dict[int, list[MonitorVerdict]] = {}
+        self.results: dict[int, VerdictBlock] = {}
         self.errors: list[str] = []
 
 
@@ -266,10 +270,22 @@ class ShardSet:
                matrix: np.ndarray) -> list[MonitorVerdict]:
         """Score one columnar batch; verdicts return in input row order.
 
+        :meth:`submit_block` plus full verdict materialization, kept
+        for callers that want per-sample objects; the daemon's hot path
+        consumes the columnar block directly.
+        """
+        return self.submit_block(serials, hours, matrix).verdicts()
+
+    def submit_block(self, serials: Sequence[str], hours: Sequence[int],
+                     matrix: np.ndarray) -> VerdictBlock:
+        """Score one columnar batch; verdict columns in input row order.
+
         Splits the batch by shard placement, enqueues one sub-batch per
-        involved shard, and blocks until all parts are scored.
-        Admission is all-or-nothing: if *any* involved shard is at
-        capacity, the whole batch is rejected with
+        involved shard, blocks until all parts are scored, and stitches
+        the per-shard :class:`~repro.serve.scorer.VerdictBlock` columns
+        back into input row order — no verdict object is materialized
+        anywhere on this path.  Admission is all-or-nothing: if *any*
+        involved shard is at capacity, the whole batch is rejected with
         :class:`~repro.errors.BackpressureError` and no sample of it is
         enqueued.
         """
@@ -282,7 +298,7 @@ class ShardSet:
                 f"column lengths disagree: {len(serials)} serials, "
                 f"{len(hours)} hours, {matrix.shape[0]} record rows")
         if matrix.shape[0] == 0:
-            return []
+            return VerdictBlock.empty()
 
         by_shard: dict[int, list[int]] = {}
         for row, serial in enumerate(serials):
@@ -323,13 +339,13 @@ class ShardSet:
             raise ServeError(
                 f"shard scoring failed: {'; '.join(pending.errors)}")
 
-        verdicts: list[MonitorVerdict | None] = [None] * matrix.shape[0]
-        for shard, rows in by_shard.items():
-            for row, verdict in zip(rows, pending.results[shard]):
-                verdicts[row] = verdict
-        out = [verdict for verdict in verdicts if verdict is not None]
-        self._account(out)
-        return out
+        block = VerdictBlock.gather(
+            [str(serial) for serial in serials],
+            [int(hour) for hour in hours],
+            [(rows, pending.results[shard])
+             for shard, rows in by_shard.items()])
+        self._account(block)
+        return block
 
     def inflight(self) -> list[int]:
         """Current batches in flight, per shard (a telemetry snapshot)."""
@@ -363,17 +379,21 @@ class ShardSet:
 
     # -- internals --------------------------------------------------------
 
-    def _account(self, verdicts: list[MonitorVerdict]) -> None:
-        """Parent-side telemetry for one scored batch."""
-        if not verdicts:
+    def _account(self, block: VerdictBlock) -> None:
+        """Parent-side telemetry for one scored batch (block-wise).
+
+        Same counter totals, histogram observations and gauge value the
+        per-verdict loop produced — reassembled from verdict columns so
+        the hot path never materializes a verdict for telemetry's sake.
+        """
+        if not len(block):
             return
-        self._observer.count("samples_scored", len(verdicts))
-        alerting = sum(1 for verdict in verdicts if verdict.alerting)
+        self._observer.count("samples_scored", len(block))
+        alerting = block.n_alerting
         if alerting:
             self._observer.count("alerts_emitted", alerting)
-        for verdict in verdicts:
-            if np.isfinite(verdict.stage):
-                self._observer.observe("verdict_stage", verdict.stage)
+        for stage in block.finite_stages():
+            self._observer.observe("verdict_stage", float(stage))
         self._observer.gauge("drives_tracked", self.drives_tracked())
 
     def _collect(self) -> None:

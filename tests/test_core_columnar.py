@@ -1,0 +1,338 @@
+"""Tests for the struct-of-arrays drive state store and block scoring.
+
+Two contracts are pinned here.  First, :class:`ColumnStateStore` is a
+drop-in for the deque-backed :class:`DriveStateStore`: every scalar
+surface matches, ``record_block`` is semantically identical to a
+sequential ``record`` loop (including duplicate serials within one
+block), rows are recycled on eviction and the arrays grow by doubling.
+Second, the vectorized scoring path is *bit-identical* to the scalar
+one: a monitor on a columnar store emits exactly the alerts the
+per-sample ``observe`` loop produces — for empty blocks, duplicate
+serials in one tick, out-of-order hours, and drives reappearing after
+eviction — and materialized rescue estimates go through the scalar
+libm inversion, never a vectorized ``pow``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import AlertBlock, ColumnStateStore
+from repro.core.monitor import AlertLevel, DegradationMonitor, DriveStateStore
+from repro.core.prediction import DegradationPredictor
+from repro.core.rescue import rescue_estimate
+from repro.core.taxonomy import FailureType
+from repro.errors import ReproError
+
+
+def _filled_stores(history=4, n_attributes=3, n_drives=6, records=9, seed=3):
+    """The same random stream recorded into both store flavors."""
+    rng = np.random.default_rng(seed)
+    deque_store = DriveStateStore(history)
+    column_store = ColumnStateStore(history, initial_rows=2)
+    for step in range(records):
+        for drive in range(n_drives):
+            serial = f"drive-{drive}"
+            vector = rng.normal(size=n_attributes)
+            level = AlertLevel(int(rng.integers(0, 3)))
+            for store in (deque_store, column_store):
+                store.record(serial, vector, level, hour=step)
+    return deque_store, column_store
+
+
+# -- scalar surface parity ---------------------------------------------------
+
+def test_scalar_surface_matches_deque_store():
+    deque_store, column_store = _filled_stores()
+    assert column_store.serials() == deque_store.serials()
+    assert column_store.n_tracked == deque_store.n_tracked
+    for level in AlertLevel:
+        assert column_store.drives_at(level) == deque_store.drives_at(level)
+    for serial in deque_store.serials():
+        assert column_store.level_of(serial) is deque_store.level_of(serial)
+        assert np.array_equal(column_store.history_of(serial),
+                              deque_store.history_of(serial))
+    assert column_store.snapshot() == deque_store.snapshot()
+
+
+def test_ring_wraparound_matches_deque():
+    deque_store = DriveStateStore(3)
+    column_store = ColumnStateStore(3)
+    for step in range(7):
+        vector = np.full(2, float(step))
+        deque_store.record("d", vector, AlertLevel.HEALTHY, hour=step)
+        column_store.record("d", vector, AlertLevel.HEALTHY, hour=step)
+    history = column_store.history_of("d")
+    assert np.array_equal(history, deque_store.history_of("d"))
+    # Oldest-first: records 4, 5, 6 survive in that order.
+    assert history[:, 0].tolist() == [4.0, 5.0, 6.0]
+
+
+def test_history_of_unknown_serial_raises():
+    store = ColumnStateStore(3)
+    with pytest.raises(ReproError, match="no observations"):
+        store.history_of("never-seen")
+
+
+def test_constructor_validation():
+    with pytest.raises(ReproError, match="history_hours"):
+        ColumnStateStore(0)
+    with pytest.raises(ReproError, match="initial_rows"):
+        ColumnStateStore(3, initial_rows=0)
+
+
+def test_record_width_mismatch_is_typed():
+    store = ColumnStateStore(3)
+    store.record("d", np.zeros(4), AlertLevel.HEALTHY)
+    with pytest.raises(ReproError, match="attributes"):
+        store.record("d", np.zeros(5), AlertLevel.HEALTHY)
+    with pytest.raises(ReproError, match="attributes"):
+        store.record_block(["e"], np.zeros((1, 5)),
+                           np.zeros(1, dtype=np.int8), [0])
+
+
+# -- growth and recycling ----------------------------------------------------
+
+def test_capacity_grows_by_doubling():
+    store = ColumnStateStore(2, initial_rows=2)
+    for drive in range(5):
+        store.record(f"d{drive}", np.full(2, float(drive)),
+                     AlertLevel.HEALTHY, hour=drive)
+    assert store.capacity == 8
+    assert store.n_tracked == 5
+    for drive in range(5):
+        assert store.history_of(f"d{drive}")[0, 0] == float(drive)
+
+
+def test_evict_idle_recycles_rows():
+    store = ColumnStateStore(2, initial_rows=2)
+    for drive in range(4):
+        store.record(f"d{drive}", np.zeros(2), AlertLevel.WATCH, hour=drive)
+    capacity_before = store.capacity
+    evicted = store.evict_idle(before_hour=2)
+    assert evicted == 2
+    assert store.drives_evicted == 2
+    assert store.serials() == ["d2", "d3"]
+    assert store.level_of("d0") is AlertLevel.HEALTHY
+    with pytest.raises(ReproError):
+        store.history_of("d0")
+    assert store.capacity == capacity_before
+    # Freed rows are handed to new drives before any growth.
+    store.record("d-new", np.ones(2), AlertLevel.HEALTHY, hour=9)
+    assert store.capacity == capacity_before
+    assert store.snapshot()["drives_evicted"] == 2
+    # An all-idle cutoff empties the store.
+    assert store.evict_idle(before_hour=100) == 3
+    assert store.n_tracked == 0
+    assert store.evict_idle(before_hour=100) == 0
+
+
+def test_reappearing_drive_gets_fresh_history():
+    store = ColumnStateStore(4)
+    store.record("d", np.full(2, 1.0), AlertLevel.CRITICAL, hour=0)
+    store.record("d", np.full(2, 2.0), AlertLevel.CRITICAL, hour=1)
+    assert store.evict_idle(before_hour=5) == 1
+    store.record("d", np.full(2, 7.0), AlertLevel.HEALTHY, hour=6)
+    history = store.history_of("d")
+    assert history.shape[0] == 1
+    assert history[0, 0] == 7.0
+    assert store.level_of("d") is AlertLevel.HEALTHY
+
+
+def test_deque_store_evicts_too():
+    store = DriveStateStore(4)
+    store.record("a", np.zeros(2), AlertLevel.WATCH, hour=0)
+    store.record("b", np.zeros(2), AlertLevel.WATCH, hour=5)
+    assert store.evict_idle(before_hour=3) == 1
+    assert store.drives_evicted == 1
+    assert store.serials() == ["b"]
+    assert store.snapshot()["drives_evicted"] == 1
+
+
+# -- record_block vs sequential record ---------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_record_block_matches_sequential_record(seed):
+    rng = np.random.default_rng(seed)
+    history, n_attributes = 3, 2
+    serial_pool = [f"d{i}" for i in range(5)]
+    # Duplicate-heavy block: 40 samples over 5 drives, so most drives
+    # repeat far beyond the ring capacity within the single block.
+    serials = [serial_pool[i] for i in rng.integers(0, 5, size=40)]
+    normalized = rng.normal(size=(40, n_attributes))
+    level_codes = rng.integers(0, 3, size=40).astype(np.int8)
+    hours = rng.integers(0, 50, size=40)
+
+    sequential = ColumnStateStore(history, initial_rows=1)
+    for i, serial in enumerate(serials):
+        sequential.record(serial, normalized[i],
+                          AlertLevel(int(level_codes[i])),
+                          hour=int(hours[i]))
+    blocked = ColumnStateStore(history, initial_rows=1)
+    blocked.record_block(serials, normalized, level_codes, hours)
+
+    assert blocked.serials() == sequential.serials()
+    assert blocked.snapshot() == sequential.snapshot()
+    for serial in sequential.serials():
+        assert np.array_equal(blocked.history_of(serial),
+                              sequential.history_of(serial))
+    # The eviction clock advanced identically (max hour per drive).
+    for cutoff in (0, 25, 51):
+        assert (blocked.evict_idle(cutoff)
+                == sequential.evict_idle(cutoff))
+
+
+def test_record_block_empty_is_noop():
+    store = ColumnStateStore(3)
+    store.record_block([], np.empty((0, 4)), np.empty(0, dtype=np.int8), [])
+    assert store.n_tracked == 0
+
+
+def test_rows_of_requires_layout():
+    store = ColumnStateStore(3)
+    with pytest.raises(ReproError, match="no recorded attributes"):
+        store.rows_of(["d"])
+    store.record("d", np.zeros(2), AlertLevel.HEALTHY)
+    assert store.rows_of(["d", "d"]).tolist() == [0, 0]
+
+
+# -- lazy rescue inversion ---------------------------------------------------
+
+def test_alert_estimates_use_scalar_rescue_math():
+    """Materialized estimates are bitwise the scalar libm inversion.
+
+    A dense stage grid including the order-3 (HEAD) regime where
+    numpy's vectorized ``pow`` is known to drift from libm by an ulp:
+    ``alert_at`` must route every estimate through the scalar
+    ``rescue_estimate``, so each dataclass compares equal bit for bit.
+    """
+    types = tuple(FailureType)
+    n = 1001
+    grid = np.linspace(-1.2, 0.5, n)
+    stages = np.vstack([grid, np.roll(grid, 100), np.roll(grid, 200)])
+    likely_indices = np.argmin(stages, axis=0)
+    level_codes = np.zeros(n, dtype=np.int8)
+    block = AlertBlock([f"d{i}" for i in range(n)],
+                       np.arange(n, dtype=np.int64),
+                       stages, likely_indices, level_codes, types)
+    for row in range(n):
+        alert = block.alert_at(row)
+        for type_index, failure_type in enumerate(types):
+            expected = rescue_estimate(float(stages[type_index, row]),
+                                       failure_type)
+            assert alert.estimates[failure_type] == expected
+
+
+# -- monitor parity: scalar vs columnar --------------------------------------
+
+@pytest.fixture(scope="module")
+def monitor_parts(mid_fleet, mid_report):
+    predictor = DegradationPredictor(seed=7)
+    predictor.evaluate_all(mid_report.dataset, mid_report.categorization)
+    normalizer = mid_fleet.dataset.fit_normalizer()
+    return predictor, normalizer, mid_fleet
+
+
+def _monitor_pair(monitor_parts, history_hours=24):
+    predictor, normalizer, _ = monitor_parts
+    scalar = DegradationMonitor(predictor, normalizer,
+                                history_hours=history_hours)
+    columnar = DegradationMonitor(
+        predictor, normalizer, history_hours=history_hours,
+        state=ColumnStateStore(history_hours))
+    return scalar, columnar
+
+
+def _assert_alerts_equal(actual, expected):
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert got.serial == want.serial
+        assert got.hour == want.hour
+        assert got.level is want.level
+        assert got.stage == want.stage          # bitwise, no tolerance
+        assert got.likely_type is want.likely_type
+        for failure_type in FailureType:
+            assert (got.estimates[failure_type]
+                    == want.estimates[failure_type])
+
+
+def _tick_samples(fleet):
+    """One duplicate-heavy, out-of-order tick of raw samples."""
+    dataset = fleet.dataset
+    failed = dataset.failed_profiles[0]
+    good = dataset.good_profiles[0]
+    samples = [
+        (failed.serial, int(failed.hours[-1]), failed.matrix[-1]),
+        (good.serial, int(good.hours[0]), good.matrix[0]),
+        # The same drives again inside the very same block, with hours
+        # running backwards relative to the rows above.
+        (failed.serial, int(failed.hours[0]), failed.matrix[0]),
+        (good.serial, int(good.hours[2]), good.matrix[2]),
+        (failed.serial, int(failed.hours[-2]), failed.matrix[-2]),
+    ]
+    return samples
+
+
+def test_empty_block_parity(monitor_parts):
+    scalar, columnar = _monitor_pair(monitor_parts)
+    for monitor in (scalar, columnar):
+        block = monitor.observe_columns([], [], np.empty((0, 4)))
+        assert len(block) == 0
+        assert block.alerts() == []
+        assert block.n_alerting == 0
+        assert monitor.n_tracked == 0
+
+
+def test_duplicate_and_out_of_order_tick_parity(monitor_parts):
+    predictor, normalizer, fleet = monitor_parts
+    samples = _tick_samples(fleet)
+    scalar, columnar = _monitor_pair(monitor_parts)
+
+    expected = [scalar.observe(serial, hour, record)
+                for serial, hour, record in samples]
+    block = columnar.observe_columns(
+        [s for s, _, _ in samples], [h for _, h, _ in samples],
+        np.vstack([np.asarray(r, dtype=np.float64).ravel()
+                   for _, _, r in samples]))
+    _assert_alerts_equal(block.alerts(), expected)
+
+    # Post-tick drive state agrees too: levels and ring contents.
+    assert columnar.state.serials() == scalar.state.serials()
+    for serial in scalar.state.serials():
+        assert columnar.level_of(serial) is scalar.level_of(serial)
+        assert np.array_equal(columnar.history_of(serial),
+                              scalar.history_of(serial))
+
+
+def test_reappearance_after_eviction_parity(monitor_parts):
+    predictor, normalizer, fleet = monitor_parts
+    profile = fleet.dataset.good_profiles[1]
+    scalar, columnar = _monitor_pair(monitor_parts)
+    stream = [(profile.serial, int(hour), row)
+              for hour, row in zip(profile.hours[:4], profile.matrix[:4])]
+
+    for monitor in (scalar, columnar):
+        monitor.observe_many(stream)
+        assert monitor.state.evict_idle(
+            before_hour=int(profile.hours[3]) + 1) == 1
+        assert monitor.n_tracked == 0
+
+    reappear = [(profile.serial, int(hour), row)
+                for hour, row in zip(profile.hours[4:6],
+                                     profile.matrix[4:6])]
+    expected = [scalar.observe(*sample) for sample in reappear]
+    actual = columnar.observe_block(
+        [s for s, _, _ in reappear], [h for _, h, _ in reappear],
+        np.vstack([np.asarray(r, dtype=np.float64).ravel()
+                   for _, _, r in reappear]))
+    _assert_alerts_equal(actual, expected)
+    assert np.array_equal(columnar.history_of(profile.serial),
+                          scalar.history_of(profile.serial))
+    assert columnar.state.drives_evicted == 1
+
+
+def test_block_shape_validation(monitor_parts):
+    _, columnar = _monitor_pair(monitor_parts)
+    with pytest.raises(ReproError, match="2-D"):
+        columnar.observe_block(["d"], [0], np.zeros(3))
+    with pytest.raises(ReproError, match="lengths disagree"):
+        columnar.observe_block(["d"], [0, 1], np.zeros((1, 4)))

@@ -71,6 +71,60 @@ def test_push_many_empty_is_noop(loaded_bundle):
     assert scorer.samples_scored == 0
 
 
+def test_score_block_matches_push_lazily(loaded_bundle, stream_profiles):
+    """The columnar surface: lazy block == per-sample push, byte for byte."""
+    samples = [
+        (profile.serial, int(hour), row)
+        for profile in stream_profiles
+        for hour, row in zip(profile.hours, profile.matrix)
+    ]
+    one_by_one = StreamScorer(loaded_bundle)
+    columnar = StreamScorer(loaded_bundle)
+    expected = [one_by_one.push(*sample).to_json_line()
+                for sample in samples]
+    block = columnar.score_block(
+        [s for s, _, _ in samples], [h for _, h, _ in samples],
+        np.vstack([np.asarray(r, dtype=np.float64).ravel()
+                   for _, _, r in samples]))
+    assert block.to_json_lines() == expected
+    assert len(block) == len(samples)
+    assert block.n_alerting == one_by_one.alerts_emitted
+    assert columnar.samples_scored == one_by_one.samples_scored
+    # Alerting rows materialize individually to the same verdicts.
+    for row in block.alerting_rows():
+        assert block.verdict_at(int(row)).to_json_line() == expected[row]
+    # Per-drive state agrees with the scalar path afterwards.
+    assert columnar.drives_tracked == one_by_one.drives_tracked
+    for profile in stream_profiles:
+        assert (columnar.level_of(profile.serial)
+                is one_by_one.level_of(profile.serial))
+
+
+def test_score_block_empty(loaded_bundle):
+    scorer = StreamScorer(loaded_bundle)
+    block = scorer.score_block(
+        [], [], np.empty((0, loaded_bundle.n_attributes)))
+    assert len(block) == 0
+    assert block.verdicts() == []
+    assert scorer.samples_scored == 0
+
+
+def test_scorer_evicts_idle_drives(loaded_bundle, stream_profiles):
+    observer = TelemetryObserver()
+    scorer = StreamScorer(loaded_bundle, observer=observer)
+    early, late = stream_profiles[0], stream_profiles[1]
+    scorer.push(early.serial, 10, early.matrix[0])
+    scorer.push(late.serial, 500, late.matrix[0])
+    assert scorer.evict_idle(before_hour=100) == 1
+    assert scorer.drives_tracked == 1
+    assert scorer.level_of(early.serial) is AlertLevel.HEALTHY
+    snapshot = observer.metrics.snapshot()
+    assert snapshot["drives_evicted"]["value"] == 1
+    assert snapshot["drives_tracked"]["value"] == 1
+    # Nothing idle: no counter movement, no error.
+    assert scorer.evict_idle(before_hour=100) == 0
+
+
 @pytest.mark.parametrize("n_jobs,backend", [(2, "process"), (2, "thread")])
 def test_parallel_replay_is_byte_identical(loaded_bundle, stream_profiles,
                                            n_jobs, backend):

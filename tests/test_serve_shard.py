@@ -87,6 +87,24 @@ def test_sharded_verdicts_byte_identical(bundle, columnar_samples, n_shards):
     assert got == expected
 
 
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_submit_block_byte_identical(bundle, columnar_samples, n_shards):
+    """The lazy block surface matches per-sample push at any shard count."""
+    serials, hours, matrix = columnar_samples
+    reference = StreamScorer(bundle)
+    expected = [reference.push(serial, hour, row).to_json_line()
+                for serial, hour, row in zip(serials, hours, matrix)]
+    with ShardSet(bundle, n_shards=n_shards) as shards:
+        block = shards.submit_block(serials, hours, matrix)
+        assert block.to_json_lines() == expected
+        assert block.serials == list(serials)
+        assert block.n_alerting == sum(
+            1 for line in expected if '"level":"HEALTHY"' not in line)
+        for row in block.alerting_rows():
+            assert (block.verdict_at(int(row)).to_json_line()
+                    == expected[row])
+
+
 def test_process_backend_byte_identical(bundle, columnar_samples):
     serials, hours, matrix = columnar_samples
     reference = StreamScorer(bundle)
