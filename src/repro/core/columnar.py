@@ -190,6 +190,126 @@ class ColumnStateStore:
             "drives": drives,
         }
 
+    def dump_state(self) -> dict:
+        """Full, JSON-clean state for crash recovery (exact round-trip).
+
+        Everything :meth:`restore` needs to rebuild an *operationally
+        identical* store: layout, the serial→row map, the free-list
+        order, eviction counter, and per live drive its retained
+        window (oldest-first), level code and last-seen hour.  Floats
+        go through ``tolist()`` → ``repr``, which round-trips float64
+        exactly — unlike the canonical JSON helpers, which round.
+
+        Ring slots beyond a drive's retained count are scratch (never
+        read), so the dump stores the *window*, not raw ring rows, and
+        the cursor is normalized on restore: dumps of a store and of
+        its restored twin are identical, as is every subsequent verdict
+        and state transition.
+        """
+        drives = {}
+        for serial in sorted(self._rows):
+            row = self._rows[serial]
+            assert (self._levels is not None and self._counts is not None
+                    and self._last_hours is not None)
+            drives[serial] = {
+                "row": row,
+                "level": int(self._levels[row]),
+                "last_hour": int(self._last_hours[row]),
+                "window": self.history_of(serial).tolist(),
+            }
+        return {
+            "schema": 1,
+            "kind": "columnar",
+            "history_hours": self._history_hours,
+            "initial_rows": self._initial_rows,
+            "n_attributes": self._n_attributes,
+            "capacity": self.capacity,
+            "drives_evicted": self._drives_evicted,
+            "free": list(self._free),
+            "drives": drives,
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Rebuild this store in place from a :meth:`dump_state` payload.
+
+        Discards all current state.  Restores the exact serial→row
+        mapping, free-list order and eviction counter, and rewrites
+        each drive's window at a normalized cursor position — the
+        restored store is indistinguishable from the dumped one through
+        every public method, including duplicate-serial
+        :meth:`record_block` behavior and future :meth:`evict_idle` /
+        row-recycling decisions.
+        """
+        try:
+            if payload.get("kind") != "columnar":
+                raise ReproError(
+                    f"cannot restore a ColumnStateStore from a "
+                    f"{payload.get('kind')!r} state dump")
+            if int(payload["history_hours"]) != self._history_hours:
+                raise ReproError(
+                    f"state dump retains {payload['history_hours']} hours, "
+                    f"store was built for {self._history_hours}")
+            capacity = int(payload["capacity"])
+            n_attributes = payload["n_attributes"]
+            free = [int(row) for row in payload["free"]]
+            drives = payload["drives"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(
+                f"malformed state dump for ColumnStateStore: {error}"
+            ) from error
+        self._initial_rows = int(payload.get("initial_rows",
+                                             self._initial_rows))
+        self._drives_evicted = int(payload.get("drives_evicted", 0))
+        self._rows = {}
+        self._free = free
+        self._n_attributes = None
+        self._rings = self._pos = self._counts = None
+        self._levels = self._last_hours = None
+        self._row_serials = []
+        if n_attributes is None:
+            return
+        self._n_attributes = int(n_attributes)
+        history = self._history_hours
+        self._rings = np.zeros((capacity, history, self._n_attributes),
+                               dtype=np.float64)
+        self._pos = np.zeros(capacity, dtype=np.int64)
+        self._counts = np.zeros(capacity, dtype=np.int64)
+        self._levels = np.zeros(capacity, dtype=np.int8)
+        self._last_hours = np.full(capacity, np.iinfo(np.int64).min,
+                                   dtype=np.int64)
+        self._row_serials = [None] * capacity
+        for serial, entry in drives.items():
+            row = int(entry["row"])
+            window = np.asarray(entry["window"], dtype=np.float64)
+            count = window.shape[0]
+            if not 0 <= row < capacity or count > history:
+                raise ReproError(
+                    f"state dump drive {serial!r} has row {row} / "
+                    f"window {count} outside the dumped layout")
+            self._rows[serial] = row
+            self._row_serials[row] = serial
+            if count:
+                self._rings[row, :count] = window
+            self._counts[row] = count
+            self._pos[row] = count % history
+            self._levels[row] = int(entry["level"])
+            self._last_hours[row] = int(entry["last_hour"])
+
+    @classmethod
+    def from_snapshot(cls, payload: dict, *,
+                      initial_rows: int = DEFAULT_INITIAL_ROWS,
+                      ) -> "ColumnStateStore":
+        """Build a fresh store from a :meth:`dump_state` payload."""
+        try:
+            history_hours = int(payload["history_hours"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(
+                f"malformed state dump for ColumnStateStore: {error}"
+            ) from error
+        store = cls(history_hours, initial_rows=initial_rows)
+        store.restore(payload)
+        return store
+
     # -- columnar surface -------------------------------------------------
 
     def record_block(self, serials: Sequence[str], normalized: np.ndarray,

@@ -185,6 +185,80 @@ class DriveStateStore:
             },
         }
 
+    def dump_state(self) -> dict:
+        """Full, JSON-clean state for crash recovery (exact round-trip).
+
+        The deque-backed twin of
+        :meth:`repro.core.columnar.ColumnStateStore.dump_state`: per
+        drive the retained window (oldest-first), level code and
+        last-seen hour, plus the eviction counter.  Floats round-trip
+        float64 exactly via ``tolist()``.
+        """
+        sentinel = -(2 ** 63)
+        return {
+            "schema": 1,
+            "kind": "deque",
+            "history_hours": self._history_hours,
+            "drives_evicted": self._drives_evicted,
+            "drives": {
+                serial: {
+                    "level": self._levels[serial].value,
+                    "last_hour": self._last_hours.get(serial, sentinel),
+                    "window": [record.tolist() for record in history],
+                }
+                for serial, history in sorted(self._history.items())
+            },
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Rebuild this store in place from a :meth:`dump_state` payload.
+
+        Discards all current state; the restored store behaves
+        identically to the dumped one through every public method.
+        """
+        try:
+            if payload.get("kind") != "deque":
+                raise ReproError(
+                    f"cannot restore a DriveStateStore from a "
+                    f"{payload.get('kind')!r} state dump")
+            if int(payload["history_hours"]) != self._history_hours:
+                raise ReproError(
+                    f"state dump retains {payload['history_hours']} hours, "
+                    f"store was built for {self._history_hours}")
+            drives = payload["drives"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(
+                f"malformed state dump for DriveStateStore: {error}"
+            ) from error
+        sentinel = -(2 ** 63)
+        self._history = {}
+        self._levels = {}
+        self._last_hours = {}
+        self._drives_evicted = int(payload.get("drives_evicted", 0))
+        for serial, entry in drives.items():
+            window = deque(
+                (np.asarray(record, dtype=np.float64)
+                 for record in entry["window"]),
+                maxlen=self._history_hours)
+            self._history[serial] = window
+            self._levels[serial] = AlertLevel(int(entry["level"]))
+            last_hour = int(entry["last_hour"])
+            if last_hour != sentinel:
+                self._last_hours[serial] = last_hour
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "DriveStateStore":
+        """Build a fresh store from a :meth:`dump_state` payload."""
+        try:
+            history_hours = int(payload["history_hours"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(
+                f"malformed state dump for DriveStateStore: {error}"
+            ) from error
+        store = cls(history_hours)
+        store.restore(payload)
+        return store
+
 
 class DegradationMonitor:
     """Streaming degradation scorer over trained group predictors.

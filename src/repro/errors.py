@@ -92,7 +92,57 @@ class BundleError(ServeError):
 
 
 class SinkError(ServeError):
-    """An alert sink is misconfigured or failed to deliver an alert."""
+    """An alert sink is misconfigured or failed to deliver an alert.
+
+    Attributes
+    ----------
+    retry_after_s:
+        Optional server-supplied wait hint (seconds) before the
+        delivery should be retried — set by the webhook sink when the
+        endpoint answered 429/503 with a ``Retry-After`` header.  The
+        delivery pipeline prefers it over its own exponential backoff.
+    """
+
+    def __init__(self, message: str, *,
+                 retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class WalError(ServeError):
+    """A write-ahead log directory is unusable or holds corrupt records.
+
+    Raised on non-tail corruption (a damaged record *followed by* valid
+    data — torn tails are silently truncated instead), on segment
+    files that cannot be read or written, and on recovery against a
+    WAL produced by a different model bundle.
+    """
+
+
+class ShardRecoveringError(ServeError):
+    """A batch targeted a shard that is being respawned after a crash.
+
+    The serving daemon maps this to HTTP 503 with a ``Retry-After``
+    header.  Like backpressure, admission is all-or-nothing: no sample
+    of the rejected batch was enqueued, so the caller can retry the
+    whole batch once the shard has replayed its snapshot + WAL suffix.
+
+    Attributes
+    ----------
+    shard:
+        Index of the recovering shard.
+    retry_after_s:
+        Suggested wait before retrying, in seconds.
+    """
+
+    def __init__(self, shard: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"shard {shard} is recovering from a crash "
+            f"(snapshot + WAL replay in progress); retry in "
+            f"{retry_after_s:g}s"
+        )
+        self.shard = shard
+        self.retry_after_s = retry_after_s
 
 
 class BackpressureError(ServeError):

@@ -14,8 +14,20 @@ not one-off fuzzing.  The corrupted output goes through
 :func:`repro.data.sanitize.sanitize_profiles`, which quarantines what
 cannot be repaired and yields a clean dataset plus a data-quality
 report.
+
+:mod:`repro.faults.chaos_serve` extends chaos to the *serving* plane:
+seeded shard-kill drills (:func:`kill_plan`, :func:`run_chaos_stream`)
+that verify WAL crash recovery reproduces the uninterrupted verdict
+stream byte for byte, and :class:`BlackholeSink` for dead-letter
+delivery drills.
 """
 
+from repro.faults.chaos_serve import (
+    BlackholeSink,
+    kill_plan,
+    run_chaos_stream,
+    verdict_lines,
+)
 from repro.faults.config import SPEC_KEYS, ChaosConfig, parse_chaos_spec
 from repro.faults.injectors import (
     FAULT_ORDER,
@@ -27,6 +39,7 @@ from repro.faults.injectors import (
 )
 
 __all__ = [
+    "BlackholeSink",
     "SPEC_KEYS",
     "ChaosConfig",
     "parse_chaos_spec",
@@ -36,4 +49,7 @@ __all__ = [
     "corrupt_cache_entries",
     "corrupt_cache_entry",
     "inject_dataset",
+    "kill_plan",
+    "run_chaos_stream",
+    "verdict_lines",
 ]

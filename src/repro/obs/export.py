@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ObservabilityError
+from repro.ioutil import atomic_write_text
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
@@ -166,12 +167,9 @@ def write_snapshot(registry: MetricsRegistry, path: str | Path, *,
     if tracer is not None:
         payload["trace"] = tracer.to_dict()
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    temp = path.with_name(path.name + ".tmp")
     try:
-        temp.write_text(text)
-        temp.replace(path)
+        atomic_write_text(path, text)
     except OSError as error:
-        temp.unlink(missing_ok=True)
         raise ObservabilityError(
             f"cannot write telemetry snapshot to {path}: {error}"
         ) from error

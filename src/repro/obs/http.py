@@ -44,6 +44,7 @@ from typing import Any, Callable, Mapping
 from urllib.parse import parse_qsl
 
 from repro.errors import ObservabilityError
+from repro.ioutil import atomic_write_text
 from repro.obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
@@ -78,11 +79,11 @@ class ServerHandle:
         """Write the bound port (one line, newline-terminated) to ``path``.
 
         Returns the path written.  Orchestration scripts poll this file
-        to learn the ephemeral port of a service they just launched.
+        to learn the ephemeral port of a service they just launched —
+        the write is atomic (temp file + rename), so a poller can never
+        observe a half-written port.
         """
-        target = Path(path)
-        target.write_text(f"{self.port}\n", encoding="utf-8")
-        return target
+        return atomic_write_text(Path(path), f"{self.port}\n", fsync=False)
 
 
 @dataclass(frozen=True, slots=True)

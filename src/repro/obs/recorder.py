@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from repro.errors import ObservabilityError
+from repro.ioutil import atomic_write_text
 
 #: Default ring size; at one event per alert this covers the recent
 #: history an incident review actually reads.
@@ -150,12 +151,9 @@ class FlightRecorder:
         path = Path(path)
         lines = [json.dumps(event, sort_keys=True)
                  for event in self.to_dicts()]
-        temp = path.with_name(path.name + ".tmp")
         try:
-            temp.write_text("\n".join(lines) + ("\n" if lines else ""))
-            temp.replace(path)
+            atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
         except OSError as error:
-            temp.unlink(missing_ok=True)
             raise ObservabilityError(
                 f"cannot dump flight recorder to {path}: {error}"
             ) from error

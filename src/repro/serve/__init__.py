@@ -12,8 +12,13 @@ recent alerts; :class:`ServingDaemon` (:mod:`repro.serve.daemon`) is
 the fleet-scale always-on form — per-drive state sharded by consistent
 hash across workers (:mod:`repro.serve.shard`), HTTP ingestion with
 explicit backpressure, and pluggable alert sinks
-(:mod:`repro.serve.sinks`).  The ``repro-serve`` CLI
-(:mod:`repro.serve.cli`) fronts all of it from the shell.
+(:mod:`repro.serve.sinks`).  Crash safety is layered in by
+:mod:`repro.serve.wal` (per-shard write-ahead logs with
+snapshot-bounded replay), a supervisor inside :class:`ShardSet` that
+respawns dead workers back to byte-identical state, and
+:class:`DeliveryPipeline` retry/dead-letter delivery for alerts.  The
+``repro-serve`` CLI (:mod:`repro.serve.cli`) fronts all of it from the
+shell, including offline ``recover`` tooling.
 """
 
 from repro.serve.bundle import (
@@ -31,20 +36,29 @@ from repro.serve.scorer import (
     StreamScorer,
     replay_fleet,
 )
-from repro.serve.shard import HashRing, ShardSet
+from repro.serve.shard import HashRing, ShardSet, WalSettings
 from repro.serve.sinks import (
     AlertSink,
     CallbackAlertSink,
+    DeadLetterWriter,
+    DeliveryPipeline,
+    DeliveryPolicy,
     JsonlAlertSink,
     WebhookAlertSink,
     parse_sink_spec,
+    read_dead_letter,
+    reprocess_dead_letter,
 )
+from repro.serve.wal import ShardWal, WalRecord, WalRecovery
 from repro.serve.watch import WatchService
 
 __all__ = [
     "AlertSink",
     "BUNDLE_SCHEMA_VERSION",
     "CallbackAlertSink",
+    "DeadLetterWriter",
+    "DeliveryPipeline",
+    "DeliveryPolicy",
     "GroupArtifact",
     "HashRing",
     "JsonlAlertSink",
@@ -52,13 +66,19 @@ __all__ = [
     "MonitorVerdict",
     "ServingDaemon",
     "ShardSet",
+    "ShardWal",
     "StreamScorer",
+    "WalRecord",
+    "WalRecovery",
+    "WalSettings",
     "WatchService",
     "WebhookAlertSink",
     "build_bundle",
     "content_hash",
     "load_bundle",
     "parse_sink_spec",
+    "read_dead_letter",
     "replay_fleet",
+    "reprocess_dead_letter",
     "save_bundle",
 ]

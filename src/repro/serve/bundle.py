@@ -58,6 +58,7 @@ from repro.core.signature_models import (
 from repro.core.taxonomy import FailureType
 from repro.core.pipeline import CharacterizationReport
 from repro.errors import BundleError, ModelError, ServeError
+from repro.ioutil import atomic_write_text
 from repro.ml.tree import RegressionTree
 from repro.obs.observer import PipelineObserver, resolve_observer
 from repro.smart.normalization import MinMaxNormalizer
@@ -348,9 +349,9 @@ def save_bundle(bundle: ModelBundle, path: str | Path, *,
                 observer: PipelineObserver | None = None) -> Path:
     """Write ``bundle`` to ``path`` as one hashed, versioned JSON file.
 
-    The write goes through a same-directory temp file and an atomic
-    rename, so a crash mid-save can never leave a half-written artifact
-    under the final name.
+    The write goes through a same-directory temp file, an fsync and an
+    atomic rename, so a crash mid-save — even power loss — can never
+    leave a half-written artifact under the final name.
     """
     obs = resolve_observer(observer)
     path = Path(path)
@@ -358,12 +359,9 @@ def save_bundle(bundle: ModelBundle, path: str | Path, *,
         payload = bundle.to_payload()
         payload[_HASH_KEY] = content_hash(payload)
         text = _bundle_json_dumps(payload)
-        temp = path.with_name(path.name + ".tmp")
         try:
-            temp.write_text(text)
-            temp.replace(path)
+            atomic_write_text(path, text)
         except OSError as error:
-            temp.unlink(missing_ok=True)
             raise BundleError(
                 f"cannot write bundle to {path}: {error}") from error
     obs.count("bundles_saved")

@@ -18,6 +18,10 @@ consumes the published artifact:
   shards with bounded queues and explicit 429 backpressure, and alerts
   fan out to ``--alert-sink`` destinations; SIGTERM drains gracefully
   (see :mod:`repro.serve.daemon` and ``docs/operations.md``);
+* ``recover`` — offline crash-recovery tooling: replay a daemon's
+  per-shard WAL directories (``--wal-dir``) the way a respawned worker
+  would and print the recovered counters, and/or re-deliver a
+  dead-letter file (``--dead-letter``) through fresh sinks;
 * ``bench`` — measure bundle load latency and scoring throughput on a
   synthetic stream, printing a JSON summary.
 
@@ -28,7 +32,10 @@ Examples::
    repro-serve replay --bundle fleet.bundle.json --simulate 500 --jobs 4
    repro-serve watch --bundle fleet.bundle.json --port 9100 < stream.csv
    repro-serve daemon --bundle fleet.bundle.json --shards 4 --port 9200 \\
+       --wal-dir /var/lib/repro/wal --dead-letter dead-letters.jsonl \\
        --alert-sink jsonl:alerts.jsonl
+   repro-serve recover --bundle fleet.bundle.json \\
+       --wal-dir /var/lib/repro/wal
    repro-serve bench --bundle fleet.bundle.json --rounds 5
 """
 
@@ -57,11 +64,13 @@ from repro.obs.observer import (
     TelemetryObserver,
 )
 from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
-from repro.serve.bundle import load_bundle
+from repro.serve.bundle import content_hash, load_bundle
 from repro.serve.daemon import ServingDaemon
 from repro.serve.scorer import MonitorVerdict, StreamScorer, replay_fleet
-from repro.serve.shard import DEFAULT_QUEUE_CAPACITY
-from repro.serve.sinks import parse_sink_spec
+from repro.serve.shard import (DEFAULT_QUEUE_CAPACITY,
+                               DEFAULT_SNAPSHOT_INTERVAL_BLOCKS)
+from repro.serve.sinks import parse_sink_spec, reprocess_dead_letter
+from repro.serve.wal import ShardWal, decode_block
 from repro.serve.watch import WatchService
 from repro.sim.config import FleetConfig
 from repro.sim.fleet import simulate_fleet
@@ -81,8 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--bundle", required=True, metavar="PATH",
+    def add_common(sub: argparse.ArgumentParser, *,
+                   require_bundle: bool = True) -> None:
+        sub.add_argument("--bundle", required=require_bundle, metavar="PATH",
                          help="model bundle written by "
                               "'repro-characterize --export-model'")
         telemetry = sub.add_argument_group("telemetry")
@@ -205,6 +215,37 @@ def build_parser() -> argparse.ArgumentParser:
     daemon.add_argument("--final-snapshot", metavar="PATH", default=None,
                         help="write per-shard state snapshots here at "
                              "shutdown (atomic)")
+    daemon.add_argument("--wal-dir", metavar="DIR", default=None,
+                        help="per-shard write-ahead logs under this "
+                             "directory: crashed shards replay back to "
+                             "byte-identical state (default: no WAL)")
+    daemon.add_argument("--snapshot-interval-blocks", type=int,
+                        default=DEFAULT_SNAPSHOT_INTERVAL_BLOCKS,
+                        metavar="N",
+                        help="blocks scored between WAL state checkpoints "
+                             f"(default {DEFAULT_SNAPSHOT_INTERVAL_BLOCKS})")
+    daemon.add_argument("--no-wal", action="store_true",
+                        help="serve without a WAL even if --wal-dir is set "
+                             "(restores the pre-crash-safety fast path)")
+    daemon.add_argument("--dead-letter", metavar="PATH", default=None,
+                        help="park undeliverable alerts in this JSONL file "
+                             "(reprocess with 'repro-serve recover')")
+
+    recover = commands.add_parser(
+        "recover", help="inspect/replay WAL directories offline and "
+                        "re-deliver dead-letter alerts")
+    add_common(recover, require_bundle=False)
+    recover.add_argument("--wal-dir", metavar="DIR", default=None,
+                         help="daemon WAL root (shard-*/ subdirectories); "
+                              "replays each shard offline and prints a "
+                              "recovery summary (needs --bundle)")
+    recover.add_argument("--dead-letter", metavar="PATH", default=None,
+                         help="dead-letter JSONL to re-deliver; the file "
+                              "is rewritten to hold only what still fails")
+    recover.add_argument("--alert-sink", action="append", default=[],
+                         metavar="SPEC",
+                         help="destination(s) for --dead-letter redelivery, "
+                              "same grammar as the daemon flag")
 
     bench = commands.add_parser(
         "bench", help="measure bundle load latency and scoring throughput")
@@ -392,6 +433,9 @@ def run_daemon(args: argparse.Namespace,
         host=args.host, port=args.port,
         retry_after_s=args.retry_after,
         final_snapshot=args.final_snapshot,
+        wal_dir=None if args.no_wal else args.wal_dir,
+        snapshot_interval_blocks=args.snapshot_interval_blocks,
+        dead_letter=args.dead_letter,
     )
     if threading.current_thread() is threading.main_thread():
         for signum in (signal.SIGTERM, signal.SIGINT):
@@ -407,6 +451,79 @@ def run_daemon(args: argparse.Namespace,
     daemon.serve_forever()
     print(f"daemon drained: {daemon.samples_accepted} samples accepted, "
           f"{daemon.alerts_emitted} alerts emitted", file=sys.stderr)
+    return 0
+
+
+def run_recover(args: argparse.Namespace,
+                observer: PipelineObserver) -> int:
+    """``recover``: offline WAL replay and dead-letter redelivery.
+
+    With ``--wal-dir``, every ``shard-*`` subdirectory is replayed
+    through a fresh scorer exactly the way a respawned shard worker
+    would (last snapshot, then the WAL suffix) and the resulting
+    counters are printed as a JSON summary — the kill -9 drill's
+    verification step, and a way to audit what state a restarted
+    daemon will resume with.  With ``--dead-letter``, the parked
+    alerts are re-delivered through each ``--alert-sink`` and the file
+    is rewritten to hold only what still fails.
+    """
+    if args.wal_dir is None and args.dead_letter is None:
+        raise ServeError(
+            "recover needs --wal-dir and/or --dead-letter; nothing to do")
+    summary: dict[str, object] = {}
+    if args.wal_dir is not None:
+        if not args.bundle:
+            raise ServeError(
+                "--wal-dir replay needs --bundle (the WAL refuses to "
+                "replay through a different model)")
+        bundle = load_bundle(args.bundle, observer=observer)
+        bundle_sha = content_hash(bundle.to_payload())
+        root = Path(args.wal_dir)
+        shard_dirs = sorted(root.glob("shard-*"))
+        if not shard_dirs:
+            raise ServeError(
+                f"no shard-* WAL directories under {root}")
+        shards = []
+        for shard_dir in shard_dirs:
+            scorer = StreamScorer(bundle, observer=observer)
+            with ShardWal(shard_dir, bundle_sha256=bundle_sha) as wal:
+                recovery = wal.open()
+                if recovery.snapshot is not None:
+                    scorer.restore_state(recovery.snapshot)
+                for record in recovery.records:
+                    _block_id, serials, hours, matrix = decode_block(
+                        record.payload)
+                    scorer.score_block(serials, hours, matrix)
+                shards.append({
+                    "directory": str(shard_dir),
+                    "snapshot_seq": recovery.snapshot_seq,
+                    "replayed_blocks": recovery.replayed_blocks,
+                    "last_seq": wal.last_seq,
+                    "samples_scored": scorer.samples_scored,
+                    "alerts_emitted": scorer.alerts_emitted,
+                    "drives_tracked": scorer.drives_tracked,
+                })
+        summary["wal"] = {"dir": str(root), "shards": shards}
+    if args.dead_letter is not None:
+        if not args.alert_sink:
+            raise ServeError(
+                "--dead-letter redelivery needs at least one --alert-sink")
+        delivered = 0
+        remaining = 0
+        for spec in args.alert_sink:
+            sink = parse_sink_spec(spec)
+            try:
+                sent, remaining = reprocess_dead_letter(args.dead_letter,
+                                                        sink)
+                delivered += sent
+            finally:
+                sink.close()
+        summary["dead_letter"] = {
+            "path": str(args.dead_letter),
+            "delivered": delivered,
+            "remaining": remaining,
+        }
+    print(canonical_json_dumps(summary), end="")
     return 0
 
 
@@ -531,7 +648,7 @@ def run(args: argparse.Namespace) -> int:
 
     handlers = {"score": run_score, "replay": run_replay,
                 "watch": run_watch, "daemon": run_daemon,
-                "bench": run_bench}
+                "bench": run_bench, "recover": run_recover}
     status = handlers[args.command](args, observer)
 
     if args.trace:

@@ -33,7 +33,6 @@ wires SIGTERM/SIGINT to the same path.
 from __future__ import annotations
 
 import json
-import os
 import threading
 from pathlib import Path
 from typing import Any, Iterable, Sequence
@@ -41,15 +40,19 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.core.serialize import canonical_json_dumps
-from repro.errors import BackpressureError, ServeError, SinkError
+from repro.errors import (BackpressureError, ServeError,
+                          ShardRecoveringError)
+from repro.ioutil import atomic_write_text
 from repro.obs.http import HttpReply, TelemetryHTTPServer, ServerHandle
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import PipelineObserver, TelemetryObserver
 from repro.obs.recorder import FlightRecorder
 from repro.serve.bundle import BUNDLE_SCHEMA_VERSION, ModelBundle, content_hash
 from repro.serve.scorer import MonitorVerdict, VerdictBlock
-from repro.serve.shard import DEFAULT_QUEUE_CAPACITY, ShardSet
-from repro.serve.sinks import AlertSink
+from repro.serve.shard import (DEFAULT_QUEUE_CAPACITY,
+                               DEFAULT_SNAPSHOT_INTERVAL_BLOCKS, ShardSet)
+from repro.serve.sinks import (AlertSink, DeadLetterWriter, DeliveryPipeline,
+                               DeliveryPolicy)
 
 #: Recorder events shown inline in the ``/status`` payload.
 DEFAULT_STATUS_TAIL = 20
@@ -152,7 +155,20 @@ class ServingDaemon:
     final_snapshot:
         Optional path; on shutdown the daemon writes a JSON document
         with per-shard state snapshots and totals there (atomically —
-        temp file then ``os.replace``).
+        fsync, then ``os.replace``).
+    wal_dir:
+        Root directory for per-shard write-ahead logs; enables crash
+        recovery (see :mod:`repro.serve.wal` and
+        ``docs/robustness.md``).  ``None`` (the default) serves without
+        a WAL — the pre-crash-safety behavior.
+    snapshot_interval_blocks:
+        Blocks a shard scores between WAL state checkpoints.
+    dead_letter:
+        JSONL path collecting alerts that exhausted sink delivery; the
+        daemon never drops an alert silently when this is set.
+    delivery_policy:
+        Retry/backoff/circuit-breaker tuning for alert delivery
+        (defaults to :class:`~repro.serve.sinks.DeliveryPolicy`).
     """
 
     def __init__(self, bundle: ModelBundle, *, n_shards: int = 1,
@@ -165,7 +181,12 @@ class ServingDaemon:
                  status_tail: int = DEFAULT_STATUS_TAIL,
                  throttle_s: float = 0.0,
                  retry_after_s: float = DEFAULT_RETRY_AFTER_S,
-                 final_snapshot: str | Path | None = None) -> None:
+                 final_snapshot: str | Path | None = None,
+                 wal_dir: str | Path | None = None,
+                 snapshot_interval_blocks: int =
+                 DEFAULT_SNAPSHOT_INTERVAL_BLOCKS,
+                 dead_letter: str | Path | None = None,
+                 delivery_policy: DeliveryPolicy | None = None) -> None:
         self._observer = (observer if observer is not None
                           else TelemetryObserver())
         registry = getattr(self._observer, "metrics", None)
@@ -184,10 +205,21 @@ class ServingDaemon:
         self._retry_after_s = float(retry_after_s)
         self._final_snapshot = (Path(final_snapshot)
                                 if final_snapshot is not None else None)
+        self._dead_letter = (DeadLetterWriter(dead_letter)
+                             if dead_letter is not None else None)
+        self._pipelines = [
+            DeliveryPipeline(sink, policy=delivery_policy,
+                             dead_letter=self._dead_letter,
+                             observer=self._observer,
+                             recorder=self.recorder)
+            for sink in self._sinks
+        ]
         self._shards = ShardSet(
             bundle, n_shards=n_shards, backend=backend,
             queue_capacity=queue_capacity, observer=self._observer,
             throttle_s=throttle_s, retry_after_s=retry_after_s,
+            wal_dir=wal_dir,
+            snapshot_interval_blocks=snapshot_interval_blocks,
         )
         self._lock = threading.Lock()
         self._samples_accepted = 0
@@ -221,19 +253,29 @@ class ServingDaemon:
         return self.ingest_block(serials, hours, matrix).verdicts()
 
     def ingest_block(self, serials: Sequence[str], hours: Sequence[int],
-                     matrix: Iterable[Iterable[float]]) -> VerdictBlock:
+                     matrix: Iterable[Iterable[float]],
+                     block_id: str | None = None) -> VerdictBlock:
         """Score one columnar batch through the shard plane.
 
         The daemon's hot path: the batch stays struct-of-arrays from
         HTTP parse to shard scoring to reply accounting.  Raises
         :class:`~repro.errors.BackpressureError` when a target shard is
-        saturated (nothing enqueued) and :class:`~repro.errors.ServeError`
-        on malformed batches.  Only the (rare) alerting rows are
-        materialized — each fans out to the flight recorder and the
-        configured sinks before this returns.
+        saturated (nothing enqueued),
+        :class:`~repro.errors.ShardRecoveringError` when one is
+        replaying after a crash (also nothing enqueued), and
+        :class:`~repro.errors.ServeError` on malformed batches.  Only
+        the (rare) alerting rows are materialized — each fans out to
+        the flight recorder and the configured sinks before this
+        returns.
+
+        ``block_id`` names the batch for exactly-once crash-safe
+        retries (see :meth:`ShardSet.submit_block
+        <repro.serve.shard.ShardSet.submit_block>`); HTTP clients pass
+        it as ``?batch=``.
         """
         columns = np.asarray(matrix, dtype=np.float64)
-        block = self._shards.submit_block(serials, hours, columns)
+        block = self._shards.submit_block(serials, hours, columns,
+                                          block_id=block_id)
         with self._lock:
             self._samples_accepted += len(block)
             self._alerts_emitted += block.n_alerting
@@ -256,15 +298,14 @@ class ServingDaemon:
                                labels={"outcome": outcome}).inc()
 
     def _emit_to_sinks(self, verdict: MonitorVerdict) -> None:
-        """Deliver one alert to every sink; failures are counted, not raised."""
-        for sink in self._sinks:
-            try:
-                sink.emit(verdict)
-                self._observer.count("alert_sink_emits")
-            except SinkError as error:
-                self._observer.count("alert_sink_errors")
-                self.recorder.record(
-                    "sink-error", str(error), sink=sink.describe())
+        """Hand one alert to every delivery pipeline (never blocks).
+
+        Each pipeline retries, breaks the circuit, and dead-letters
+        independently (see :class:`~repro.serve.sinks.DeliveryPipeline`);
+        scoring never waits on a slow or failing sink.
+        """
+        for pipeline in self._pipelines:
+            pipeline.submit(verdict)
 
     def _handle_ingest(self, body: bytes, query: dict[str, str]) -> HttpReply:
         """``POST /ingest``: decode, admit, score, reply.
@@ -289,11 +330,20 @@ class ServingDaemon:
             self._count_ingest("ok")
             return HttpReply.json(200, {"accepted": 0, "alerts": 0})
         try:
-            block = self.ingest_block(serials, hours, rows)
+            block = self.ingest_block(serials, hours, rows,
+                                      block_id=query.get("batch"))
         except BackpressureError as error:
             self._count_ingest("backpressure")
             return HttpReply.json(
                 429,
+                {"error": str(error), "shard": error.shard,
+                 "retry_after_s": error.retry_after_s},
+                headers=(("Retry-After", f"{error.retry_after_s:g}"),),
+            )
+        except ShardRecoveringError as error:
+            self._count_ingest("recovering")
+            return HttpReply.json(
+                503,
                 {"error": str(error), "shard": error.shard,
                  "retry_after_s": error.retry_after_s},
                 headers=(("Retry-After", f"{error.retry_after_s:g}"),),
@@ -322,11 +372,26 @@ class ServingDaemon:
     # -- payloads ---------------------------------------------------------
 
     def health_payload(self) -> dict[str, Any]:
-        """The ``/health`` body: liveness plus serving-model identity."""
+        """The ``/health`` body: liveness plus serving-model identity.
+
+        ``status`` is ``ok`` (HTTP 200), ``degraded`` (503 — at least
+        one shard is replaying after a crash; other shards' drives
+        still ingest), or ``draining`` (503 — shutdown in progress).
+        The per-shard breakdown tells an operator *which* shard.
+        """
+        shard_status = self._shards.shard_status()
+        if self._stop_requested.is_set():
+            status = "draining"
+        elif all(state == "serving" for state in shard_status):
+            status = "ok"
+        else:
+            status = "degraded"
         return {
-            "status": "draining" if self._stop_requested.is_set() else "ok",
+            "status": status,
             "bundle_sha256": self._bundle_sha256,
             "schema_version": BUNDLE_SCHEMA_VERSION,
+            "shards": shard_status,
+            "wal": self._shards.wal_enabled,
         }
 
     def status_payload(self) -> dict[str, Any]:
@@ -345,6 +410,15 @@ class ServingDaemon:
             "alert_rate": (alerts / samples) if samples else 0.0,
             "sinks": [sink.describe() for sink in self._sinks],
             "draining": self._stop_requested.is_set(),
+            "shard_status": self._shards.shard_status(),
+            "shard_restarts": self._shards.shard_restarts(),
+            "wal": {
+                "enabled": self._shards.wal_enabled,
+                "dir": (str(self._shards.wal_dir)
+                        if self._shards.wal_dir is not None else None),
+            },
+            "dead_letter": (str(self._dead_letter.path)
+                            if self._dead_letter is not None else None),
             "flight_recorder": {
                 "total_recorded": self.recorder.total_recorded,
                 "dropped": self.recorder.dropped,
@@ -432,12 +506,10 @@ class ServingDaemon:
         self._snapshots = self._shards.stop()
         if self._final_snapshot is not None:
             self._write_final_snapshot(self._final_snapshot)
-        for sink in self._sinks:
-            try:
-                sink.close()
-            except SinkError as error:
-                self.recorder.record(
-                    "sink-error", str(error), sink=sink.describe())
+        for pipeline in self._pipelines:
+            pipeline.close()
+        if self._dead_letter is not None:
+            self._dead_letter.close()
         self.recorder.record(
             "lifecycle", "serving daemon stopped",
             samples_accepted=self._samples_accepted,
@@ -446,7 +518,13 @@ class ServingDaemon:
         return list(self._snapshots)
 
     def _write_final_snapshot(self, path: Path) -> None:
-        """Atomically write the shutdown snapshot document."""
+        """Atomically write the shutdown snapshot document.
+
+        Goes through :func:`repro.ioutil.atomic_write_text` — fsync
+        before ``os.replace`` — so a crash during shutdown can neither
+        tear the file nor leave an empty rename visible after power
+        loss.
+        """
         document = {
             "bundle_sha256": self._bundle_sha256,
             "schema_version": BUNDLE_SCHEMA_VERSION,
@@ -457,10 +535,7 @@ class ServingDaemon:
             "shards": self._snapshots,
         }
         path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_name(path.name + ".tmp")
-        temporary.write_text(canonical_json_dumps(document) + "\n",
-                             encoding="utf-8")
-        os.replace(temporary, path)
+        atomic_write_text(path, canonical_json_dumps(document) + "\n")
 
     def __enter__(self) -> "ServingDaemon":
         return self.start()

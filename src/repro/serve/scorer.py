@@ -91,6 +91,37 @@ class MonitorVerdict:
                        for t, e in alert.estimates.items()},
         )
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "MonitorVerdict":
+        """Rebuild a verdict from a :meth:`to_dict`-shaped mapping.
+
+        The dead-letter reprocessing path: canonical JSON serializes
+        non-finite floats as ``null``, so ``None`` maps back to ``inf``
+        for the remaining-hours fields (healthy clocks) and ``nan`` for
+        a stage.  Round-tripping a canonical line re-serializes to the
+        identical bytes (the canonical float rounding is idempotent).
+        """
+        def _hours(value: Any) -> float:
+            return float("inf") if value is None else float(value)
+
+        try:
+            return cls(
+                serial=str(payload["serial"]),
+                hour=int(payload["hour"]),
+                level=str(payload["level"]),
+                stage=(float("nan") if payload["stage"] is None
+                       else float(payload["stage"])),
+                likely_type=str(payload["likely_type"]),
+                hours_remaining=_hours(payload["hours_remaining"]),
+                stages={str(key): float(value)
+                        for key, value in payload["stages"].items()},
+                remaining={str(key): _hours(value)
+                           for key, value in payload["remaining"].items()},
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise ServeError(
+                f"malformed verdict document: {error}") from error
+
     @property
     def alerting(self) -> bool:
         """Whether the verdict sits above HEALTHY."""
@@ -367,6 +398,42 @@ class StreamScorer:
     def drives_tracked(self) -> int:
         """Drives with live ring-buffer state."""
         return self._monitor.n_tracked
+
+    def dump_state(self) -> dict[str, Any]:
+        """Everything crash recovery needs to resume this scorer.
+
+        The scorer's counters plus the state store's full
+        ``dump_state()`` payload (exact float64 round-trip).  Feeding
+        the dump to :meth:`restore_state` on a scorer built from the
+        same bundle yields byte-identical future verdicts, counters and
+        state snapshots — the WAL layer checkpoints exactly this
+        document.
+        """
+        return {
+            "schema": 1,
+            "samples_scored": self._samples_scored,
+            "alerts_emitted": self._alerts_emitted,
+            "state": self._state.dump_state(),
+        }
+
+    def restore_state(self, payload: dict[str, Any]) -> None:
+        """Rebuild counters and per-drive state from :meth:`dump_state`.
+
+        Restores in place (the monitor keeps its reference to the same
+        state store), so a recovering shard worker constructs its
+        scorer normally and then applies the last snapshot before
+        replaying the WAL suffix.
+        """
+        try:
+            samples_scored = int(payload["samples_scored"])
+            alerts_emitted = int(payload["alerts_emitted"])
+            state = payload["state"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServeError(
+                f"malformed scorer state dump: {error}") from error
+        self._state.restore(state)
+        self._samples_scored = samples_scored
+        self._alerts_emitted = alerts_emitted
 
     def level_of(self, serial: str) -> AlertLevel:
         """Last severity level of a drive (HEALTHY if never seen)."""

@@ -21,29 +21,53 @@ rejected with :class:`~repro.errors.BackpressureError` *before any
 sample of it is enqueued* — a rejected batch is never half-scored, so
 retries cannot double-count a drive-hour.
 
+Crash safety is opt-in via ``wal_dir``: each worker then appends every
+admitted block to its own :class:`~repro.serve.wal.ShardWal` *before*
+scoring and checkpoints its scorer state every
+``snapshot_interval_blocks``.  A built-in supervisor thread watches the
+workers; when one dies (process SIGKILL, thread crash, or a heartbeat
+timeout on the process backend) it fails that shard's in-flight
+batches with :class:`~repro.errors.ShardRecoveringError`, respawns the
+worker, and the replacement replays snapshot + WAL suffix back to
+byte-identical state.  Replayed (and recently scored) blocks are
+remembered by their caller-supplied ``block_id``, so a client retrying
+a batch that died in the ack gap — appended to the WAL but never
+answered — gets the cached verdicts instead of double-scoring.
+
 Workers run with the null observer; the parent re-accounts
 ``samples_scored`` / ``alerts_emitted`` / ``verdict_stage`` /
-``drives_tracked`` from the verdicts that come back, so telemetry
-totals match the unsharded path exactly.
+``drives_tracked`` from the verdicts that come back (plus the recovery
+counters ``wal_appends`` / ``wal_replayed_blocks`` /
+``shard_restarts``), so telemetry totals match the unsharded path
+exactly.
 """
 
 from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import multiprocessing.connection
+import os
 import queue
+import signal
 import threading
 import time
 from bisect import bisect_right
-from typing import Any, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import BackpressureError, ServeError
+from repro.errors import (BackpressureError, ServeError,
+                          ShardRecoveringError, WalError)
 from repro.obs.observer import NULL_OBSERVER, PipelineObserver, resolve_observer
 from repro.parallel import validate_backend
-from repro.serve.bundle import ModelBundle
+from repro.serve.bundle import ModelBundle, content_hash
 from repro.serve.scorer import MonitorVerdict, StreamScorer, VerdictBlock
+from repro.serve.wal import (DEFAULT_FSYNC_EVERY, DEFAULT_SEGMENT_MAX_BYTES,
+                             ShardWal, decode_block, encode_block)
 
 #: Virtual nodes per shard on the hash ring; enough for <2% imbalance
 #: at single-digit shard counts without measurable lookup cost.
@@ -52,8 +76,21 @@ DEFAULT_VNODES = 64
 #: Batches in flight per shard before admission rejects with 429.
 DEFAULT_QUEUE_CAPACITY = 64
 
+#: Blocks scored between WAL state checkpoints.  Snapshots only bound
+#: replay length — durability comes from the per-block append — so the
+#: interval trades a little recovery latency (a few hundred blocks of
+#: vectorized replay, i.e. seconds) for near-zero steady-state cost.
+DEFAULT_SNAPSHOT_INTERVAL_BLOCKS = 256
+
+#: Supervisor poll interval for dead-worker detection.
+DEFAULT_SUPERVISE_POLL_S = 0.05
+
 #: Sentinel task asking a worker to snapshot its state and exit.
 _STOP = None
+
+#: Sentinel task making a worker die abruptly — no snapshot, no reply.
+#: The chaos harness's thread-backend stand-in for SIGKILL.
+_CRASH = "__repro_crash__"
 
 
 def _point(key: str) -> int:
@@ -104,27 +141,155 @@ class HashRing:
         return self._shards[index % len(self._shards)]
 
 
+@dataclass(frozen=True, slots=True)
+class WalSettings:
+    """Per-shard WAL configuration shipped to a worker (picklable).
+
+    ``crash_after_seq`` is a chaos hook: the worker dies abruptly right
+    after appending the record with that sequence number — inside the
+    ack gap, the hardest window for exactly-once semantics.  Used by
+    the deterministic recovery tests; leave ``None`` in production.
+    """
+
+    directory: str
+    bundle_sha256: str
+    segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES
+    fsync_every: int = DEFAULT_FSYNC_EVERY
+    snapshot_interval_blocks: int = DEFAULT_SNAPSHOT_INTERVAL_BLOCKS
+    crash_after_seq: int | None = None
+
+
+def _worker_die() -> None:
+    """Die the way a crash would: no cleanup, no snapshot, no reply.
+
+    In a child process ``os._exit`` skips every handler (the closest
+    in-process stand-in for SIGKILL); in a thread the caller returns
+    instead — a thread cannot exit the interpreter without taking the
+    parent with it.
+    """
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+
+
+class _PipeReply:
+    """Worker-side reply endpoint over a private one-way pipe.
+
+    Process-backend workers must not share a reply queue: an
+    ``mp.Queue`` guards its pipe with a cross-process write semaphore,
+    and a worker SIGKILLed while its feeder thread holds it (the window
+    is every reply send) leaves the semaphore acquired forever —
+    wedging every later writer, including the respawned worker's
+    ``ready`` announcement.  A private pipe per worker generation makes
+    the blast radius of a crash exactly the channel that died with it;
+    the parent just drops the broken reader and moves on.
+
+    Quacks like ``queue.Queue.put`` so the worker body stays
+    backend-agnostic (thread workers still share a plain queue — they
+    cannot be killed mid-send).
+    """
+
+    __slots__ = ("_conn",)
+
+    def __init__(self, conn: Any) -> None:
+        self._conn = conn
+
+    def put(self, item: Any) -> None:
+        """Send one reply (synchronous — delivered before returning)."""
+        self._conn.send(item)
+
+
+def _remember(dedup: "OrderedDict[str, Any]", block_id: str, value: Any,
+              limit: int) -> None:
+    """Cache one block's outcome for duplicate-delivery detection."""
+    dedup[block_id] = value
+    while len(dedup) > limit:
+        dedup.popitem(last=False)
+
+
 def _shard_worker(shard: int, payload: dict, tasks: Any, results: Any,
-                  throttle_s: float) -> None:
+                  throttle_s: float,
+                  wal_settings: WalSettings | None = None) -> None:
     """One shard's scoring loop (runs in a thread or a child process).
 
-    Consumes ``(request_id, serials, hours, matrix)`` tasks, scores
-    each one *as one columnar block* on a private :class:`StreamScorer`
-    (null observer — the parent re-accounts telemetry), and replies
+    Startup: build the scorer; with WAL enabled, open the shard's
+    :class:`~repro.serve.wal.ShardWal`, restore the last scorer
+    checkpoint, replay the WAL suffix (caching each replayed block's
+    verdicts under its ``block_id``), then announce
+    ``("ready", -1, shard, info)``.  An unusable WAL announces
+    ``("wal_failed", -1, shard, message)`` and exits instead — serving
+    blindly without the log it was asked to keep would be worse.
+
+    Main loop: consume ``(request_id, block_id, serials, hours,
+    matrix)`` tasks.  A ``block_id`` seen before (replayed from the
+    WAL, or recently scored) replies its cached outcome without
+    re-scoring — the exactly-once half of crash recovery.  Otherwise
+    the block is appended to the WAL *before* scoring, scored *as one
+    columnar block* on a private :class:`StreamScorer` (null observer —
+    the parent re-accounts telemetry), and answered
     ``("verdicts", request_id, shard, block)`` with the
-    struct-of-arrays :class:`~repro.serve.scorer.VerdictBlock` — on the
-    process backend that pickles a handful of numpy arrays instead of a
-    Python list of verdict objects.  A scoring failure replies
-    ``("error", ...)`` with the message instead of killing the worker.
-    The ``_STOP`` sentinel makes the worker emit a final
-    ``("snapshot", ...)`` with its counters and state snapshot, then
-    exit.
+    struct-of-arrays :class:`~repro.serve.scorer.VerdictBlock`.  A
+    scoring failure replies ``("error", ...)`` with the message instead
+    of killing the worker.  Every ``snapshot_interval_blocks`` scored
+    blocks the scorer state is checkpointed, bounding replay time.
+
+    The ``_STOP`` sentinel makes the worker checkpoint (WAL on), emit a
+    final ``("snapshot", ...)`` with its counters and state snapshot,
+    then exit; the ``_CRASH`` sentinel (chaos only) makes it die with
+    none of that.
     """
     scorer = StreamScorer(ModelBundle.from_payload(payload),
                           observer=NULL_OBSERVER)
+    wal: ShardWal | None = None
+    dedup: "OrderedDict[str, Any]" = OrderedDict()
+    dedup_limit = 256
+    ready_info: dict[str, Any] = {"shard": shard, "replayed_blocks": 0,
+                                  "snapshot_seq": 0, "last_seq": 0,
+                                  "serials": []}
+    if wal_settings is not None:
+        dedup_limit = max(256, 2 * wal_settings.snapshot_interval_blocks)
+        try:
+            wal = ShardWal(
+                Path(wal_settings.directory),
+                segment_max_bytes=wal_settings.segment_max_bytes,
+                fsync_every=wal_settings.fsync_every,
+                bundle_sha256=wal_settings.bundle_sha256)
+            recovery = wal.open()
+            if recovery.snapshot is not None:
+                scorer.restore_state(recovery.snapshot)
+            for record in recovery.records:
+                block_id, serials, hours, matrix = decode_block(
+                    record.payload)
+                try:
+                    block = scorer.score_block(serials, hours, matrix)
+                except Exception as error:
+                    _remember(dedup, block_id,
+                              f"{type(error).__name__}: {error}",
+                              dedup_limit)
+                    continue
+                _remember(dedup, block_id, block, dedup_limit)
+            ready_info = {
+                "shard": shard,
+                "replayed_blocks": recovery.replayed_blocks,
+                "snapshot_seq": recovery.snapshot_seq,
+                "last_seq": wal.last_seq,
+                "serials": scorer.state.serials(),
+            }
+        except (WalError, ServeError) as error:
+            results.put(("wal_failed", -1, shard,
+                         f"{type(error).__name__}: {error}"))
+            return
+    results.put(("ready", -1, shard, ready_info))
+
+    blocks_since_snapshot = 0
     while True:
         task = tasks.get()
         if task is _STOP or task is None:
+            if wal is not None:
+                try:
+                    wal.write_snapshot(scorer.dump_state())
+                    wal.close()
+                except WalError:
+                    pass  # a failed final checkpoint only lengthens replay
             results.put(("snapshot", -1, shard, {
                 "shard": shard,
                 "samples_scored": scorer.samples_scored,
@@ -133,28 +298,63 @@ def _shard_worker(shard: int, payload: dict, tasks: Any, results: Any,
                 "state": scorer.state.snapshot(),
             }))
             return
-        request_id, serials, hours, matrix = task
+        if task == _CRASH:
+            _worker_die()
+            return
+        request_id, block_id, serials, hours, matrix = task
         if throttle_s > 0.0:
             time.sleep(throttle_s)
+        cached = dedup.get(block_id)
+        if cached is not None:
+            kind = "error" if isinstance(cached, str) else "verdicts"
+            results.put((kind, request_id, shard, cached))
+            continue
+        if wal is not None:
+            try:
+                seq = wal.append(encode_block(block_id, list(serials),
+                                              list(hours), matrix))
+            except WalError as error:
+                results.put(("error", request_id, shard,
+                             f"WalError: {error}"))
+                continue
+            if (wal_settings is not None
+                    and wal_settings.crash_after_seq is not None
+                    and seq == wal_settings.crash_after_seq):
+                wal.sync()
+                _worker_die()
+                return
         try:
             block = scorer.score_block(serials, hours, matrix)
         except Exception as error:
-            results.put(("error", request_id, shard,
-                         f"{type(error).__name__}: {error}"))
+            message = f"{type(error).__name__}: {error}"
+            if wal is not None:
+                _remember(dedup, block_id, message, dedup_limit)
+            results.put(("error", request_id, shard, message))
             continue
+        if wal is not None:
+            _remember(dedup, block_id, block, dedup_limit)
         results.put(("verdicts", request_id, shard, block))
+        if wal is not None and wal_settings is not None:
+            blocks_since_snapshot += 1
+            if blocks_since_snapshot >= wal_settings.snapshot_interval_blocks:
+                try:
+                    wal.write_snapshot(scorer.dump_state())
+                except WalError:
+                    pass  # next interval retries; replay just stays longer
+                blocks_since_snapshot = 0
 
 
 class _PendingRequest:
     """Parent-side bookkeeping for one in-flight submit."""
 
-    __slots__ = ("parts", "done", "results", "errors")
+    __slots__ = ("outstanding", "done", "results", "errors", "died_shard")
 
-    def __init__(self, n_parts: int) -> None:
-        self.parts = n_parts
+    def __init__(self, shards: Sequence[int]) -> None:
+        self.outstanding = set(shards)
         self.done = threading.Event()
         self.results: dict[int, VerdictBlock] = {}
         self.errors: list[str] = []
+        self.died_shard: int | None = None
 
 
 class ShardSet:
@@ -181,7 +381,28 @@ class ShardSet:
         knob: the backpressure and drain tests use it to hold batches
         in flight deterministically.  Leave at ``0.0`` in production.
     retry_after_s:
-        The wait hint carried by raised backpressure errors.
+        The wait hint carried by raised backpressure and
+        shard-recovering errors.
+    wal_dir:
+        Root directory for per-shard write-ahead logs (crash safety
+        off when ``None``).  Shard ``k`` logs under
+        ``wal_dir/shard-<k>``; an existing WAL is replayed on startup,
+        so a restarted ShardSet resumes exactly where the previous one
+        died.
+    snapshot_interval_blocks / wal_fsync_every / wal_segment_max_bytes:
+        WAL tuning, see :mod:`repro.serve.wal`.
+    supervise:
+        Run the dead-worker supervisor thread (default on; the chaos
+        tests rely on it, production should never turn it off).
+    heartbeat_timeout_s:
+        Process backend only: a shard with batches in flight but no
+        reply for this long is presumed hung and SIGKILLed (the WAL
+        fences its state), then respawned like any dead worker.
+        ``None`` disables the heartbeat.
+    crash_after_seq:
+        Chaos hook, per shard: ``{shard: seq}`` makes that worker die
+        right after appending WAL record ``seq`` (see
+        :class:`WalSettings`).  Test-only.
     """
 
     def __init__(self, bundle: ModelBundle, *, n_shards: int = 1,
@@ -189,10 +410,22 @@ class ShardSet:
                  queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
                  observer: PipelineObserver | None = None,
                  throttle_s: float = 0.0,
-                 retry_after_s: float = 1.0) -> None:
+                 retry_after_s: float = 1.0,
+                 wal_dir: str | Path | None = None,
+                 snapshot_interval_blocks: int =
+                 DEFAULT_SNAPSHOT_INTERVAL_BLOCKS,
+                 wal_fsync_every: int = DEFAULT_FSYNC_EVERY,
+                 wal_segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+                 supervise: bool = True,
+                 heartbeat_timeout_s: float | None = None,
+                 crash_after_seq: Mapping[int, int] | None = None) -> None:
         if queue_capacity < 1:
             raise ServeError(
                 f"queue_capacity must be >= 1, got {queue_capacity}")
+        if snapshot_interval_blocks < 1:
+            raise ServeError(
+                f"snapshot_interval_blocks must be >= 1, got "
+                f"{snapshot_interval_blocks}")
         validate_backend(backend)
         self._bundle = bundle
         self._backend = backend
@@ -209,36 +442,65 @@ class ShardSet:
         self._seen: set[str] = set()
         self._snapshots: list[dict[str, Any] | None] = [None] * n_shards
         self._all_snapshots = threading.Event()
+        self._status = ["serving"] * n_shards
+        self._ready_events = [threading.Event() for _ in range(n_shards)]
+        self._restarts = [0] * n_shards
+        self._last_activity = [time.monotonic()] * n_shards
+        self._heartbeat_timeout_s = heartbeat_timeout_s
+        self._payload = bundle.to_payload()
 
-        payload = bundle.to_payload()
+        self._wal_dir = Path(wal_dir) if wal_dir is not None else None
+        self._wal_settings: list[WalSettings | None] = [None] * n_shards
+        if self._wal_dir is not None:
+            bundle_sha = content_hash(self._payload)
+            crash_after_seq = dict(crash_after_seq or {})
+            for shard in range(n_shards):
+                self._wal_settings[shard] = WalSettings(
+                    directory=str(self._wal_dir / f"shard-{shard:03d}"),
+                    bundle_sha256=bundle_sha,
+                    segment_max_bytes=wal_segment_max_bytes,
+                    fsync_every=wal_fsync_every,
+                    snapshot_interval_blocks=snapshot_interval_blocks,
+                    crash_after_seq=crash_after_seq.get(shard),
+                )
+
         if backend == "process":
-            context = multiprocessing.get_context()
-            self._results: Any = context.Queue()
-            self._tasks = [context.Queue() for _ in range(n_shards)]
-            self._workers: list[Any] = [
-                context.Process(
-                    target=_shard_worker,
-                    args=(shard, payload, self._tasks[shard],
-                          self._results, self._throttle_s),
-                    name=f"repro-shard-{shard}", daemon=True)
-                for shard in range(n_shards)
-            ]
+            # Workers are (re)spawned from a process that already runs
+            # supervisor/collector/delivery threads; fork() from a
+            # multi-threaded parent can deadlock the child on inherited
+            # locks.  The forkserver forks from a clean single-threaded
+            # helper instead, which makes mid-stream respawns safe.
+            try:
+                self._context = multiprocessing.get_context("forkserver")
+            except ValueError:  # platform without forkserver
+                self._context = multiprocessing.get_context()
+            self._results: Any = None  # replies ride per-worker pipes
         else:
+            self._context = None
             self._results = queue.Queue()
-            self._tasks = [queue.Queue() for _ in range(n_shards)]
-            self._workers = [
-                threading.Thread(
-                    target=_shard_worker,
-                    args=(shard, payload, self._tasks[shard],
-                          self._results, self._throttle_s),
-                    name=f"repro-shard-{shard}", daemon=True)
-                for shard in range(n_shards)
-            ]
-        for worker in self._workers:
+        # Parent-side lifecycle injections (synthesized snapshots for
+        # failed shards) merge into the reply stream through here.
+        self._injected: queue.Queue = queue.Queue()
+        self._reply_readers: list[Any] = [None] * n_shards
+        self._reply_writers: list[Any] = [None] * n_shards
+        self._retired_readers: list[Any] = []
+        self._tasks: list[Any] = [self._new_task_queue()
+                                  for _ in range(n_shards)]
+        self._workers: list[Any] = [self._spawn_worker(shard)
+                                    for shard in range(n_shards)]
+        for shard, worker in enumerate(self._workers):
             worker.start()
+            self._close_reply_writer(shard)
         self._collector = threading.Thread(
             target=self._collect, name="repro-shard-collector", daemon=True)
         self._collector.start()
+        self._supervisor_stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        if supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="repro-shard-supervisor",
+                daemon=True)
+            self._supervisor.start()
 
     # -- public surface ---------------------------------------------------
 
@@ -262,9 +524,66 @@ class ShardSet:
         """The consistent hash ring used for placement."""
         return self._ring
 
+    @property
+    def wal_enabled(self) -> bool:
+        """Whether workers write per-shard WALs."""
+        return self._wal_dir is not None
+
+    @property
+    def wal_dir(self) -> Path | None:
+        """Root WAL directory (``None`` when crash safety is off)."""
+        return self._wal_dir
+
     def shard_of(self, serial: str) -> int:
         """Which shard owns a drive's state."""
         return self._ring.shard_of(serial)
+
+    def shard_status(self) -> list[str]:
+        """Per-shard lifecycle: ``serving`` / ``recovering`` / ``failed``."""
+        with self._lock:
+            return list(self._status)
+
+    def shard_restarts(self) -> list[int]:
+        """Supervisor respawns per shard since construction."""
+        with self._lock:
+            return list(self._restarts)
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until every shard has announced readiness.
+
+        Readiness means the worker finished any snapshot restore + WAL
+        replay and is consuming tasks.  Returns ``False`` on timeout.
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        for event in self._ready_events:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            if not event.wait(remaining):
+                return False
+        return True
+
+    def kill_shard(self, shard: int) -> None:
+        """Kill one worker abruptly — the chaos harness's entry point.
+
+        Process backend: SIGKILL, exactly the failure mode a kernel OOM
+        kill or node reboot produces.  Thread backend: a crash sentinel
+        that makes the worker abandon its loop with no snapshot and no
+        reply (a thread cannot be killed from outside).  The supervisor
+        detects the death and respawns the shard.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ServeError(f"no such shard: {shard}")
+        worker = self._workers[shard]
+        if self._backend == "process":
+            if worker.pid is not None:
+                try:
+                    os.kill(worker.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            worker.join(timeout=10.0)
+        else:
+            self._tasks[shard].put(_CRASH)
 
     def submit(self, serials: Sequence[str], hours: Sequence[int],
                matrix: np.ndarray) -> list[MonitorVerdict]:
@@ -277,7 +596,8 @@ class ShardSet:
         return self.submit_block(serials, hours, matrix).verdicts()
 
     def submit_block(self, serials: Sequence[str], hours: Sequence[int],
-                     matrix: np.ndarray) -> VerdictBlock:
+                     matrix: np.ndarray,
+                     block_id: str | None = None) -> VerdictBlock:
         """Score one columnar batch; verdict columns in input row order.
 
         Splits the batch by shard placement, enqueues one sub-batch per
@@ -285,9 +605,17 @@ class ShardSet:
         the per-shard :class:`~repro.serve.scorer.VerdictBlock` columns
         back into input row order — no verdict object is materialized
         anywhere on this path.  Admission is all-or-nothing: if *any*
-        involved shard is at capacity, the whole batch is rejected with
-        :class:`~repro.errors.BackpressureError` and no sample of it is
-        enqueued.
+        involved shard is at capacity the whole batch is rejected with
+        :class:`~repro.errors.BackpressureError`, and if any involved
+        shard is replaying after a crash it is rejected with
+        :class:`~repro.errors.ShardRecoveringError`; either way no
+        sample of it is enqueued.
+
+        ``block_id`` names the batch for crash-safe retries: with the
+        WAL enabled, resubmitting the same id after a worker died
+        mid-batch returns the original verdicts without re-scoring
+        (exactly-once application).  Auto-generated when omitted — auto
+        ids are unique, so an unnamed batch gets no dedup protection.
         """
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:
@@ -307,6 +635,12 @@ class ShardSet:
         with self._lock:
             if self._stopped:
                 raise ServeError("ShardSet is stopped; no new batches")
+            for shard in by_shard:
+                if self._status[shard] == "recovering":
+                    raise ShardRecoveringError(shard, self._retry_after_s)
+                if self._status[shard].startswith("failed"):
+                    raise ServeError(
+                        f"shard {shard} is failed: {self._status[shard]}")
             saturated = [shard for shard in by_shard
                          if self._inflight[shard] >= self._capacity]
             if saturated:
@@ -314,7 +648,10 @@ class ShardSet:
                     saturated[0], self._retry_after_s, self._capacity)
             request_id = self._next_request
             self._next_request += 1
-            pending = _PendingRequest(len(by_shard))
+            if block_id is None:
+                block_id = (f"auto-{os.getpid():x}-{time.time_ns():x}-"
+                            f"{request_id}")
+            pending = _PendingRequest(by_shard)
             self._pending[request_id] = pending
             for shard in by_shard:
                 self._inflight[shard] += 1
@@ -327,15 +664,21 @@ class ShardSet:
             for shard, rows in by_shard.items():
                 self._tasks[shard].put((
                     request_id,
+                    f"{block_id}/{shard}" if len(by_shard) > 1 else block_id,
                     [serials[row] for row in rows],
                     [int(hours[row]) for row in rows],
                     matrix[rows],
                 ))
+        if self._wal_dir is not None:
+            self._observer.count("wal_appends", len(by_shard))
 
         pending.done.wait()
         with self._lock:
             del self._pending[request_id]
         if pending.errors:
+            if pending.died_shard is not None:
+                raise ShardRecoveringError(pending.died_shard,
+                                           self._retry_after_s)
             raise ServeError(
                 f"shard scoring failed: {'; '.join(pending.errors)}")
 
@@ -362,22 +705,154 @@ class ShardSet:
 
         Sends the stop sentinel behind all queued work, so every
         admitted batch is scored before its worker exits (graceful
-        drain).  Idempotent: repeated calls return the same snapshots.
+        drain).  The supervisor halts first — a worker exiting after
+        its final snapshot is not a crash.  Idempotent: repeated calls
+        return the same snapshots.
         """
+        self._supervisor_stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10.0)
         with self._lock:
             already = self._stopped
             self._stopped = True
             if not already:
-                for shard_queue in self._tasks:
+                for shard, shard_queue in enumerate(self._tasks):
+                    if self._status[shard].startswith("failed"):
+                        # Nobody is consuming this queue; synthesize an
+                        # empty snapshot so the drain can complete.
+                        self._injected.put(("snapshot", -1, shard, {
+                            "shard": shard, "samples_scored": 0,
+                            "alerts_emitted": 0, "drives_tracked": 0,
+                            "state": None,
+                        }))
+                        continue
                     shard_queue.put(_STOP)
-        self._all_snapshots.wait()
+        self._all_snapshots.wait(timeout=60.0)
         for worker in self._workers:
             worker.join(timeout=30.0)
         self._collector.join(timeout=30.0)
+        if not self._collector.is_alive():
+            with self._lock:
+                leftovers = ([conn for conn in self._reply_readers
+                              if conn is not None] + self._retired_readers)
+                self._reply_readers = [None] * self.n_shards
+                self._retired_readers = []
+            for conn in leftovers:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
         return [dict(snapshot) for snapshot in self._snapshots
                 if snapshot is not None]
 
     # -- internals --------------------------------------------------------
+
+    def _new_task_queue(self) -> Any:
+        """A fresh task queue for one worker (backend-appropriate)."""
+        if self._context is not None:
+            return self._context.Queue()
+        return queue.Queue()
+
+    def _spawn_worker(self, shard: int) -> Any:
+        """Build (not start) the worker for one shard.
+
+        Process backend: each worker generation gets a fresh private
+        reply pipe (see :class:`_PipeReply` for why sharing one queue
+        across killable processes deadlocks); the previous generation's
+        reader is retired for the collector to close.
+        """
+        if self._context is not None:
+            reader, writer = self._context.Pipe(duplex=False)
+            old = self._reply_readers[shard]
+            if old is not None:
+                self._retired_readers.append(old)
+            self._reply_readers[shard] = reader
+            self._reply_writers[shard] = writer
+            args = (shard, self._payload, self._tasks[shard],
+                    _PipeReply(writer), self._throttle_s,
+                    self._wal_settings[shard])
+            return self._context.Process(
+                target=_shard_worker, args=args,
+                name=f"repro-shard-{shard}", daemon=True)
+        args = (shard, self._payload, self._tasks[shard], self._results,
+                self._throttle_s, self._wal_settings[shard])
+        return threading.Thread(
+            target=_shard_worker, args=args,
+            name=f"repro-shard-{shard}", daemon=True)
+
+    def _close_reply_writer(self, shard: int) -> None:
+        """Drop the parent's copy of a worker's reply-pipe write end.
+
+        Must happen after ``worker.start()`` (the child dups the handle
+        during spawn); once only the worker holds the write end, the
+        worker's death — clean or SIGKILL — turns into prompt EOF on
+        the parent's reader instead of a silent forever-empty pipe.
+        """
+        writer = self._reply_writers[shard]
+        if writer is not None:
+            self._reply_writers[shard] = None
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+    def _respawn(self, shard: int) -> None:
+        """Replace a dead worker: fail its in-flight batches, restart.
+
+        Batches queued to the dead worker were never WAL-appended by it
+        (the WAL write happens inside the worker), so failing them back
+        to the caller is safe — a retry cannot double-apply.  The shard
+        reports ``recovering`` (new submits are rejected with a 503
+        mapping) until the replacement announces ready.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._status[shard] = "recovering"
+            self._ready_events[shard].clear()
+            self._restarts[shard] += 1
+            for pending in self._pending.values():
+                if shard in pending.outstanding:
+                    pending.outstanding.discard(shard)
+                    pending.died_shard = shard
+                    pending.errors.append(
+                        f"shard {shard}: worker died mid-batch")
+                    if not pending.outstanding:
+                        pending.done.set()
+            self._inflight[shard] = 0
+            self._last_activity[shard] = time.monotonic()
+            self._tasks[shard] = self._new_task_queue()
+            worker = self._spawn_worker(shard)
+            self._workers[shard] = worker
+        worker.start()
+        self._close_reply_writer(shard)
+        self._observer.count("shard_restarts")
+
+    def _supervise(self) -> None:
+        """Watch the workers; respawn any that die outside a drain."""
+        while not self._supervisor_stop.wait(DEFAULT_SUPERVISE_POLL_S):
+            for shard in range(self.n_shards):
+                with self._lock:
+                    if self._stopped:
+                        return
+                    worker = self._workers[shard]
+                    status = self._status[shard]
+                    snapshotted = self._snapshots[shard] is not None
+                    inflight = self._inflight[shard]
+                    last_activity = self._last_activity[shard]
+                if status.startswith("failed") or snapshotted:
+                    continue
+                if worker.is_alive():
+                    if (self._heartbeat_timeout_s is not None
+                            and self._backend == "process"
+                            and inflight > 0
+                            and time.monotonic() - last_activity
+                            > self._heartbeat_timeout_s):
+                        # Presumed hung: SIGKILL fences its WAL writes;
+                        # the next poll sees the death and respawns.
+                        self.kill_shard(shard)
+                    continue
+                self._respawn(shard)
 
     def _account(self, block: VerdictBlock) -> None:
         """Parent-side telemetry for one scored batch (block-wise).
@@ -396,26 +871,113 @@ class ShardSet:
             self._observer.observe("verdict_stage", float(stage))
         self._observer.gauge("drives_tracked", self.drives_tracked())
 
+    def _next_reply(self) -> tuple[Any, ...]:
+        """Block until one worker reply (or injected message) arrives.
+
+        Thread backend: poll the shared reply queue.  Process backend:
+        ``multiprocessing.connection.wait`` across every live worker's
+        private reply pipe — a reader that hits EOF (its worker died,
+        possibly mid-send) is closed and dropped; the supervisor
+        handles the respawn, which installs a fresh pipe.  Retired
+        readers from replaced generations are closed here too: the
+        collector is the only thread that ever reads or closes a
+        reply pipe, so there is no close-during-wait race.
+        """
+        while True:
+            try:
+                return self._injected.get_nowait()
+            except queue.Empty:
+                pass
+            if self._backend != "process":
+                try:
+                    return self._results.get(timeout=0.1)
+                except queue.Empty:
+                    continue
+            with self._lock:
+                retired = self._retired_readers
+                self._retired_readers = []
+                active = {conn: shard
+                          for shard, conn in enumerate(self._reply_readers)
+                          if conn is not None}
+            for conn in retired:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if not active:
+                time.sleep(DEFAULT_SUPERVISE_POLL_S)
+                continue
+            for conn in multiprocessing.connection.wait(
+                    list(active), timeout=0.1):
+                try:
+                    return conn.recv()
+                except (EOFError, OSError):
+                    # Worker died (possibly mid-send, truncating the
+                    # frame).  Drop the channel; its in-flight batches
+                    # are failed by the supervisor's respawn.
+                    shard = active[conn]
+                    with self._lock:
+                        if self._reply_readers[shard] is conn:
+                            self._reply_readers[shard] = None
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+
     def _collect(self) -> None:
-        """Collector loop: route worker replies to waiting submitters."""
+        """Collector loop: route worker replies to waiting submitters.
+
+        Also absorbs the lifecycle messages: ``ready`` flips a shard
+        back to ``serving`` (reseeding the parent's drive census from
+        the replayed state), ``wal_failed`` marks it failed, and
+        ``snapshot`` counts toward drain completion.  Replies from a
+        worker generation that was failed out (a crashed worker's last
+        gasp, or a task the supervisor already answered with an error)
+        are dropped — their inflight accounting was reset at respawn.
+        """
         finished = 0
         while finished < self._ring.n_shards:
-            kind, request_id, shard, body = self._results.get()
+            kind, request_id, shard, body = self._next_reply()
             if kind == "snapshot":
-                self._snapshots[shard] = body
-                finished += 1
+                with self._lock:
+                    fresh = self._snapshots[shard] is None
+                    self._snapshots[shard] = body
+                if fresh:
+                    finished += 1
+                continue
+            if kind == "ready":
+                with self._lock:
+                    self._status[shard] = "serving"
+                    self._last_activity[shard] = time.monotonic()
+                    self._seen.update(body.get("serials", ()))
+                    self._ready_events[shard].set()
+                replayed = body.get("replayed_blocks", 0)
+                if replayed:
+                    self._observer.count("wal_replayed_blocks", replayed)
+                continue
+            if kind == "wal_failed":
+                with self._lock:
+                    self._status[shard] = f"failed: {body}"
+                    self._ready_events[shard].set()
+                    for pending in self._pending.values():
+                        if shard in pending.outstanding:
+                            pending.outstanding.discard(shard)
+                            pending.errors.append(f"shard {shard}: {body}")
+                            if not pending.outstanding:
+                                pending.done.set()
                 continue
             with self._lock:
+                self._last_activity[shard] = time.monotonic()
                 pending = self._pending.get(request_id)
-                self._inflight[shard] -= 1
-                if pending is None:
+                if pending is None or shard not in pending.outstanding:
                     continue
+                self._inflight[shard] -= 1
+                pending.outstanding.discard(shard)
                 if kind == "error":
                     pending.errors.append(f"shard {shard}: {body}")
                 else:
                     pending.results[shard] = body
-                pending.parts -= 1
-                if pending.parts == 0:
+                if not pending.outstanding:
                     pending.done.set()
         self._all_snapshots.set()
 

@@ -13,6 +13,8 @@ eviction — and materialized rescue estimates go through the scalar
 libm inversion, never a vectorized ``pow``.
 """
 
+import json
+
 import numpy as np
 import pytest
 
@@ -336,3 +338,110 @@ def test_block_shape_validation(monitor_parts):
         columnar.observe_block(["d"], [0], np.zeros(3))
     with pytest.raises(ReproError, match="lengths disagree"):
         columnar.observe_block(["d"], [0, 1], np.zeros((1, 4)))
+
+
+# -- crash-recovery state dumps ----------------------------------------------
+
+def _dumped_store(seed=13):
+    """A columnar store with growth, eviction and duplicates behind it."""
+    rng = np.random.default_rng(seed)
+    store = ColumnStateStore(3, initial_rows=2)
+    for step in range(4):
+        for drive in range(5):
+            store.record(f"d{drive}", rng.normal(size=3),
+                         AlertLevel(int(rng.integers(0, 3))), hour=step)
+    store.evict_idle(before_hour=0)  # no-op, but exercises the counter path
+    store.record("late", rng.normal(size=3), AlertLevel.WATCH, hour=9)
+    store.evict_idle(before_hour=4)  # evicts d0..d4, frees their rows
+    store.record("after", rng.normal(size=3), AlertLevel.CRITICAL, hour=10)
+    return store
+
+
+def test_dump_state_round_trips_exactly():
+    store = _dumped_store()
+    payload = json.loads(json.dumps(store.dump_state()))  # through the wire
+    twin = ColumnStateStore.from_snapshot(payload)
+    assert twin.serials() == store.serials()
+    assert twin.n_tracked == store.n_tracked
+    assert twin.capacity == store.capacity
+    assert twin.drives_evicted == store.drives_evicted
+    for serial in store.serials():
+        assert twin.level_of(serial) is store.level_of(serial)
+        assert np.array_equal(twin.history_of(serial),
+                              store.history_of(serial))
+    # The twin's own dump is identical — dumps are a fixed point.
+    assert json.dumps(twin.dump_state(), sort_keys=True) \
+        == json.dumps(payload, sort_keys=True)
+
+
+def test_restored_store_recycles_the_same_rows():
+    """The free list survives the round trip in order, so the restored
+    store hands freed rows to new drives exactly as the original."""
+    store = _dumped_store()
+    twin = ColumnStateStore.from_snapshot(store.dump_state())
+    for name in ("n1", "n2", "n3"):
+        store.record(name, np.ones(3), AlertLevel.HEALTHY, hour=20)
+        twin.record(name, np.ones(3), AlertLevel.HEALTHY, hour=20)
+    assert json.dumps(twin.dump_state(), sort_keys=True) \
+        == json.dumps(store.dump_state(), sort_keys=True)
+
+
+def test_restored_store_continues_identically_under_blocks():
+    """Duplicate serials inside one block resolve identically after a
+    restore — the in-tick occurrence state is derived, not lost."""
+    rng = np.random.default_rng(5)
+    store = _dumped_store()
+    twin = ColumnStateStore.from_snapshot(store.dump_state())
+    serials = ["after", "after", "late", "after", "fresh", "fresh"]
+    matrix = rng.normal(size=(len(serials), 3))
+    levels = rng.integers(0, 3, size=len(serials)).astype(np.int8)
+    hours = [11] * len(serials)
+    store.record_block(serials, matrix, levels, hours)
+    twin.record_block(serials, matrix, levels, hours)
+    assert json.dumps(twin.dump_state(), sort_keys=True) \
+        == json.dumps(store.dump_state(), sort_keys=True)
+    assert np.array_equal(twin.history_of("after"),
+                          store.history_of("after"))
+
+
+def test_empty_store_round_trips():
+    store = ColumnStateStore(4, initial_rows=3)
+    twin = ColumnStateStore.from_snapshot(store.dump_state())
+    assert twin.serials() == []
+    twin.record("first", np.zeros(2), AlertLevel.HEALTHY, hour=0)
+    assert twin.serials() == ["first"]
+
+
+def test_restore_rejects_malformed_payloads():
+    store = ColumnStateStore(3)
+    with pytest.raises(ReproError, match="'deque'"):
+        store.restore({"kind": "deque", "history_hours": 3})
+    with pytest.raises(ReproError, match="retains 5 hours"):
+        store.restore({"kind": "columnar", "history_hours": 5,
+                       "capacity": 1, "n_attributes": 1, "free": [],
+                       "drives": {}})
+    with pytest.raises(ReproError, match="malformed state dump"):
+        store.restore({"kind": "columnar"})
+    with pytest.raises(ReproError, match="outside the dumped layout"):
+        store.restore({"kind": "columnar", "history_hours": 3,
+                       "capacity": 1, "n_attributes": 2, "free": [],
+                       "drives": {"d": {"row": 5, "level": 0,
+                                        "last_hour": 0,
+                                        "window": [[0.0, 0.0]]}}})
+    with pytest.raises(ReproError, match="malformed state dump"):
+        ColumnStateStore.from_snapshot({"kind": "columnar"})
+
+
+def test_deque_store_round_trips_exactly():
+    deque_store, _ = _filled_stores()
+    payload = json.loads(json.dumps(deque_store.dump_state()))
+    twin = DriveStateStore.from_snapshot(payload)
+    assert twin.serials() == deque_store.serials()
+    for serial in deque_store.serials():
+        assert twin.level_of(serial) is deque_store.level_of(serial)
+        assert np.array_equal(twin.history_of(serial),
+                              deque_store.history_of(serial))
+    assert json.dumps(twin.dump_state(), sort_keys=True) \
+        == json.dumps(payload, sort_keys=True)
+    with pytest.raises(ReproError, match="'columnar'"):
+        twin.restore({"kind": "columnar", "history_hours": 4})

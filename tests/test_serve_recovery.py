@@ -1,0 +1,301 @@
+"""Crash-recovery tests: kill workers, replay the WAL, compare bytes.
+
+The robustness acceptance criteria live here: a shard worker killed at
+seeded points (SIGKILL on the process backend, the crash sentinel on
+threads) is respawned by the supervisor, replays snapshot + WAL suffix
+into byte-identical state, and the surviving verdict stream matches an
+uninterrupted run exactly — at shard counts 1, 2 and 4, including the
+ack gap (WAL-appended but unanswered) via the ``crash_after_seq`` chaos
+hook.  A fresh :class:`~repro.serve.shard.ShardSet` on an abandoned WAL
+directory resumes the stream, serving retried block ids from the dedup
+cache.  Over HTTP, a recovering shard's drives answer 503 with
+``Retry-After`` while ``/health`` reports ``degraded``, and both return
+to normal once replay finishes.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError, ServeError, SinkError
+from repro.faults.chaos_serve import (
+    BlackholeSink,
+    kill_plan,
+    run_chaos_stream,
+    verdict_lines,
+)
+from repro.obs.observer import TelemetryObserver
+from repro.serve.bundle import build_bundle
+from repro.serve.daemon import ServingDaemon
+from repro.serve.scorer import StreamScorer
+from repro.serve.shard import ShardSet
+
+from tests.test_obs_http import _get, _post
+
+
+@pytest.fixture(scope="module")
+def bundle(mid_report):
+    return build_bundle(mid_report, seed=7)
+
+
+@pytest.fixture(scope="module")
+def blocks(mid_fleet):
+    """The sample stream cut into columnar blocks of bounded size."""
+    dataset = mid_fleet.dataset
+    profiles = dataset.failed_profiles[:4] + dataset.good_profiles[:8]
+    serials, hours, rows = [], [], []
+    for profile in profiles:
+        keep = None if profile.failed else 6
+        for hour, row in zip(profile.hours[:keep], profile.matrix[:keep]):
+            serials.append(profile.serial)
+            hours.append(int(hour))
+            rows.append(np.asarray(row, dtype=np.float64).ravel())
+    matrix = np.vstack(rows)
+    size = 24
+    return [(serials[i:i + size], hours[i:i + size], matrix[i:i + size])
+            for i in range(0, len(serials), size)]
+
+
+@pytest.fixture(scope="module")
+def reference_lines(bundle, blocks):
+    """The uninterrupted verdict stream every drill must reproduce."""
+    scorer = StreamScorer(bundle)
+    return verdict_lines(
+        [scorer.score_block(serials, hours, matrix)
+         for serials, hours, matrix in blocks])
+
+
+# -- the kill plan itself ---------------------------------------------------
+
+def test_kill_plan_is_deterministic_and_interior():
+    first = kill_plan(20, 4, 3, seed=11)
+    assert first == kill_plan(20, 4, 3, seed=11)
+    assert len(first) == 4
+    positions = [position for position, _shard in first]
+    assert len(set(positions)) == 4  # distinct kill points
+    assert all(1 <= position < 20 for position in positions)
+    assert all(0 <= shard < 3 for _position, shard in first)
+    assert first != kill_plan(20, 4, 3, seed=12)
+
+
+def test_kill_plan_validation():
+    with pytest.raises(FaultInjectionError, match="n_kills"):
+        kill_plan(10, -1, 2)
+    with pytest.raises(FaultInjectionError, match="n_shards"):
+        kill_plan(10, 1, 0)
+    with pytest.raises(FaultInjectionError, match="one more block"):
+        kill_plan(5, 5, 2)
+
+
+def test_chaos_stream_rejects_out_of_range_shard(bundle, blocks, tmp_path):
+    with ShardSet(bundle, n_shards=1, wal_dir=tmp_path / "wal") as shards:
+        with pytest.raises(FaultInjectionError, match="names shard 7"):
+            run_chaos_stream(shards, blocks[:2], [(1, 7)])
+
+
+# -- byte identity through seeded kills -------------------------------------
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_seeded_kills_keep_stream_byte_identical(bundle, blocks,
+                                                 reference_lines, tmp_path,
+                                                 n_shards):
+    """The tentpole contract: kill → respawn → replay → identical bytes."""
+    plan = kill_plan(len(blocks), 2, n_shards, seed=n_shards)
+    observer = TelemetryObserver()
+    with ShardSet(bundle, n_shards=n_shards,
+                  wal_dir=tmp_path / f"wal-{n_shards}", wal_fsync_every=1,
+                  observer=observer) as shards:
+        lines = run_chaos_stream(shards, blocks, plan,
+                                 block_id_prefix=f"drill-{n_shards}")
+        restarts = shards.shard_restarts()
+    assert lines == reference_lines
+    assert sum(restarts) == len(plan)
+    assert observer.metrics.counter("shard_restarts").value == len(plan)
+    # Replay actually happened: the respawned workers re-read the log.
+    assert observer.metrics.counter("wal_replayed_blocks").value > 0
+
+
+def test_process_backend_sigkill_byte_identical(bundle, blocks,
+                                                reference_lines, tmp_path):
+    """Real SIGKILL on child processes, not the cooperative sentinel."""
+    plan = kill_plan(len(blocks), 2, 2, seed=5)
+    with ShardSet(bundle, n_shards=2, backend="process",
+                  wal_dir=tmp_path / "wal", wal_fsync_every=1) as shards:
+        lines = run_chaos_stream(shards, blocks, plan,
+                                 block_id_prefix="sigkill")
+    assert lines == reference_lines
+
+
+def test_ack_gap_crash_is_exactly_once(bundle, blocks, reference_lines,
+                                       tmp_path):
+    """Die *after* the WAL append but *before* the reply.
+
+    The hardest window: the block is durable but unacknowledged.  The
+    retry must be served from the replayed dedup cache — scored once,
+    answered once, bytes identical.
+    """
+    with ShardSet(bundle, n_shards=1, backend="process",
+                  wal_dir=tmp_path / "wal", wal_fsync_every=1,
+                  crash_after_seq={0: 3}) as shards:
+        lines = run_chaos_stream(shards, blocks, block_id_prefix="gap")
+        assert shards.shard_restarts() == [1]
+    assert lines == reference_lines
+
+
+def test_no_wal_shard_set_still_recovers_workers(bundle, blocks):
+    """Without a WAL the supervisor still respawns — state resets, the
+    plane keeps serving (fresh-state verdicts, not an outage)."""
+    with ShardSet(bundle, n_shards=1) as shards:
+        assert not shards.wal_enabled
+        first = shards.submit_block(*blocks[0])
+        assert len(first)
+        lines = run_chaos_stream(shards, blocks[1:3], [(0, 0)],
+                                 block_id_prefix="nowal")
+        assert len(lines) == len(blocks[1][0]) + len(blocks[2][0])
+        assert shards.shard_restarts() == [1]
+
+
+# -- resuming an abandoned WAL ----------------------------------------------
+
+def test_fresh_shard_set_resumes_from_wal(bundle, blocks, reference_lines,
+                                          tmp_path):
+    """A daemon crash, modeled honestly: the first ShardSet's workers
+    are SIGKILLed with no drain and no final snapshot; a second
+    ShardSet on the same WAL directory replays to the exact state,
+    answers a retried block id from cache, and finishes the stream."""
+    wal_dir = tmp_path / "wal"
+    half = len(blocks) // 2
+    first_lines: list[str] = []
+    veteran = ShardSet(bundle, n_shards=2, backend="process",
+                       wal_dir=wal_dir, wal_fsync_every=1, supervise=False)
+    try:
+        for index in range(half):
+            block = veteran.submit_block(*blocks[index],
+                                         block_id=f"resume-{index}")
+            first_lines.extend(block.to_json_lines())
+    finally:
+        for shard in range(2):
+            veteran.kill_shard(shard)
+    observer = TelemetryObserver()
+    with ShardSet(bundle, n_shards=2, backend="process", wal_dir=wal_dir,
+                  wal_fsync_every=1, observer=observer) as successor:
+        assert successor.wait_ready(timeout=30.0)
+        # The retried last block is deduplicated, not double-scored.
+        retried = successor.submit_block(*blocks[half - 1],
+                                         block_id=f"resume-{half - 1}")
+        assert (retried.to_json_lines()
+                == first_lines[-len(blocks[half - 1][0]):])
+        for index in range(half, len(blocks)):
+            block = successor.submit_block(*blocks[index],
+                                           block_id=f"resume-{index}")
+            first_lines.extend(block.to_json_lines())
+    assert first_lines == reference_lines
+    assert observer.metrics.counter("wal_replayed_blocks").value >= half
+
+
+def test_killed_unsupervised_set_still_stops(bundle, blocks, tmp_path):
+    """``stop()`` must not hang on a shard that died with nobody
+    watching; dead shards contribute synthesized empty snapshots."""
+    shards = ShardSet(bundle, n_shards=2, wal_dir=tmp_path / "wal")
+    shards.submit_block(*blocks[0])
+    shards.kill_shard(0)
+    deadline = time.monotonic() + 10.0
+    while (shards.shard_status()[0] == "serving"
+           and time.monotonic() < deadline):
+        time.sleep(0.01)
+    snapshots = shards.stop()
+    assert len(snapshots) == 2
+
+
+def test_submit_to_failed_shard_is_serve_error(bundle, blocks, tmp_path):
+    """A shard whose WAL cannot open reports failed, not recovering —
+    and submits targeting it raise a terminal error."""
+    wal_dir = tmp_path / "wal"
+    (wal_dir / "shard-000").mkdir(parents=True)
+    (wal_dir / "shard-000" / "wal.json").write_text("{not json")
+    shards = ShardSet(bundle, n_shards=1, wal_dir=wal_dir, supervise=False)
+    try:
+        deadline = time.monotonic() + 10.0
+        while (not shards.shard_status()[0].startswith("failed")
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert shards.shard_status()[0].startswith("failed")
+        with pytest.raises(ServeError, match="failed"):
+            shards.submit_block(*blocks[0])
+    finally:
+        shards.stop()
+
+
+# -- HTTP surface during recovery -------------------------------------------
+
+def _shard_batch(daemon, blocks, shard):
+    """A small ingest body whose serials all route to ``shard``."""
+    samples = []
+    for serials, hours, matrix in blocks:
+        for serial, hour, row in zip(serials, hours, matrix):
+            if daemon.shards.shard_of(serial) == shard:
+                samples.append([serial, int(hour),
+                                [float(value) for value in row]])
+        if samples:
+            break
+    assert samples, "no sample routed to the target shard"
+    return json.dumps({"samples": samples}).encode("utf-8")
+
+
+def test_recovering_shard_answers_503_and_degraded_health(bundle, blocks,
+                                                          tmp_path):
+    with ServingDaemon(bundle, n_shards=2, wal_dir=tmp_path / "wal",
+                       snapshot_interval_blocks=10_000) as daemon:
+        # Build up enough WAL suffix that replay is observable.
+        for index, (serials, hours, matrix) in enumerate(blocks):
+            daemon.ingest_block(serials, hours, matrix,
+                                block_id=f"http-{index}")
+        target = 0
+        body = _shard_batch(daemon, blocks, target)
+        daemon.shards.kill_shard(target)
+        # The killed worker's queue is abandoned, so this batch lands in
+        # the ack-less void and must come back 503, never hang or score.
+        status, headers, _text = _post(
+            daemon.url + "/ingest?batch=retry-me", body)
+        assert status == 503
+        assert float(headers["Retry-After"]) > 0
+        health_status, _ctype, health_body = _get(daemon.url + "/health")
+        health = json.loads(health_body)
+        if health["status"] == "degraded":  # replay still in progress
+            assert health_status == 503
+            assert "recovering" in health["shards"]
+        # Recovery completes; the same batch then scores normally.
+        deadline = time.monotonic() + 30.0
+        while True:
+            status, headers, _text = _post(
+                daemon.url + "/ingest?batch=retry-me", body)
+            if status == 200:
+                break
+            assert status == 503
+            assert time.monotonic() < deadline, "shard never recovered"
+            time.sleep(0.05)
+        health = json.loads(_get(daemon.url + "/health")[2])
+        assert health["status"] == "ok"
+        assert health["shards"] == ["serving", "serving"]
+        assert health["wal"] is True
+        doc = json.loads(_get(daemon.url + "/status")[2])
+        assert doc["shard_restarts"] == [1, 0]
+        assert doc["shard_status"] == ["serving", "serving"]
+        assert doc["wal"] == {"enabled": True,
+                              "dir": str(tmp_path / "wal")}
+        recovering = daemon.registry.counter(
+            "ingest_requests", labels={"outcome": "recovering"}).value
+        assert recovering >= 1
+
+
+def test_blackhole_sink_attempts_are_counted():
+    from tests.test_serve_sinks import _verdict
+
+    sink = BlackholeSink()
+    for _ in range(3):
+        with pytest.raises(SinkError, match="blackhole"):
+            sink.emit(_verdict())
+    assert sink.attempts == 3
+    assert sink.describe() == "blackhole"
