@@ -1,17 +1,25 @@
 #!/usr/bin/env python
-"""Lint: the API doc must cover every public module and CLI subcommand.
+"""Lint: the docs must track the code — modules, subcommands, flags, links.
 
-Two checks, both against ``docs/api.md``:
+Four checks:
 
 1. Walks ``src/repro`` and collects the dotted name of every public
    module — packages (directories with an ``__init__.py``) and
    non-underscore ``.py`` files — then checks that each name appears
-   verbatim somewhere in the doc.  Modules whose file name starts with
-   ``_`` are implementation details and exempt.
+   verbatim somewhere in ``docs/api.md``.  Modules whose file name
+   starts with ``_`` are implementation details and exempt.
 2. Parses ``src/repro/serve/cli.py`` for ``add_parser("name", ...)``
    calls and checks that every ``repro-serve`` subcommand is documented
-   as ``repro-serve <name>`` in the doc, so a new subcommand cannot
-   ship without its CLI grammar entry.
+   as ``repro-serve <name>`` in ``docs/api.md``, so a new subcommand
+   cannot ship without its CLI grammar entry.
+3. Parses every CLI module (``repro-characterize``, ``repro-serve``,
+   ``repro-learn``) for ``add_argument("--flag", ...)`` calls and
+   checks that each long option is mentioned verbatim somewhere under
+   ``docs/`` — a flag you can pass but cannot read about is docs
+   drift.
+4. Resolves every relative ``](...)`` link inside ``docs/*.md`` (and
+   ``README.md``) against the file that contains it, so a renamed or
+   deleted target cannot leave a dead link behind.
 
 Run from the repository root::
 
@@ -24,13 +32,27 @@ this as a regression gate (``tests/test_docs_refs_lint.py``).
 from __future__ import annotations
 
 import ast
+import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
-API_DOC = REPO_ROOT / "docs" / "api.md"
+DOCS_ROOT = REPO_ROOT / "docs"
+API_DOC = DOCS_ROOT / "api.md"
 SERVE_CLI = SRC_ROOT / "serve" / "cli.py"
+
+#: Every console-script entry point whose flag surface the docs must
+#: cover, as (program name, parser module path) pairs.
+CLI_MODULES: tuple[tuple[str, Path], ...] = (
+    ("repro-characterize", SRC_ROOT / "cli.py"),
+    ("repro-serve", SRC_ROOT / "serve" / "cli.py"),
+    ("repro-learn", SRC_ROOT / "learn" / "cli.py"),
+)
+
+#: Markdown inline link targets: ``[text](target)``.  Good enough for
+#: these docs — no reference-style links are used.
+_LINK_PATTERN = re.compile(r"\]\(([^)\s]+)\)")
 
 
 def public_modules(src_root: Path = SRC_ROOT) -> list[str]:
@@ -93,6 +115,77 @@ def undocumented_subcommands(doc_path: Path = API_DOC) -> list[str]:
             if f"repro-serve {name}" not in text]
 
 
+def cli_flags(cli_modules: tuple[tuple[str, Path], ...] = CLI_MODULES,
+              ) -> list[tuple[str, str]]:
+    """Every long option each CLI registers, as (program, flag) pairs.
+
+    Found syntactically: ``add_argument`` calls whose first literal
+    string argument starts with ``--`` (short aliases like ``-v`` ride
+    along with their long form and are exempt on their own).
+    """
+    flags: set[tuple[str, str]] = set()
+    for program, path in cli_modules:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_argument"):
+                continue
+            for arg in node.args:
+                if (isinstance(arg, ast.Constant)
+                        and isinstance(arg.value, str)
+                        and arg.value.startswith("--")):
+                    flags.add((program, arg.value))
+    return sorted(flags)
+
+
+def _docs_corpus(docs_root: Path = DOCS_ROOT) -> str:
+    """All documentation text the flag check searches, concatenated."""
+    parts = [path.read_text() for path in sorted(docs_root.glob("*.md"))]
+    readme = docs_root.parent / "README.md"
+    if readme.exists():
+        parts.append(readme.read_text())
+    return "\n".join(parts)
+
+
+def undocumented_flags(docs_root: Path = DOCS_ROOT,
+                       cli_modules: tuple[tuple[str, Path], ...]
+                       = CLI_MODULES) -> list[tuple[str, str]]:
+    """CLI long options never mentioned anywhere under ``docs/``."""
+    corpus = _docs_corpus(docs_root)
+    return [(program, flag) for program, flag in cli_flags(cli_modules)
+            if flag not in corpus]
+
+
+def broken_doc_links(docs_root: Path = DOCS_ROOT) -> list[tuple[str, str]]:
+    """Relative markdown links that do not resolve, as (file, target).
+
+    Checks every ``](...)`` target in ``docs/*.md`` and the repository
+    ``README.md``.  External schemes (``http(s)://``, ``mailto:``) and
+    in-page anchors (``#...``) are skipped; a ``path#fragment`` target
+    is checked by path only.
+    """
+    broken: list[tuple[str, str]] = []
+    pages = sorted(docs_root.glob("*.md"))
+    readme = docs_root.parent / "README.md"
+    if readme.exists():
+        pages.append(readme)
+    for page in pages:
+        for target in _LINK_PATTERN.findall(page.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (page.parent / path).exists():
+                try:
+                    shown = str(page.relative_to(REPO_ROOT))
+                except ValueError:  # a docs tree outside the repo (tests)
+                    shown = str(page)
+                broken.append((shown, target))
+    return broken
+
+
 def main() -> int:
     status = 0
     missing = undocumented_modules()
@@ -107,6 +200,19 @@ def main() -> int:
               "(document as 'repro-serve <name>'):", file=sys.stderr)
         for name in commands:
             print(f"  {name}", file=sys.stderr)
+        status = 1
+    flags = undocumented_flags()
+    if flags:
+        print("CLI flags never mentioned anywhere under docs/:",
+              file=sys.stderr)
+        for program, flag in flags:
+            print(f"  {program} {flag}", file=sys.stderr)
+        status = 1
+    links = broken_doc_links()
+    if links:
+        print("broken relative links in the docs:", file=sys.stderr)
+        for page, target in links:
+            print(f"  {page}: ]({target})", file=sys.stderr)
         status = 1
     return status
 

@@ -27,6 +27,7 @@ SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
 ALLOWED_PREFIXES = (
     "cli.py",
     "serve/cli.py",
+    "learn/cli.py",
     "reporting/",
     "experiments/registry.py",
     "experiments/__main__.py",

@@ -25,6 +25,7 @@ benchmarks/test_perf_serve.py
 benchmarks/test_perf_daemon.py
 benchmarks/test_perf_columnar.py
 benchmarks/test_perf_wal.py
+benchmarks/test_perf_learn.py
 benchmarks/test_chaos_serve.py
 benchmarks/test_compare_bench.py
 "

@@ -528,6 +528,16 @@ class AlertBlock:
                              np.arange(self.stages.shape[1])]
         return picked[np.isfinite(picked)]
 
+    def level_counts(self, n_levels: int = 3) -> np.ndarray:
+        """Samples per severity code, as a length-``n_levels`` vector.
+
+        One ``bincount`` over the severity column — the shadow-scoring
+        plane builds its champion/challenger confusion matrices from
+        these codes without materializing a single verdict object.
+        """
+        return np.bincount(self.level_codes.astype(np.int64),
+                           minlength=n_levels)
+
     def alert_at(self, row: int) -> "DegradationAlert":
         """Materialize one row as a scalar-path-identical alert."""
         from repro.core.monitor import AlertLevel, DegradationAlert

@@ -172,6 +172,16 @@ class BackpressureError(ServeError):
         self.capacity = capacity
 
 
+class LearnError(ReproError):
+    """The continuous-learning loop was misused or misconfigured.
+
+    Raised by :mod:`repro.learn` on invalid drift policies, refits
+    attempted before the sliding window holds any failed drives,
+    shadow reports over mismatched streams, and promotion decisions
+    evaluated against the wrong champion generation.
+    """
+
+
 class PipelineStageError(ReproError):
     """A pipeline stage crashed on an unexpected (non-library) exception.
 

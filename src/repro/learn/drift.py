@@ -1,0 +1,311 @@
+"""Rolling per-attribute drift detection over the columnar stream.
+
+The first stage of the continuous-learning loop (``docs/learning.md``):
+a :class:`DriftDetector` rides the ingest path, folding every admitted
+block's raw attribute columns into per-attribute baseline statistics —
+count, mean and variance maintained incrementally by Chan's
+parallel-batch form of Welford's algorithm, one vectorized update per
+block — and raising typed :class:`DriftAlarm`\\ s when the stream walks
+away from its baseline.
+
+Two alarm kinds per attribute:
+
+* **mean shift** — the block mean sits more than ``z_threshold``
+  standard errors from the baseline mean (standard error uses the
+  baseline variance over the block size, so sensitivity scales with
+  how much evidence one block carries);
+* **population share** — the fraction of the block's samples beyond
+  ``outlier_sigma`` baseline standard deviations exceeds
+  ``share_threshold`` (catches variance blow-ups and multi-modal
+  shifts a mean test misses).
+
+False-positive suppression is layered: no alarming during the first
+``warmup_samples`` (the baseline is still forming), an alarm needs
+``min_consecutive`` consecutive drifting blocks (hysteresis — one noisy
+block never fires), and a fired attribute stays quiet for
+``cooldown_blocks`` blocks (one sustained drift episode produces one
+alarm, not one per block).  After warmup the baseline is *frozen
+against drift*: blocks flagged as drifting are not absorbed, so the
+baseline cannot chase the very shift it is measuring.
+
+Everything is pure float64 arithmetic in stream order — the same blocks
+in the same order produce byte-identical alarms, which is what lets the
+drift drill (:mod:`repro.learn.drill`) pin its output across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import LearnError
+from repro.obs.observer import PipelineObserver, resolve_observer
+
+#: Floor on baseline variance when standardizing, so a constant
+#: attribute (zero variance) cannot divide by zero; any real shift on
+#: such an attribute saturates the z-score instead.
+_VARIANCE_FLOOR = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class DriftPolicy:
+    """Thresholds and suppression knobs for :class:`DriftDetector`.
+
+    Attributes
+    ----------
+    warmup_samples:
+        Baseline samples absorbed before any alarming starts.
+    z_threshold:
+        Standard errors of mean shift that flag a block (mean-shift
+        kind).
+    outlier_sigma:
+        Baseline standard deviations beyond which one sample counts as
+        an outlier for the population-share kind.
+    share_threshold:
+        Outlier fraction of a block that flags it (population-share
+        kind); under a stable baseline the expected share at 3 sigma
+        is ~0.3%, so the default 0.10 needs a real population change.
+    min_consecutive:
+        Consecutive flagged blocks before an alarm fires (hysteresis).
+    cooldown_blocks:
+        Blocks an attribute stays silent after firing an alarm.
+    """
+
+    warmup_samples: int = 2048
+    z_threshold: float = 4.0
+    outlier_sigma: float = 3.0
+    share_threshold: float = 0.10
+    min_consecutive: int = 3
+    cooldown_blocks: int = 16
+
+    def __post_init__(self) -> None:
+        if self.warmup_samples < 1:
+            raise LearnError("warmup_samples must be positive")
+        if self.z_threshold <= 0 or self.outlier_sigma <= 0:
+            raise LearnError("z_threshold and outlier_sigma must be > 0")
+        if not 0.0 < self.share_threshold < 1.0:
+            raise LearnError("share_threshold must lie in (0, 1)")
+        if self.min_consecutive < 1:
+            raise LearnError("min_consecutive must be >= 1")
+        if self.cooldown_blocks < 0:
+            raise LearnError("cooldown_blocks must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class DriftAlarm:
+    """One fired drift alarm: which attribute drifted, how, how far.
+
+    ``score`` is the triggering statistic — the standard-error z for
+    ``kind="mean_shift"``, the outlier share for
+    ``kind="population_share"``; ``baseline`` and ``observed`` give the
+    baseline mean (or expected share) and the block's value of the same
+    quantity, so an operator can read the direction and magnitude of
+    the shift straight off the alarm.
+    """
+
+    attribute: str
+    kind: str
+    block_index: int
+    score: float
+    baseline: float
+    observed: float
+    n_samples: int
+
+    def describe(self) -> str:
+        """One human-readable line (flight recorder / CLI)."""
+        return (f"drift on {self.attribute} ({self.kind}) at block "
+                f"{self.block_index}: score {self.score:.3f}, "
+                f"baseline {self.baseline:.6g} -> "
+                f"observed {self.observed:.6g}")
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-type mapping for deterministic JSON artifacts."""
+        return {
+            "attribute": self.attribute,
+            "kind": self.kind,
+            "block_index": self.block_index,
+            "score": float(self.score),
+            "baseline": float(self.baseline),
+            "observed": float(self.observed),
+            "n_samples": self.n_samples,
+        }
+
+
+@dataclass(slots=True)
+class _Baseline:
+    """Vectorized Welford state: per-attribute count, mean, M2."""
+
+    count: int = 0
+    mean: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    m2: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def absorb(self, matrix: np.ndarray) -> None:
+        """Fold one block into the baseline (Chan's parallel combine)."""
+        n_block = matrix.shape[0]
+        block_mean = matrix.mean(axis=0)
+        block_m2 = ((matrix - block_mean) ** 2).sum(axis=0)
+        if self.count == 0:
+            self.count = n_block
+            self.mean = block_mean
+            self.m2 = block_m2
+            return
+        total = self.count + n_block
+        delta = block_mean - self.mean
+        self.mean = self.mean + delta * (n_block / total)
+        self.m2 = (self.m2 + block_m2
+                   + delta ** 2 * (self.count * n_block / total))
+        self.count = total
+
+    def variance(self) -> np.ndarray:
+        """Per-attribute population variance (floored, never zero)."""
+        if self.count < 2:
+            return np.full_like(self.mean, _VARIANCE_FLOOR)
+        return np.maximum(self.m2 / self.count, _VARIANCE_FLOOR)
+
+
+class DriftDetector:
+    """Incremental per-attribute drift alarms over streamed blocks.
+
+    Parameters
+    ----------
+    attributes:
+        Column names of the streamed record matrix, in order (the
+        bundle's Table I ordering in the daemon).
+    policy:
+        Thresholds and suppression (defaults to :class:`DriftPolicy`).
+    observer:
+        Telemetry sink; every fired alarm bumps the ``drift_alarms``
+        counter.  Telemetry never changes detection.
+    """
+
+    def __init__(self, attributes: Sequence[str], *,
+                 policy: DriftPolicy | None = None,
+                 observer: PipelineObserver | None = None) -> None:
+        if not attributes:
+            raise LearnError("drift detection needs at least one attribute")
+        self._attributes = tuple(str(name) for name in attributes)
+        self._policy = policy if policy is not None else DriftPolicy()
+        self._observer = resolve_observer(observer)
+        self._baseline = _Baseline()
+        self._blocks_seen = 0
+        self._alarms_fired = 0
+        width = len(self._attributes)
+        self._consecutive = {
+            "mean_shift": np.zeros(width, dtype=np.int64),
+            "population_share": np.zeros(width, dtype=np.int64),
+        }
+        self._cooldown = {
+            "mean_shift": np.zeros(width, dtype=np.int64),
+            "population_share": np.zeros(width, dtype=np.int64),
+        }
+
+    @property
+    def policy(self) -> DriftPolicy:
+        """The active thresholds."""
+        return self._policy
+
+    @property
+    def baseline_samples(self) -> int:
+        """Samples absorbed into the baseline so far."""
+        return self._baseline.count
+
+    @property
+    def warmed_up(self) -> bool:
+        """Whether alarming is active (warmup complete)."""
+        return self._baseline.count >= self._policy.warmup_samples
+
+    @property
+    def blocks_seen(self) -> int:
+        """Blocks consumed since construction."""
+        return self._blocks_seen
+
+    @property
+    def alarms_fired(self) -> int:
+        """Alarms fired since construction."""
+        return self._alarms_fired
+
+    def update(self, matrix: np.ndarray) -> list[DriftAlarm]:
+        """Consume one block of raw records; return any fired alarms.
+
+        ``matrix`` is the ``(n_samples, n_attributes)`` raw record
+        matrix of one admitted ingest block.  During warmup the block
+        is absorbed and nothing fires; after warmup a non-drifting
+        block keeps refreshing the baseline while a drifting one is
+        held out of it (baseline freeze).
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._attributes):
+            raise LearnError(
+                f"drift update needs (n, {len(self._attributes)}) records, "
+                f"got shape {tuple(matrix.shape)}")
+        if matrix.shape[0] == 0:
+            return []
+        block_index = self._blocks_seen
+        self._blocks_seen += 1
+        if not self.warmed_up:
+            self._baseline.absorb(matrix)
+            return []
+
+        policy = self._policy
+        n_block = matrix.shape[0]
+        base_mean = self._baseline.mean
+        base_std = np.sqrt(self._baseline.variance())
+        block_mean = matrix.mean(axis=0)
+        z_scores = np.abs(block_mean - base_mean) \
+            / (base_std / np.sqrt(n_block))
+        outliers = np.abs(matrix - base_mean) \
+            > policy.outlier_sigma * base_std
+        shares = outliers.mean(axis=0)
+        flagged = {
+            "mean_shift": z_scores > policy.z_threshold,
+            "population_share": shares > policy.share_threshold,
+        }
+        observed = {"mean_shift": block_mean, "population_share": shares}
+        scores = {"mean_shift": z_scores, "population_share": shares}
+        baselines = {
+            "mean_shift": base_mean,
+            "population_share": np.full_like(shares,
+                                             policy.share_threshold),
+        }
+
+        alarms: list[DriftAlarm] = []
+        for kind, flags in flagged.items():
+            consecutive = self._consecutive[kind]
+            cooldown = self._cooldown[kind]
+            consecutive[:] = np.where(flags, consecutive + 1, 0)
+            cooldown[:] = np.maximum(cooldown - 1, 0)
+            firing = np.flatnonzero(
+                (consecutive >= policy.min_consecutive) & (cooldown == 0))
+            for column in firing:
+                column = int(column)
+                alarms.append(DriftAlarm(
+                    attribute=self._attributes[column],
+                    kind=kind,
+                    block_index=block_index,
+                    score=float(scores[kind][column]),
+                    baseline=float(baselines[kind][column]),
+                    observed=float(observed[kind][column]),
+                    n_samples=n_block,
+                ))
+                cooldown[column] = policy.cooldown_blocks
+                consecutive[column] = 0
+        if not any(flags.any() for flags in flagged.values()):
+            self._baseline.absorb(matrix)
+        if alarms:
+            self._alarms_fired += len(alarms)
+            self._observer.count("drift_alarms", len(alarms))
+        return alarms
+
+    def describe(self) -> dict[str, Any]:
+        """Operational summary for the daemon's ``/status`` payload."""
+        return {
+            "baseline_samples": self.baseline_samples,
+            "warmed_up": self.warmed_up,
+            "blocks_seen": self.blocks_seen,
+            "alarms_fired": self.alarms_fired,
+            "warmup_samples": self._policy.warmup_samples,
+            "z_threshold": self._policy.z_threshold,
+            "share_threshold": self._policy.share_threshold,
+        }

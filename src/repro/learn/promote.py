@@ -1,0 +1,126 @@
+"""Promotion policy: when a challenger may replace the champion.
+
+The final gate of the continuous-learning loop.  A
+:class:`PromotionPolicy` turns a shadow run's
+:class:`~repro.learn.shadow.DivergenceReport` into an explicit, audit
+-friendly :class:`PromotionDecision`: every threshold that failed is a
+named reason, and an empty reason list means *promote*.  The policy is
+deliberately conservative — a challenger must have shadowed long
+enough (``min_samples``), agree with the champion on the overwhelming
+majority of verdicts (``min_agreement`` — a refit should refine the
+models, not reinvent the fleet's alerting), keep the mean stage
+disagreement small (``max_stage_delta``), and carry valid lineage
+(generation exactly one past the champion, ``parent_sha256`` naming
+it), so the promotion chain can always be walked backwards artifact by
+artifact.
+
+The decision object is pure data; actually swapping bundles is
+:meth:`ServingDaemon.promote_bundle
+<repro.serve.daemon.ServingDaemon.promote_bundle>` (live) or the
+``repro-learn`` CLI's ``push`` (remote), both of which re-check lineage
+at the moment of the swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import LearnError
+from repro.learn.shadow import DivergenceReport
+from repro.serve.bundle import ModelBundle, content_hash
+
+
+@dataclass(frozen=True, slots=True)
+class PromotionDecision:
+    """The outcome of evaluating one challenger against the policy.
+
+    ``promote`` is true exactly when ``reasons`` is empty; each reason
+    is one human-readable sentence naming the failed gate.
+    """
+
+    promote: bool
+    reasons: tuple[str, ...]
+    challenger_sha256: str
+    challenger_generation: int
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-type mapping for deterministic JSON artifacts."""
+        return {
+            "promote": self.promote,
+            "reasons": list(self.reasons),
+            "challenger_sha256": self.challenger_sha256,
+            "challenger_generation": self.challenger_generation,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class PromotionPolicy:
+    """Thresholds a shadow run must clear before promotion.
+
+    Attributes
+    ----------
+    min_samples:
+        Minimum shadow duration, in samples scored by both bundles.
+    min_agreement:
+        Minimum verdict (severity) agreement rate over the shadow run.
+    max_stage_delta:
+        Maximum mean absolute stage disagreement where both sides
+        produced a finite stage.
+    require_lineage:
+        Whether the challenger must name the champion as its parent
+        with generation exactly one higher (disable only for manual,
+        forced rollouts).
+    """
+
+    min_samples: int = 1024
+    min_agreement: float = 0.95
+    max_stage_delta: float = 0.25
+    require_lineage: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise LearnError("min_samples must be positive")
+        if not 0.0 < self.min_agreement <= 1.0:
+            raise LearnError("min_agreement must lie in (0, 1]")
+        if self.max_stage_delta < 0.0:
+            raise LearnError("max_stage_delta must be >= 0")
+
+    def evaluate(self, report: DivergenceReport, champion: ModelBundle,
+                 challenger: ModelBundle) -> PromotionDecision:
+        """Judge one challenger; every failed gate becomes a reason."""
+        champion_sha = content_hash(champion.to_payload())
+        challenger_sha = content_hash(challenger.to_payload())
+        if (report.champion_sha256 != champion_sha
+                or report.challenger_sha256 != challenger_sha):
+            raise LearnError(
+                "divergence report was produced for different bundles "
+                "than the ones under evaluation")
+        reasons: list[str] = []
+        if report.n_samples < self.min_samples:
+            reasons.append(
+                f"shadow run too short: {report.n_samples} samples, "
+                f"policy requires {self.min_samples}")
+        if report.agreement_rate < self.min_agreement:
+            reasons.append(
+                f"verdict agreement {report.agreement_rate:.4f} below "
+                f"policy minimum {self.min_agreement:.4f}")
+        if report.stage_delta_mean > self.max_stage_delta:
+            reasons.append(
+                f"mean stage delta {report.stage_delta_mean:.4f} above "
+                f"policy maximum {self.max_stage_delta:.4f}")
+        if self.require_lineage:
+            if challenger.parent_sha256 != champion_sha:
+                reasons.append(
+                    "challenger lineage does not name the champion as "
+                    "its parent")
+            if challenger.generation != champion.generation + 1:
+                reasons.append(
+                    f"challenger generation {challenger.generation} is "
+                    f"not champion generation {champion.generation} + 1")
+        return PromotionDecision(
+            promote=not reasons,
+            reasons=tuple(reasons),
+            challenger_sha256=challenger_sha,
+            challenger_generation=challenger.generation,
+        )

@@ -26,9 +26,11 @@ from repro.serve.bundle import (
     GroupArtifact,
     ModelBundle,
     build_bundle,
+    bundle_from_document,
     content_hash,
     load_bundle,
     save_bundle,
+    stamp_lineage,
 )
 from repro.serve.daemon import ServingDaemon
 from repro.serve.scorer import (
@@ -74,6 +76,7 @@ __all__ = [
     "WatchService",
     "WebhookAlertSink",
     "build_bundle",
+    "bundle_from_document",
     "content_hash",
     "load_bundle",
     "parse_sink_spec",
@@ -81,4 +84,5 @@ __all__ = [
     "replay_fleet",
     "reprocess_dead_letter",
     "save_bundle",
+    "stamp_lineage",
 ]

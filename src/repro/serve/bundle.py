@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
@@ -107,8 +107,13 @@ class ModelBundle:
     critical_threshold: float = DEFAULT_CRITICAL_THRESHOLD
     history_hours: int = DEFAULT_HISTORY_HOURS
     trained_on: dict[str, int] = field(default_factory=dict)
+    generation: int = 0
+    parent_sha256: str = ""
 
     def __post_init__(self) -> None:
+        if self.generation < 0:
+            raise BundleError(
+                f"generation must be >= 0, got {self.generation}")
         if len(self.minima) != len(self.attributes) \
                 or len(self.maxima) != len(self.attributes):
             raise BundleError(
@@ -182,6 +187,10 @@ class ModelBundle:
                 "history_hours": self.history_hours,
             },
             "trained_on": dict(self.trained_on),
+            "lineage": {
+                "generation": self.generation,
+                "parent_sha256": self.parent_sha256,
+            },
         }
 
     @classmethod
@@ -226,6 +235,10 @@ class ModelBundle:
                 history_hours=int(monitor["history_hours"]),
                 trained_on={str(k): int(v)
                             for k, v in payload.get("trained_on", {}).items()},
+                generation=int(
+                    payload.get("lineage", {}).get("generation", 0)),
+                parent_sha256=str(
+                    payload.get("lineage", {}).get("parent_sha256", "")),
             )
         except BundleError:
             raise
@@ -260,6 +273,53 @@ def content_hash(payload: dict[str, Any]) -> str:
         _bundle_json_dumps(hashable).encode("utf-8")
     )
     return digest.hexdigest()
+
+
+def stamp_lineage(bundle: ModelBundle, parent: ModelBundle) -> ModelBundle:
+    """Record ``parent`` in ``bundle``'s lineage metadata.
+
+    Returns a copy whose ``generation`` is the parent's plus one and
+    whose ``parent_sha256`` is the parent's content hash — the
+    promotion plane stamps every challenger this way before it can be
+    swapped in, so an artifact always names the champion it replaced.
+    """
+    return replace(bundle,
+                   generation=parent.generation + 1,
+                   parent_sha256=content_hash(parent.to_payload()))
+
+
+def bundle_from_document(payload: Any, *,
+                         source: str = "<document>") -> ModelBundle:
+    """Verify and decode one hashed bundle document (an in-memory load).
+
+    The same gates :func:`load_bundle` applies after reading a file:
+    the payload must be a JSON object, carry the current
+    :data:`BUNDLE_SCHEMA_VERSION`, hash to its own stored
+    :data:`content hash <_HASH_KEY>`, and decode into a structurally
+    valid :class:`ModelBundle`.  The daemon's ``POST /promote`` route
+    runs challenger artifacts through this before swapping them in —
+    a bundle shipped over the wire gets no weaker checks than one read
+    from disk.
+    """
+    if not isinstance(payload, dict):
+        raise BundleError(f"{source}: expected a JSON object")
+    version = payload.get("schema_version")
+    if version != BUNDLE_SCHEMA_VERSION:
+        raise BundleError(
+            f"{source}: stale bundle (schema version {version!r}, "
+            f"this library reads {BUNDLE_SCHEMA_VERSION})"
+        )
+    stored_hash = payload.get(_HASH_KEY)
+    if not isinstance(stored_hash, str):
+        raise BundleError(f"{source}: bundle carries no content hash")
+    actual = content_hash(payload)
+    if actual != stored_hash:
+        raise BundleError(
+            f"{source}: content hash mismatch (stored "
+            f"{stored_hash[:12]}…, computed {actual[:12]}…) — the "
+            "artifact was corrupted or edited after save"
+        )
+    return ModelBundle.from_payload(payload)
 
 
 def build_bundle(report: CharacterizationReport,
@@ -394,24 +454,6 @@ def load_bundle(path: str | Path, *,
             raise BundleError(
                 f"{path}: corrupt bundle (not valid JSON: {error})"
             ) from error
-        if not isinstance(payload, dict):
-            raise BundleError(f"{path}: expected a JSON object")
-        version = payload.get("schema_version")
-        if version != BUNDLE_SCHEMA_VERSION:
-            raise BundleError(
-                f"{path}: stale bundle (schema version {version!r}, "
-                f"this library reads {BUNDLE_SCHEMA_VERSION})"
-            )
-        stored_hash = payload.get(_HASH_KEY)
-        if not isinstance(stored_hash, str):
-            raise BundleError(f"{path}: bundle carries no content hash")
-        actual = content_hash(payload)
-        if actual != stored_hash:
-            raise BundleError(
-                f"{path}: content hash mismatch (stored "
-                f"{stored_hash[:12]}…, computed {actual[:12]}…) — the "
-                "artifact was corrupted or edited after save"
-            )
-        bundle = ModelBundle.from_payload(payload)
+        bundle = bundle_from_document(payload, source=str(path))
     obs.count("bundles_loaded")
     return bundle

@@ -230,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
     daemon.add_argument("--dead-letter", metavar="PATH", default=None,
                         help="park undeliverable alerts in this JSONL file "
                              "(reprocess with 'repro-serve recover')")
+    daemon.add_argument("--learn", action="store_true",
+                        help="attach the drift-detection plane: ingest "
+                             "feeds per-attribute baselines and drift "
+                             "alarms surface in /status and the flight "
+                             "recorder (see docs/learning.md)")
 
     recover = commands.add_parser(
         "recover", help="inspect/replay WAL directories offline and "
@@ -436,6 +441,7 @@ def run_daemon(args: argparse.Namespace,
         wal_dir=None if args.no_wal else args.wal_dir,
         snapshot_interval_blocks=args.snapshot_interval_blocks,
         dead_letter=args.dead_letter,
+        learn=args.learn,
     )
     if threading.current_thread() is threading.main_thread():
         for signum in (signal.SIGTERM, signal.SIGINT):
@@ -446,7 +452,8 @@ def run_daemon(args: argparse.Namespace,
         daemon.handle.write_port_file(args.port_file)
     print(f"serving daemon on {daemon.url} "
           f"({args.shards} shard(s), {args.backend} backend; "
-          f"POST /ingest, /drain; GET /metrics /health /status /recorder)",
+          f"POST /ingest, /promote, /drain; "
+          f"GET /metrics /health /status /recorder)",
           file=sys.stderr)
     daemon.serve_forever()
     print(f"daemon drained: {daemon.samples_accepted} samples accepted, "
@@ -486,7 +493,8 @@ def run_recover(args: argparse.Namespace,
         shards = []
         for shard_dir in shard_dirs:
             scorer = StreamScorer(bundle, observer=observer)
-            with ShardWal(shard_dir, bundle_sha256=bundle_sha) as wal:
+            with ShardWal(shard_dir, bundle_sha256=bundle_sha,
+                          generation=bundle.generation) as wal:
                 recovery = wal.open()
                 if recovery.snapshot is not None:
                     scorer.restore_state(recovery.snapshot)

@@ -40,14 +40,15 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.core.serialize import canonical_json_dumps
-from repro.errors import (BackpressureError, ServeError,
+from repro.errors import (BackpressureError, BundleError, ServeError,
                           ShardRecoveringError)
 from repro.ioutil import atomic_write_text
 from repro.obs.http import HttpReply, TelemetryHTTPServer, ServerHandle
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import PipelineObserver, TelemetryObserver
 from repro.obs.recorder import FlightRecorder
-from repro.serve.bundle import BUNDLE_SCHEMA_VERSION, ModelBundle, content_hash
+from repro.serve.bundle import (BUNDLE_SCHEMA_VERSION, ModelBundle,
+                                bundle_from_document, content_hash)
 from repro.serve.scorer import MonitorVerdict, VerdictBlock
 from repro.serve.shard import (DEFAULT_QUEUE_CAPACITY,
                                DEFAULT_SNAPSHOT_INTERVAL_BLOCKS, ShardSet)
@@ -169,6 +170,15 @@ class ServingDaemon:
     delivery_policy:
         Retry/backoff/circuit-breaker tuning for alert delivery
         (defaults to :class:`~repro.serve.sinks.DeliveryPolicy`).
+    learn:
+        Attach a :class:`~repro.learn.drift.DriftDetector` to the
+        ingest path (the ``repro-serve daemon --learn`` flag): every
+        admitted block also updates rolling per-attribute baselines,
+        and drift alarms land in the flight recorder plus the
+        ``drift_alarms`` counter.  Detection never changes a verdict.
+    drift_policy:
+        Optional :class:`~repro.learn.drift.DriftPolicy` overriding the
+        detector's thresholds (``learn=True`` only).
     """
 
     def __init__(self, bundle: ModelBundle, *, n_shards: int = 1,
@@ -186,7 +196,9 @@ class ServingDaemon:
                  snapshot_interval_blocks: int =
                  DEFAULT_SNAPSHOT_INTERVAL_BLOCKS,
                  dead_letter: str | Path | None = None,
-                 delivery_policy: DeliveryPolicy | None = None) -> None:
+                 delivery_policy: DeliveryPolicy | None = None,
+                 learn: bool = False,
+                 drift_policy: Any = None) -> None:
         self._observer = (observer if observer is not None
                           else TelemetryObserver())
         registry = getattr(self._observer, "metrics", None)
@@ -227,6 +239,15 @@ class ServingDaemon:
         self._stop_requested = threading.Event()
         self._stopped = False
         self._snapshots: list[dict[str, Any]] = []
+        self._previous_bundle: ModelBundle | None = None
+        self._drift = None
+        if learn:
+            # Imported lazily: repro.learn's refit half depends on the
+            # serving package, so a top-level import would be circular.
+            from repro.learn.drift import DriftDetector
+            self._drift = DriftDetector(
+                bundle.attributes, policy=drift_policy,
+                observer=self._observer)
         self._server = TelemetryHTTPServer(
             registry,
             health=self.health_payload,
@@ -235,6 +256,7 @@ class ServingDaemon:
             post_routes={
                 "/ingest": self._handle_ingest,
                 "/drain": self._handle_drain,
+                "/promote": self._handle_promote,
             },
             host=host, port=port,
         )
@@ -279,6 +301,12 @@ class ServingDaemon:
         with self._lock:
             self._samples_accepted += len(block)
             self._alerts_emitted += block.n_alerting
+        if self._drift is not None:
+            for alarm in self._drift.update(columns):
+                self.recorder.record(
+                    "drift", alarm.describe(),
+                    attribute=alarm.attribute, alarm_kind=alarm.kind,
+                    score=alarm.score, block_index=alarm.block_index)
         for row in block.alerting_rows():
             verdict = block.verdict_at(int(row))
             self.recorder.record(
@@ -369,6 +397,118 @@ class ServingDaemon:
         self.request_stop()
         return HttpReply.json(202, {"status": "draining"})
 
+    # -- promotion --------------------------------------------------------
+
+    def promote_bundle(self, bundle: ModelBundle, *,
+                       force: bool = False) -> list[dict[str, Any]]:
+        """Swap the active bundle for a challenger, atomically.
+
+        Unless ``force``, the challenger must name the current champion
+        in its lineage (``parent_sha256`` equal to the serving bundle's
+        content hash) — a stale challenger built against an older
+        generation is refused instead of silently skipping a step in
+        the chain.  The swap itself is
+        :meth:`ShardSet.promote <repro.serve.shard.ShardSet.promote>`:
+        a clean fence in every shard's stream, WAL-logged so recovery
+        replays with the right bundle generation.  The replaced
+        champion is kept for :meth:`rollback_bundle`.
+        """
+        new_payload = bundle.to_payload()
+        new_sha = content_hash(new_payload)
+        with self._lock:
+            current = self._bundle
+            current_sha = self._bundle_sha256
+        if new_sha == current_sha:
+            raise ServeError(
+                "challenger is the serving bundle (identical content "
+                "hash); nothing to promote")
+        if not force and bundle.parent_sha256 != current_sha:
+            raise ServeError(
+                f"challenger lineage names parent "
+                f"{bundle.parent_sha256[:12] or '<none>'}…, but the "
+                f"serving champion is {current_sha[:12]}… — refit "
+                f"against the live champion or pass force")
+        receipts = self._shards.promote(bundle)
+        with self._lock:
+            self._previous_bundle = current
+            self._bundle = bundle
+            self._bundle_sha256 = new_sha
+        self._observer.count("bundle_promotions")
+        self.recorder.record(
+            "lifecycle",
+            f"bundle promoted to generation {bundle.generation}",
+            bundle_sha256=new_sha, parent_sha256=bundle.parent_sha256,
+            generation=bundle.generation, forced=force)
+        return receipts
+
+    def rollback_bundle(self) -> list[dict[str, Any]]:
+        """Re-promote the bundle the last promotion replaced.
+
+        The emergency lever of the learning loop: one call restores the
+        previous champion on every shard (same fence semantics as a
+        promotion).  Refuses when no promotion has happened yet.
+        """
+        with self._lock:
+            previous = self._previous_bundle
+        if previous is None:
+            raise ServeError(
+                "no previous bundle to roll back to (nothing was "
+                "promoted on this daemon)")
+        receipts = self._shards.promote(previous)
+        previous_sha = content_hash(previous.to_payload())
+        with self._lock:
+            self._previous_bundle = self._bundle
+            self._bundle = previous
+            self._bundle_sha256 = previous_sha
+        self._observer.count("bundle_rollbacks")
+        self.recorder.record(
+            "lifecycle",
+            f"bundle rolled back to generation {previous.generation}",
+            bundle_sha256=previous_sha, generation=previous.generation)
+        return receipts
+
+    def _handle_promote(self, body: bytes, query: dict[str, str]) -> HttpReply:
+        """``POST /promote``: swap in a challenger bundle (or roll back).
+
+        The body is a full hashed bundle artifact — the exact JSON
+        :func:`~repro.serve.bundle.save_bundle` writes — verified with
+        the same four gates as a disk load before any shard sees it.
+        ``?rollback=1`` ignores the body and restores the previous
+        champion; ``?force=1`` skips the lineage check.  Lineage and
+        state conflicts answer 409, malformed artifacts 400.
+        """
+        if query.get("rollback") in ("1", "true"):
+            try:
+                receipts = self.rollback_bundle()
+            except ServeError as error:
+                return HttpReply.json(409, {"error": str(error)})
+            return HttpReply.json(200, {
+                "status": "rolled_back",
+                "bundle_sha256": self._bundle_sha256,
+                "generation": self._bundle.generation,
+                "shards": len(receipts),
+            })
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            return HttpReply.json(
+                400, {"error": f"malformed bundle artifact: {error}"})
+        try:
+            bundle = bundle_from_document(payload, source="POST /promote")
+        except BundleError as error:
+            return HttpReply.json(400, {"error": str(error)})
+        try:
+            receipts = self.promote_bundle(
+                bundle, force=query.get("force") in ("1", "true"))
+        except ServeError as error:
+            return HttpReply.json(409, {"error": str(error)})
+        return HttpReply.json(200, {
+            "status": "promoted",
+            "bundle_sha256": self._bundle_sha256,
+            "generation": self._bundle.generation,
+            "shards": len(receipts),
+        })
+
     # -- payloads ---------------------------------------------------------
 
     def health_payload(self) -> dict[str, Any]:
@@ -390,8 +530,10 @@ class ServingDaemon:
             "status": status,
             "bundle_sha256": self._bundle_sha256,
             "schema_version": BUNDLE_SCHEMA_VERSION,
+            "generation": self._bundle.generation,
             "shards": shard_status,
             "wal": self._shards.wal_enabled,
+            "learn": self._drift is not None,
         }
 
     def status_payload(self) -> dict[str, Any]:
@@ -419,6 +561,15 @@ class ServingDaemon:
             },
             "dead_letter": (str(self._dead_letter.path)
                             if self._dead_letter is not None else None),
+            "bundle": {
+                "sha256": self._bundle_sha256,
+                "generation": self._bundle.generation,
+                "parent_sha256": self._bundle.parent_sha256,
+                "previous": (content_hash(self._previous_bundle.to_payload())
+                             if self._previous_bundle is not None else None),
+            },
+            "learn": (self._drift.describe()
+                      if self._drift is not None else None),
             "flight_recorder": {
                 "total_recorded": self.recorder.total_recorded,
                 "dropped": self.recorder.dropped,

@@ -435,6 +435,40 @@ class StreamScorer:
         self._samples_scored = samples_scored
         self._alerts_emitted = alerts_emitted
 
+    def swap_bundle(self, bundle: ModelBundle) -> None:
+        """Replace the scoring models in place, keeping all drive state.
+
+        The promotion plane's seam: verdicts are per-sample stateless
+        functions of the current record (a drive's ring history never
+        feeds the trees), so swapping the models between blocks changes
+        *future* verdicts only — every sample scored after the swap is
+        byte-identical to a fresh scorer of the new bundle fed the same
+        stream.  The replacement must score the same feature space
+        (attribute ordering) and keep the ring-buffer depth, because
+        the live :class:`~repro.core.columnar.ColumnStateStore` is laid
+        out for both.
+        """
+        if tuple(bundle.attributes) != tuple(self._bundle.attributes):
+            raise ServeError(
+                "cannot swap in a bundle trained on a different "
+                f"attribute set ({', '.join(bundle.attributes)} vs "
+                f"{', '.join(self._bundle.attributes)})"
+            )
+        if bundle.history_hours != self._bundle.history_hours:
+            raise ServeError(
+                f"cannot swap in a bundle with history_hours="
+                f"{bundle.history_hours}; the live drive state is laid "
+                f"out for {self._bundle.history_hours}"
+            )
+        self._bundle = bundle
+        self._monitor = DegradationMonitor(
+            bundle.predictor(), bundle.normalizer(),
+            watch_threshold=bundle.watch_threshold,
+            critical_threshold=bundle.critical_threshold,
+            history_hours=bundle.history_hours,
+            state=self._state,
+        )
+
     def level_of(self, serial: str) -> AlertLevel:
         """Last severity level of a drive (HEALTHY if never seen)."""
         return self._monitor.level_of(serial)

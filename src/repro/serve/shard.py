@@ -54,7 +54,7 @@ import threading
 import time
 from bisect import bisect_right
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -91,6 +91,12 @@ _STOP = None
 #: Sentinel task making a worker die abruptly — no snapshot, no reply.
 #: The chaos harness's thread-backend stand-in for SIGKILL.
 _CRASH = "__repro_crash__"
+
+#: Marker heading a promotion task ``(_PROMOTE, request_id, payload,
+#: generation)``: the worker swaps its scorer to the new bundle (drive
+#: state intact), rebinds + snapshots its WAL, and replies
+#: ``("promoted", ...)``.
+_PROMOTE = "__repro_promote__"
 
 
 def _point(key: str) -> int:
@@ -157,6 +163,7 @@ class WalSettings:
     fsync_every: int = DEFAULT_FSYNC_EVERY
     snapshot_interval_blocks: int = DEFAULT_SNAPSHOT_INTERVAL_BLOCKS
     crash_after_seq: int | None = None
+    generation: int = 0
 
 
 def _worker_die() -> None:
@@ -252,7 +259,8 @@ def _shard_worker(shard: int, payload: dict, tasks: Any, results: Any,
                 Path(wal_settings.directory),
                 segment_max_bytes=wal_settings.segment_max_bytes,
                 fsync_every=wal_settings.fsync_every,
-                bundle_sha256=wal_settings.bundle_sha256)
+                bundle_sha256=wal_settings.bundle_sha256,
+                generation=wal_settings.generation)
             recovery = wal.open()
             if recovery.snapshot is not None:
                 scorer.restore_state(recovery.snapshot)
@@ -301,6 +309,28 @@ def _shard_worker(shard: int, payload: dict, tasks: Any, results: Any,
         if task == _CRASH:
             _worker_die()
             return
+        if isinstance(task, tuple) and task and task[0] == _PROMOTE:
+            _marker, request_id, new_payload, generation = task
+            try:
+                scorer.swap_bundle(ModelBundle.from_payload(new_payload))
+                if wal is not None:
+                    # Rebind-then-snapshot is the promotion fence: the
+                    # replayable suffix (everything past this snapshot)
+                    # was logged under, and replays through, the new
+                    # models — recovery never crosses a bundle boundary.
+                    wal.rebind(content_hash(new_payload), generation)
+                    wal.write_snapshot(scorer.dump_state())
+                    blocks_since_snapshot = 0
+            except (ServeError, WalError) as error:
+                results.put(("error", request_id, shard,
+                             f"{type(error).__name__}: {error}"))
+                continue
+            results.put(("promoted", request_id, shard, {
+                "shard": shard,
+                "generation": int(generation),
+                "snapshot_seq": wal.last_seq if wal is not None else 0,
+            }))
+            continue
         request_id, block_id, serials, hours, matrix = task
         if throttle_s > 0.0:
             time.sleep(throttle_s)
@@ -462,6 +492,7 @@ class ShardSet:
                     fsync_every=wal_fsync_every,
                     snapshot_interval_blocks=snapshot_interval_blocks,
                     crash_after_seq=crash_after_seq.get(shard),
+                    generation=bundle.generation,
                 )
 
         if backend == "process":
@@ -689,6 +720,61 @@ class ShardSet:
              for shard, rows in by_shard.items()])
         self._account(block)
         return block
+
+    def promote(self, bundle: ModelBundle) -> list[dict[str, Any]]:
+        """Atomically swap every shard's scoring models to ``bundle``.
+
+        The swap is enqueued behind all previously admitted batches on
+        every shard (under the same lock :meth:`submit_block` enqueues
+        through), so the promotion is a clean fence in each shard's
+        stream: batches admitted before it score with the old models,
+        batches admitted after it score with the new ones, and drive
+        state carries across untouched.  WAL-enabled workers rebind
+        their identity file to the new bundle and snapshot immediately,
+        so crash recovery replays only post-promotion records — through
+        the models that logged them.
+
+        Blocks until every shard has applied the swap; returns the
+        per-shard promotion receipts in shard order.  Refuses while any
+        shard is recovering or failed (a recovering shard would replay
+        its WAL under the wrong identity).
+        """
+        payload = bundle.to_payload()
+        new_sha = content_hash(payload)
+        with self._lock:
+            if self._stopped:
+                raise ServeError("ShardSet is stopped; cannot promote")
+            for shard, status in enumerate(self._status):
+                if status != "serving":
+                    raise ServeError(
+                        f"cannot promote while shard {shard} is {status}")
+            request_id = self._next_request
+            self._next_request += 1
+            pending = _PendingRequest(range(self.n_shards))
+            self._pending[request_id] = pending
+            for shard in range(self.n_shards):
+                self._inflight[shard] += 1
+                self._tasks[shard].put(
+                    (_PROMOTE, request_id, payload, bundle.generation))
+            # Respawned workers must come back under the new identity.
+            self._bundle = bundle
+            self._payload = payload
+            for shard, settings in enumerate(self._wal_settings):
+                if settings is not None:
+                    self._wal_settings[shard] = replace(
+                        settings, bundle_sha256=new_sha,
+                        generation=bundle.generation)
+        pending.done.wait()
+        with self._lock:
+            del self._pending[request_id]
+        if pending.errors:
+            if pending.died_shard is not None:
+                raise ShardRecoveringError(pending.died_shard,
+                                           self._retry_after_s)
+            raise ServeError(
+                f"bundle promotion failed: {'; '.join(pending.errors)}")
+        return [dict(pending.results[shard])
+                for shard in sorted(pending.results)]
 
     def inflight(self) -> list[int]:
         """Current batches in flight, per shard (a telemetry snapshot)."""

@@ -163,12 +163,22 @@ class ShardWal:
         written under a different bundle refuses to open, because
         replaying its blocks through other models would silently
         produce different state.
+    generation:
+        Lineage generation of that bundle (see
+        :attr:`repro.serve.bundle.ModelBundle.generation`).  Stamped
+        into the identity file and every snapshot; a WAL or snapshot
+        recorded under a different generation refuses to open for the
+        same reason the sha check exists — after a live promotion,
+        replay must run through the models of the generation that
+        logged the suffix.  ``None`` adopts whatever the directory
+        already records.
     """
 
     def __init__(self, directory: str | Path, *,
                  segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
                  fsync_every: int = DEFAULT_FSYNC_EVERY,
-                 bundle_sha256: str | None = None) -> None:
+                 bundle_sha256: str | None = None,
+                 generation: int | None = None) -> None:
         if segment_max_bytes < 1:
             raise WalError("segment_max_bytes must be positive")
         if fsync_every < 1:
@@ -177,6 +187,7 @@ class ShardWal:
         self._segment_max_bytes = int(segment_max_bytes)
         self._fsync_every = int(fsync_every)
         self._bundle_sha256 = bundle_sha256
+        self._generation = generation
         self._file: Any = None
         self._segment_path: Path | None = None
         self._segment_bytes = 0
@@ -195,6 +206,11 @@ class ShardWal:
     def last_seq(self) -> int:
         """Sequence number of the newest appended (or recovered) record."""
         return self._last_seq
+
+    @property
+    def generation(self) -> int | None:
+        """Bundle generation recorded in the WAL identity (if any)."""
+        return self._generation
 
     def open(self) -> WalRecovery:
         """Create/validate the directory and scan it for recovery.
@@ -302,7 +318,8 @@ class ShardWal:
         seq = self._last_seq
         path = self._dir / f"{_SNAPSHOT_PREFIX}{seq:012d}{_SNAPSHOT_SUFFIX}"
         document = {"schema": WAL_SCHEMA, "seq": seq,
-                    "bundle_sha256": self._bundle_sha256, "state": state}
+                    "bundle_sha256": self._bundle_sha256,
+                    "generation": self._generation, "state": state}
         body = json.dumps(document, separators=(",", ":"), sort_keys=True)
         try:
             atomic_write_text(path, body + "\n")
@@ -331,19 +348,51 @@ class ShardWal:
                     f"{recorded[:12]}…, refusing to replay it through "
                     f"bundle {self._bundle_sha256[:12]}… — move the WAL "
                     f"aside or serve the original bundle")
+            recorded_gen = meta.get("generation")
+            if (self._generation is not None and recorded_gen is not None
+                    and int(recorded_gen) != self._generation):
+                raise WalError(
+                    f"WAL {self._dir} was written under bundle "
+                    f"generation {recorded_gen}, refusing to replay it "
+                    f"through generation {self._generation} — recover "
+                    f"with the bundle generation that logged it")
+            if self._generation is None and recorded_gen is not None:
+                self._generation = int(recorded_gen)
             if meta.get("schema") != WAL_SCHEMA:
                 raise WalError(
                     f"WAL {self._dir} has schema {meta.get('schema')!r}, "
                     f"this build reads schema {WAL_SCHEMA}")
             return
+        self._write_meta()
+
+    def _write_meta(self) -> None:
+        """Atomically (re)write the WAL identity file."""
+        meta_path = self._dir / _META_NAME
         try:
             atomic_write_text(meta_path, json.dumps(
                 {"schema": WAL_SCHEMA,
-                 "bundle_sha256": self._bundle_sha256},
+                 "bundle_sha256": self._bundle_sha256,
+                 "generation": self._generation},
                 sort_keys=True) + "\n")
         except OSError as error:
             raise WalError(
                 f"cannot write WAL meta {meta_path}: {error}") from error
+
+    def rebind(self, bundle_sha256: str, generation: int) -> None:
+        """Re-identify an open WAL to a newly promoted bundle.
+
+        Atomically rewrites the identity file with the new sha256 and
+        generation; the caller (a shard worker applying a promotion)
+        must snapshot immediately after, so the replayable suffix never
+        crosses a bundle boundary — everything past the post-promote
+        snapshot was logged, and will be replayed, under the new
+        models.
+        """
+        if not self._opened:
+            raise WalError("WAL must be opened before rebinding")
+        self._bundle_sha256 = bundle_sha256
+        self._generation = int(generation)
+        self._write_meta()
 
     def _segments(self) -> list[Path]:
         """Segment files sorted by first sequence number."""
@@ -376,6 +425,14 @@ class ShardWal:
                 raise WalError(
                     f"WAL snapshot {path} was produced by a different "
                     f"bundle; refusing to restore from it")
+            snapshot_gen = document.get("generation")
+            if (self._generation is not None and snapshot_gen is not None
+                    and int(snapshot_gen) != self._generation):
+                raise WalError(
+                    f"WAL snapshot {path} was produced under bundle "
+                    f"generation {snapshot_gen}, this WAL expects "
+                    f"generation {self._generation}; refusing to "
+                    f"restore from it")
             return seq, state
         return 0, None
 

@@ -13,8 +13,11 @@ SCRIPT = REPO_ROOT / "scripts" / "check_docs_refs.py"
 
 sys.path.insert(0, str(SCRIPT.parent))
 from check_docs_refs import (  # noqa: E402
+    broken_doc_links,
+    cli_flags,
     public_modules,
     serve_cli_subcommands,
+    undocumented_flags,
     undocumented_modules,
     undocumented_subcommands,
 )
@@ -80,3 +83,77 @@ def test_bare_subcommand_mention_is_not_enough(tmp_path):
     doc = tmp_path / "api.md"
     doc.write_text(" ".join(serve_cli_subcommands()))
     assert undocumented_subcommands(doc) == serve_cli_subcommands()
+
+
+def _fake_cli(tmp_path, source):
+    path = tmp_path / "cli.py"
+    path.write_text(source)
+    return (("fake-tool", path),)
+
+
+def test_flag_collector_takes_long_options_only(tmp_path):
+    modules = _fake_cli(tmp_path, (
+        'import argparse\n'
+        'p = argparse.ArgumentParser()\n'
+        'p.add_argument("positional")\n'
+        'p.add_argument("-v", "--verbose", action="count")\n'
+        'p.add_argument("--seed", type=int)\n'
+        'p.add_argument("-x")\n'
+    ))
+    assert cli_flags(modules) == [
+        ("fake-tool", "--seed"), ("fake-tool", "--verbose"),
+    ]
+
+
+def test_known_flags_are_collected():
+    flags = cli_flags()
+    assert ("repro-serve", "--wal-dir") in flags
+    assert ("repro-serve", "--learn") in flags
+    assert ("repro-learn", "--rollback") in flags
+    assert ("repro-characterize", "--export-model") in flags
+
+
+def test_mentioned_flags_are_not_flagged(tmp_path):
+    modules = _fake_cli(tmp_path, 'p.add_argument("--seed")\n')
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "guide.md").write_text("pass `--seed` to pin the run")
+    assert undocumented_flags(docs, modules) == []
+
+
+def test_unmentioned_flag_is_flagged(tmp_path):
+    modules = _fake_cli(
+        tmp_path, 'p.add_argument("--seed")\np.add_argument("--out")\n')
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "guide.md").write_text("only `--seed` is written up")
+    assert undocumented_flags(docs, modules) == [("fake-tool", "--out")]
+
+
+def test_readme_counts_as_flag_documentation(tmp_path):
+    modules = _fake_cli(tmp_path, 'p.add_argument("--seed")\n')
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "guide.md").write_text("nothing here")
+    (tmp_path / "README.md").write_text("use `--seed` for determinism")
+    assert undocumented_flags(docs, modules) == []
+
+
+def test_link_checker_resolves_relative_targets(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "other.md").write_text("target page")
+    (docs / "guide.md").write_text(
+        "[ok](other.md) [anchored](other.md#section) [self](#here)\n"
+        "[ext](https://example.com/x) [gone](missing.md)\n"
+        "[updir](../README.md)\n")
+    (tmp_path / "README.md").write_text("[into docs](docs/other.md)")
+    broken = broken_doc_links(docs)
+    assert len(broken) == 1
+    page, target = broken[0]
+    assert page.endswith("guide.md")
+    assert target == "missing.md"
+
+
+def test_repo_docs_have_no_broken_links():
+    assert broken_doc_links() == []

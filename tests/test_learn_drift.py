@@ -1,0 +1,198 @@
+"""Drift-detector unit tests: warmup, hysteresis, cooldown, freeze.
+
+Everything runs on small synthetic streams with hand-picked shifts so
+every suppression layer of :class:`repro.learn.drift.DriftDetector` is
+exercised in isolation — and the whole thing is pinned deterministic:
+the same blocks in the same order produce byte-identical alarms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import canonical_json_dumps
+from repro.errors import LearnError
+from repro.learn.drift import DriftAlarm, DriftDetector, DriftPolicy
+
+ATTRS = ("alpha", "beta")
+
+
+def _baseline_blocks(n_blocks=8, n=64, seed=0):
+    """Stable two-column blocks: N(0, 1) and N(10, 2)."""
+    rng = np.random.default_rng(seed)
+    return [np.column_stack([rng.normal(0.0, 1.0, n),
+                             rng.normal(10.0, 2.0, n)])
+            for _ in range(n_blocks)]
+
+
+def _shifted_block(n=64, seed=99, shift=3.0):
+    """A block whose first column's mean has moved by ``shift`` sigma."""
+    rng = np.random.default_rng(seed)
+    return np.column_stack([rng.normal(shift, 1.0, n),
+                            rng.normal(10.0, 2.0, n)])
+
+
+def _warm_detector(policy=None, **kwargs):
+    policy = policy or DriftPolicy(warmup_samples=256, min_consecutive=2,
+                                   cooldown_blocks=4, **kwargs)
+    detector = DriftDetector(ATTRS, policy=policy)
+    for block in _baseline_blocks():
+        assert detector.update(block) == []
+    assert detector.warmed_up
+    return detector
+
+
+# -- policy validation ------------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    {"warmup_samples": 0},
+    {"z_threshold": 0.0},
+    {"outlier_sigma": -1.0},
+    {"share_threshold": 0.0},
+    {"share_threshold": 1.0},
+    {"min_consecutive": 0},
+    {"cooldown_blocks": -1},
+])
+def test_policy_rejects_bad_knobs(kwargs):
+    with pytest.raises(LearnError):
+        DriftPolicy(**kwargs)
+
+
+def test_detector_needs_attributes_and_matching_width():
+    with pytest.raises(LearnError):
+        DriftDetector(())
+    detector = DriftDetector(ATTRS)
+    with pytest.raises(LearnError, match="shape"):
+        detector.update(np.zeros((4, 3)))
+    with pytest.raises(LearnError):
+        detector.update(np.zeros(4))
+
+
+# -- warmup -----------------------------------------------------------------
+
+def test_no_alarms_during_warmup_even_on_a_huge_shift():
+    detector = DriftDetector(
+        ATTRS, policy=DriftPolicy(warmup_samples=10_000, min_consecutive=1))
+    for _ in range(6):
+        assert detector.update(_shifted_block(shift=50.0)) == []
+    assert not detector.warmed_up
+    assert detector.baseline_samples == 6 * 64
+
+
+def test_empty_block_is_a_noop():
+    detector = _warm_detector()
+    before = detector.blocks_seen
+    assert detector.update(np.empty((0, len(ATTRS)))) == []
+    assert detector.blocks_seen == before
+
+
+# -- mean shift + hysteresis ------------------------------------------------
+
+def test_single_drifting_block_does_not_fire():
+    detector = _warm_detector()
+    assert detector.update(_shifted_block()) == []
+
+
+def test_consecutive_drifting_blocks_fire_one_mean_shift_alarm():
+    detector = _warm_detector()
+    assert detector.update(_shifted_block(seed=99)) == []
+    alarms = detector.update(_shifted_block(seed=100))
+    kinds = {(a.attribute, a.kind) for a in alarms}
+    assert ("alpha", "mean_shift") in kinds
+    assert all(a.attribute == "alpha" for a in alarms)
+    alarm = next(a for a in alarms if a.kind == "mean_shift")
+    assert alarm.score > detector.policy.z_threshold
+    assert abs(alarm.observed - 3.0) < 1.0
+    assert abs(alarm.baseline) < 1.0
+
+
+def test_a_clean_block_resets_the_hysteresis_counter():
+    detector = _warm_detector()
+    assert detector.update(_shifted_block(seed=1)) == []
+    assert detector.update(_baseline_blocks(1, seed=50)[0]) == []
+    assert detector.update(_shifted_block(seed=2)) == []
+
+
+# -- cooldown ---------------------------------------------------------------
+
+def test_cooldown_silences_a_sustained_episode():
+    detector = _warm_detector()
+    detector.update(_shifted_block(seed=1))
+    fired = detector.update(_shifted_block(seed=2))
+    assert fired
+    # The cooldown counter decrements on every subsequent block, so a
+    # sustained episode stays silent for cooldown_blocks - 1 more
+    # drifting blocks...
+    for seed in range(3, 2 + detector.policy.cooldown_blocks):
+        assert detector.update(_shifted_block(seed=seed)) == []
+    assert detector.alarms_fired == len(fired)
+    # ...and refires once the cooldown has fully elapsed.
+    assert detector.update(_shifted_block(seed=40))
+    assert detector.alarms_fired > len(fired)
+
+
+# -- population share -------------------------------------------------------
+
+def test_symmetric_outliers_fire_population_share_not_mean_shift():
+    detector = _warm_detector()
+    rng = np.random.default_rng(7)
+    block = np.column_stack([rng.normal(0.0, 1.0, 64),
+                             rng.normal(10.0, 2.0, 64)])
+    # Half the rows at +/-10 sigma in equal numbers: the mean barely
+    # moves but the outlier share is ~50%.
+    block[:16, 0] = 10.0
+    block[16:32, 0] = -10.0
+    assert detector.update(block) == []
+    alarms = detector.update(block)
+    assert [(a.attribute, a.kind) for a in alarms] \
+        == [("alpha", "population_share")]
+    assert alarms[0].score > 0.4
+
+
+# -- baseline freeze --------------------------------------------------------
+
+def test_flagged_blocks_are_not_absorbed_into_the_baseline():
+    detector = _warm_detector()
+    frozen_at = detector.baseline_samples
+    for seed in range(5):
+        detector.update(_shifted_block(seed=seed))
+    assert detector.baseline_samples == frozen_at
+
+
+def test_clean_blocks_keep_refreshing_the_baseline():
+    detector = _warm_detector()
+    before = detector.baseline_samples
+    detector.update(_baseline_blocks(1, seed=51)[0])
+    assert detector.baseline_samples == before + 64
+
+
+# -- determinism ------------------------------------------------------------
+
+def test_identical_streams_produce_byte_identical_alarms():
+    streams = []
+    for _ in range(2):
+        detector = _warm_detector()
+        alarms = []
+        for seed in range(12):
+            alarms.extend(detector.update(_shifted_block(seed=seed)))
+        streams.append(canonical_json_dumps(
+            [a.to_payload() for a in alarms]))
+    assert streams[0] == streams[1]
+
+
+def test_describe_summarizes_operational_state():
+    detector = _warm_detector()
+    detector.update(_shifted_block(seed=1))
+    detector.update(_shifted_block(seed=2))
+    summary = detector.describe()
+    assert summary["warmed_up"] is True
+    assert summary["blocks_seen"] == detector.blocks_seen
+    assert summary["alarms_fired"] == detector.alarms_fired > 0
+    assert summary["warmup_samples"] == 256
+
+
+def test_alarm_describe_is_one_line():
+    alarm = DriftAlarm(attribute="alpha", kind="mean_shift", block_index=9,
+                       score=5.25, baseline=0.0, observed=3.0, n_samples=64)
+    line = alarm.describe()
+    assert "alpha" in line and "mean_shift" in line and "block 9" in line
+    assert "\n" not in line

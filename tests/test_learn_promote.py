@@ -1,0 +1,125 @@
+"""Promotion-policy tests: every gate produces a named reason.
+
+The decision object is where an operator reads *why* a challenger was
+held back, so each threshold is exercised in isolation against
+fabricated divergence reports over real bundle hashes — and the
+all-gates-pass case promotes with an empty reason list.
+"""
+
+import pytest
+
+from repro.errors import LearnError
+from repro.learn.promote import PromotionPolicy
+from repro.learn.shadow import DivergenceReport
+from repro.serve.bundle import build_bundle, content_hash, stamp_lineage
+
+
+@pytest.fixture(scope="module")
+def champion(mid_report):
+    return build_bundle(mid_report, seed=7)
+
+
+@pytest.fixture(scope="module")
+def challenger(champion):
+    return stamp_lineage(champion, champion)
+
+
+def _report(champion, challenger, *, n_samples=5000, n_agree=None,
+            stage_delta_mean=0.0):
+    if n_agree is None:
+        n_agree = n_samples
+    return DivergenceReport(
+        champion_sha256=content_hash(champion.to_payload()),
+        challenger_sha256=content_hash(challenger.to_payload()),
+        champion_generation=champion.generation,
+        challenger_generation=challenger.generation,
+        n_samples=n_samples, n_agree=n_agree,
+        confusion=((n_agree, n_samples - n_agree, 0),
+                   (0, 0, 0), (0, 0, 0)),
+        stage_delta_mean=stage_delta_mean,
+        alert_deltas={},
+    )
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"min_samples": 0},
+    {"min_agreement": 0.0},
+    {"min_agreement": 1.5},
+    {"max_stage_delta": -0.1},
+])
+def test_policy_rejects_bad_thresholds(kwargs):
+    with pytest.raises(LearnError):
+        PromotionPolicy(**kwargs)
+
+
+def test_report_for_other_bundles_is_refused(champion, challenger):
+    report = _report(challenger, challenger)  # champion sha is wrong
+    with pytest.raises(LearnError, match="different bundles"):
+        PromotionPolicy().evaluate(report, champion, challenger)
+
+
+def test_all_gates_pass_promotes_with_no_reasons(champion, challenger):
+    decision = PromotionPolicy().evaluate(
+        _report(champion, challenger), champion, challenger)
+    assert decision.promote is True
+    assert decision.reasons == ()
+    assert decision.challenger_sha256 \
+        == content_hash(challenger.to_payload())
+    assert decision.challenger_generation == 1
+
+
+def test_short_shadow_run_is_a_named_reason(champion, challenger):
+    decision = PromotionPolicy(min_samples=1024).evaluate(
+        _report(champion, challenger, n_samples=100),
+        champion, challenger)
+    assert decision.promote is False
+    assert any("too short" in reason for reason in decision.reasons)
+
+
+def test_low_agreement_is_a_named_reason(champion, challenger):
+    decision = PromotionPolicy(min_agreement=0.95).evaluate(
+        _report(champion, challenger, n_samples=5000, n_agree=4000),
+        champion, challenger)
+    assert decision.promote is False
+    assert any("agreement" in reason for reason in decision.reasons)
+
+
+def test_large_stage_delta_is_a_named_reason(champion, challenger):
+    decision = PromotionPolicy(max_stage_delta=0.25).evaluate(
+        _report(champion, challenger, stage_delta_mean=0.5),
+        champion, challenger)
+    assert decision.promote is False
+    assert any("stage delta" in reason for reason in decision.reasons)
+
+
+def test_broken_lineage_is_two_named_reasons(champion):
+    # The champion itself as challenger: no parent, same generation.
+    report = _report(champion, champion)
+    decision = PromotionPolicy().evaluate(report, champion, champion)
+    assert decision.promote is False
+    assert any("parent" in reason for reason in decision.reasons)
+    assert any("generation" in reason for reason in decision.reasons)
+
+
+def test_lineage_gate_can_be_disabled(champion):
+    report = _report(champion, champion)
+    decision = PromotionPolicy(require_lineage=False).evaluate(
+        report, champion, champion)
+    assert decision.promote is True
+
+
+def test_every_failed_gate_is_reported_at_once(champion):
+    report = _report(champion, champion, n_samples=10, n_agree=5,
+                     stage_delta_mean=9.0)
+    decision = PromotionPolicy().evaluate(report, champion, champion)
+    assert decision.promote is False
+    assert len(decision.reasons) == 5
+
+
+def test_decision_payload_round_trips_plain_types(champion, challenger):
+    decision = PromotionPolicy().evaluate(
+        _report(champion, challenger), champion, challenger)
+    payload = decision.to_payload()
+    assert payload["promote"] is True
+    assert payload["reasons"] == []
+    assert payload["challenger_generation"] == 1

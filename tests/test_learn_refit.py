@@ -1,0 +1,152 @@
+"""SlidingWindow unit tests: reassembly, trimming, determinism.
+
+The window is the inverse of the daemon's columnar flattening: streamed
+``(serials, hours, matrix)`` blocks go in, a per-drive
+:class:`~repro.data.dataset.DiskDataset` comes out — sorted, deduped
+and independent of how blocks interleaved across drives, because the
+refit challenger's content hash hangs off exactly that.  The expensive
+end-to-end refit (full pipeline run + lineage stamp) is covered by the
+drill suite (``tests/test_learn_drill.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import LearnError
+from repro.learn.refit import SlidingWindow, refit_challenger
+
+ATTRS = ("alpha", "beta")
+
+
+def _block(rows):
+    """Build one block from ``(serial, hour, value)`` triples."""
+    serials = [serial for serial, _hour, _value in rows]
+    hours = [hour for _serial, hour, _value in rows]
+    matrix = np.array([[value, value * 10.0]
+                       for _serial, _hour, value in rows])
+    return serials, hours, matrix
+
+
+# -- construction and validation --------------------------------------------
+
+def test_window_rejects_bad_construction():
+    with pytest.raises(LearnError):
+        SlidingWindow(())
+    with pytest.raises(LearnError):
+        SlidingWindow(ATTRS, max_hours=0)
+
+
+def test_add_block_validates_shapes():
+    window = SlidingWindow(ATTRS)
+    with pytest.raises(LearnError, match="records"):
+        window.add_block(["a"], [1], np.zeros((1, 3)))
+    with pytest.raises(LearnError, match="disagree"):
+        window.add_block(["a", "b"], [1], np.zeros((2, 2)))
+
+
+# -- accumulation -----------------------------------------------------------
+
+def test_window_counts_drives_and_samples():
+    window = SlidingWindow(ATTRS)
+    window.add_block(*_block([("a", 0, 1.0), ("b", 0, 2.0)]))
+    window.add_block(*_block([("a", 1, 1.5)]))
+    assert window.n_drives == 2
+    assert window.n_samples == 3
+
+
+def test_mark_failed_is_cumulative_and_sorted():
+    window = SlidingWindow(ATTRS)
+    window.mark_failed(["zz", "aa"])
+    window.mark_failed(["mm", "aa"])
+    assert window.failed_serials == ("aa", "mm", "zz")
+
+
+# -- trimming ---------------------------------------------------------------
+
+def test_max_hours_trims_on_every_add():
+    window = SlidingWindow(ATTRS, max_hours=10)
+    window.add_block(*_block([("a", 0, 1.0), ("a", 5, 1.1)]))
+    window.add_block(*_block([("a", 20, 1.2)]))
+    assert window.n_samples == 1  # hours 0 and 5 fell off the horizon
+
+
+def test_trim_drops_emptied_drives():
+    window = SlidingWindow(ATTRS)
+    window.add_block(*_block([("old", 0, 1.0), ("new", 100, 2.0)]))
+    dropped = window.trim(before_hour=50)
+    assert dropped == 1
+    assert window.n_drives == 1
+    assert window.n_samples == 1
+
+
+def test_trim_without_horizon_or_cutoff_is_a_noop():
+    window = SlidingWindow(ATTRS)
+    window.add_block(*_block([("a", 0, 1.0)]))
+    assert window.trim() == 0
+    assert window.n_samples == 1
+
+
+# -- dataset materialization ------------------------------------------------
+
+def test_to_dataset_sorts_hours_and_keeps_last_duplicate():
+    window = SlidingWindow(ATTRS)
+    window.add_block(*_block([("a", 5, 5.0), ("a", 1, 1.0)]))
+    window.add_block(*_block([("a", 5, 7.0)]))  # a retried block
+    dataset = window.to_dataset()
+    profile = dataset.profiles[0]
+    assert list(profile.hours) == [1, 5]
+    assert profile.matrix[1, 0] == 7.0  # the retry won
+
+
+def test_to_dataset_iterates_serials_sorted_and_skips_thin_drives():
+    window = SlidingWindow(ATTRS)
+    window.add_block(*_block([("zeta", 0, 1.0), ("zeta", 1, 1.1),
+                              ("alef", 0, 2.0), ("alef", 1, 2.1),
+                              ("thin", 0, 3.0)]))
+    dataset = window.to_dataset(min_samples=2)
+    assert [p.serial for p in dataset.profiles] == ["alef", "zeta"]
+
+
+def test_to_dataset_is_independent_of_block_interleaving():
+    rows = [("a", h, float(h)) for h in range(4)] \
+        + [("b", h, float(h) + 0.5) for h in range(4)]
+    one = SlidingWindow(ATTRS)
+    one.add_block(*_block(rows))
+    other = SlidingWindow(ATTRS)
+    for row in reversed(rows):
+        other.add_block(*_block([row]))
+    for left, right in zip(one.to_dataset().profiles,
+                           other.to_dataset().profiles):
+        assert left.serial == right.serial
+        assert np.array_equal(left.hours, right.hours)
+        assert np.array_equal(left.matrix, right.matrix)
+
+
+def test_to_dataset_carries_failure_labels():
+    window = SlidingWindow(ATTRS)
+    window.add_block(*_block([("a", 0, 1.0), ("a", 1, 1.1),
+                              ("b", 0, 2.0), ("b", 1, 2.1)]))
+    window.mark_failed(["a"])
+    flags = {p.serial: p.failed for p in window.to_dataset().profiles}
+    assert flags == {"a": True, "b": False}
+
+
+def test_empty_window_refuses_to_build_a_dataset():
+    window = SlidingWindow(ATTRS)
+    with pytest.raises(LearnError, match="no drive"):
+        window.to_dataset()
+    window.add_block(*_block([("a", 0, 1.0)]))
+    with pytest.raises(LearnError):
+        window.to_dataset(min_samples=2)
+
+
+# -- the refit gate ---------------------------------------------------------
+
+def test_refit_refuses_a_window_without_enough_failures(mid_report):
+    from repro.serve.bundle import build_bundle
+
+    champion = build_bundle(mid_report, seed=7)
+    window = SlidingWindow(ATTRS)
+    window.add_block(*_block([("a", h, float(h)) for h in range(6)]))
+    with pytest.raises(LearnError, match="failed drives"):
+        refit_challenger(window.to_dataset(), champion, seed=7)

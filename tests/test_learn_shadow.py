@@ -1,0 +1,122 @@
+"""Shadow-scorer tests: identity, divergence accounting, determinism.
+
+A shadow run must observe without perturbing: the champion stream it
+returns is byte-identical to a plain scorer, an identical challenger
+produces a perfectly diagonal confusion matrix, and the frozen
+:class:`~repro.learn.shadow.DivergenceReport` serializes to the same
+bytes run after run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import canonical_json_dumps
+from repro.data.dataset import DiskDataset
+from repro.errors import LearnError
+from repro.learn.drill import blocked_stream
+from repro.learn.shadow import DivergenceReport, ShadowScorer
+from repro.serve.bundle import build_bundle, content_hash, stamp_lineage
+from repro.serve.scorer import StreamScorer
+
+
+@pytest.fixture(scope="module")
+def champion(mid_report):
+    return build_bundle(mid_report, seed=7)
+
+
+@pytest.fixture(scope="module")
+def blocks(mid_fleet):
+    """A short mixed stream cut into daemon-sized blocks."""
+    dataset = mid_fleet.dataset
+    subset = DiskDataset(dataset.failed_profiles[:4]
+                         + dataset.good_profiles[:12])
+    return blocked_stream(subset, 128)
+
+
+def _run_shadow(champion, challenger, blocks):
+    shadow = ShadowScorer(champion, challenger)
+    for serials, hours, matrix in blocks:
+        shadow.score_block(serials, hours, matrix)
+    return shadow
+
+
+def test_attribute_mismatch_is_refused(champion):
+    from dataclasses import replace
+
+    renamed = replace(champion,
+                      attributes=tuple(f"x_{name}"
+                                       for name in champion.attributes))
+    with pytest.raises(LearnError, match="attribute"):
+        ShadowScorer(champion, renamed)
+
+
+def test_report_before_any_samples_is_refused(champion):
+    shadow = ShadowScorer(champion, champion)
+    with pytest.raises(LearnError, match="no samples"):
+        shadow.report()
+
+
+def test_champion_stream_is_unperturbed_by_the_shadow(champion, blocks):
+    plain = StreamScorer(champion)
+    expected = []
+    for serials, hours, matrix in blocks:
+        expected.extend(plain.score_block(serials, hours,
+                                          matrix).to_json_lines())
+    shadow = ShadowScorer(champion, stamp_lineage(champion, champion))
+    actual = []
+    for serials, hours, matrix in blocks:
+        champ_block, _chall = shadow.score_block(serials, hours, matrix)
+        actual.extend(champ_block.to_json_lines())
+    assert actual == expected
+
+
+def test_identical_models_agree_everywhere(champion, blocks):
+    challenger = stamp_lineage(champion, champion)  # same models, new tag
+    report = _run_shadow(champion, challenger, blocks).report()
+    assert report.n_samples == sum(len(s) for s, _h, _m in blocks)
+    assert report.n_agree == report.n_samples
+    assert report.agreement_rate == 1.0
+    assert report.divergence == 0.0
+    assert report.stage_delta_mean == 0.0
+    assert report.alert_deltas == {}
+    confusion = np.array(report.confusion)
+    assert confusion.sum() == report.n_samples
+    assert np.all(confusion == np.diag(np.diag(confusion)))
+
+
+def test_report_names_both_bundles_and_generations(champion, blocks):
+    challenger = stamp_lineage(champion, champion)
+    report = _run_shadow(champion, challenger, blocks).report()
+    assert report.champion_sha256 == content_hash(champion.to_payload())
+    assert report.challenger_sha256 \
+        == content_hash(challenger.to_payload())
+    assert report.champion_generation == 0
+    assert report.challenger_generation == 1
+
+
+def test_report_payload_is_byte_identical_across_runs(champion, blocks):
+    challenger = stamp_lineage(champion, champion)
+    payloads = [
+        canonical_json_dumps(
+            _run_shadow(champion, challenger, blocks).report().to_payload())
+        for _ in range(2)
+    ]
+    assert payloads[0] == payloads[1]
+
+
+def test_agreement_properties_on_a_fabricated_report():
+    report = DivergenceReport(
+        champion_sha256="c" * 64, challenger_sha256="d" * 64,
+        champion_generation=0, challenger_generation=1,
+        n_samples=100, n_agree=90,
+        confusion=((90, 5, 0), (3, 0, 0), (2, 0, 0)),
+        stage_delta_mean=0.125,
+        alert_deltas={"drive-b": {"champion_only": 2,
+                                  "challenger_only": 0}},
+    )
+    assert report.agreement_rate == 0.9
+    assert report.divergence == pytest.approx(0.1)
+    payload = report.to_payload()
+    assert payload["levels"] == ["HEALTHY", "WATCH", "CRITICAL"]
+    assert payload["confusion"][0] == [90, 5, 0]
+    assert list(payload["alert_deltas"]) == ["drive-b"]

@@ -1,0 +1,87 @@
+"""Bundle lineage tests: generation + parent hash, end to end.
+
+Lineage is what makes promotions auditable, so it must survive the
+full artifact round-trip (serialize → hash → save → load), be covered
+by the content hash (a re-stamped bundle is a *different* artifact),
+and refuse structurally invalid values.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import BundleError
+from repro.serve.bundle import (bundle_from_document, build_bundle,
+                                content_hash, load_bundle, save_bundle,
+                                stamp_lineage)
+
+
+@pytest.fixture(scope="module")
+def champion(mid_report):
+    return build_bundle(mid_report, seed=7)
+
+
+def test_fresh_bundles_start_at_generation_zero(champion):
+    assert champion.generation == 0
+    assert champion.parent_sha256 == ""
+
+
+def test_stamp_lineage_chains_generation_and_parent(champion):
+    child = stamp_lineage(champion, champion)
+    grandchild = stamp_lineage(child, child)
+    assert child.generation == 1
+    assert child.parent_sha256 == content_hash(champion.to_payload())
+    assert grandchild.generation == 2
+    assert grandchild.parent_sha256 == content_hash(child.to_payload())
+
+
+def test_lineage_is_covered_by_the_content_hash(champion):
+    stamped = stamp_lineage(champion, champion)
+    assert content_hash(stamped.to_payload()) \
+        != content_hash(champion.to_payload())
+
+
+def test_lineage_survives_the_save_load_round_trip(champion, tmp_path):
+    stamped = stamp_lineage(champion, champion)
+    path = tmp_path / "challenger.bundle.json"
+    save_bundle(stamped, path)
+    payload = json.loads(path.read_text())
+    assert payload["lineage"] == {
+        "generation": 1,
+        "parent_sha256": content_hash(champion.to_payload()),
+    }
+    loaded = load_bundle(path)
+    assert loaded.generation == 1
+    assert loaded.parent_sha256 == stamped.parent_sha256
+
+
+def test_missing_lineage_key_defaults_to_generation_zero(champion,
+                                                         tmp_path):
+    """Pre-lineage artifacts (no ``lineage`` key) still decode."""
+    path = tmp_path / "old.bundle.json"
+    save_bundle(champion, path)
+    payload = json.loads(path.read_text())
+    del payload["lineage"]
+    payload["content_sha256"] = content_hash(payload)
+    document = bundle_from_document(payload)
+    assert document.generation == 0
+    assert document.parent_sha256 == ""
+
+
+def test_negative_generation_is_refused(champion, tmp_path):
+    path = tmp_path / "bad.bundle.json"
+    save_bundle(champion, path)
+    payload = json.loads(path.read_text())
+    payload["lineage"]["generation"] = -1
+    payload["content_sha256"] = content_hash(payload)
+    with pytest.raises(BundleError, match="generation"):
+        bundle_from_document(payload)
+
+
+def test_tampered_lineage_fails_the_hash_gate(champion, tmp_path):
+    path = tmp_path / "tampered.bundle.json"
+    save_bundle(stamp_lineage(champion, champion), path)
+    payload = json.loads(path.read_text())
+    payload["lineage"]["generation"] = 7  # hash not recomputed
+    with pytest.raises(BundleError, match="sha256|hash"):
+        bundle_from_document(payload)
